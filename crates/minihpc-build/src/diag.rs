@@ -1,0 +1,279 @@
+//! Build diagnostics and the error taxonomy of paper Figure 3.
+//!
+//! Every failure anywhere in the toolchain — build-system interpretation,
+//! preprocessing, parsing, semantic analysis, linking — is reported as a
+//! [`Diagnostic`] tagged with one of the ten [`ErrorCategory`] values the
+//! paper's semi-automated clustering recovers from raw logs. The harness
+//! keeps the *raw log text* as the clustering input and the category as
+//! ground truth for validating the clustering pipeline.
+
+use std::fmt;
+
+/// The error categories of paper Fig. 3, plus catch-alls the paper notes it
+/// removed from the figure (missing files, timeouts, success).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ErrorCategory {
+    /// "CMake or Makefile Syntax Error"
+    BuildFileSyntax,
+    /// "Makefile Missing Build Target"
+    MakefileMissingTarget,
+    /// "CMake Config Error"
+    CMakeConfig,
+    /// "Invalid Compiler Flag"
+    InvalidCompilerFlag,
+    /// "Missing Header File"
+    MissingHeader,
+    /// "Code Syntax Error"
+    CodeSyntax,
+    /// "Undeclared Identifier"
+    UndeclaredIdentifier,
+    /// "Function Argument or Type Mismatch"
+    ArgTypeMismatch,
+    /// "OpenMP Invalid Directive"
+    OmpInvalidDirective,
+    /// "Linker Error"
+    LinkerError,
+    /// Expected output file missing from the translation (excluded from
+    /// Fig. 3 by the paper, but tracked).
+    MissingFile,
+    /// Anything else (runtime failures, internal limits).
+    Other,
+}
+
+impl ErrorCategory {
+    /// The ten categories shown in paper Fig. 3, in figure order.
+    pub const FIGURE3: [ErrorCategory; 10] = [
+        ErrorCategory::BuildFileSyntax,
+        ErrorCategory::MakefileMissingTarget,
+        ErrorCategory::CMakeConfig,
+        ErrorCategory::InvalidCompilerFlag,
+        ErrorCategory::MissingHeader,
+        ErrorCategory::CodeSyntax,
+        ErrorCategory::UndeclaredIdentifier,
+        ErrorCategory::ArgTypeMismatch,
+        ErrorCategory::OmpInvalidDirective,
+        ErrorCategory::LinkerError,
+    ];
+
+    /// The label used in paper Fig. 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCategory::BuildFileSyntax => "CMake or Makefile Syntax Error",
+            ErrorCategory::MakefileMissingTarget => "Makefile Missing Build Target",
+            ErrorCategory::CMakeConfig => "CMake Config Error",
+            ErrorCategory::InvalidCompilerFlag => "Invalid Compiler Flag",
+            ErrorCategory::MissingHeader => "Missing Header File",
+            ErrorCategory::CodeSyntax => "Code Syntax Error",
+            ErrorCategory::UndeclaredIdentifier => "Undeclared Identifier",
+            ErrorCategory::ArgTypeMismatch => "Function Argument or Type Mismatch",
+            ErrorCategory::OmpInvalidDirective => "OpenMP Invalid Directive",
+            ErrorCategory::LinkerError => "Linker Error",
+            ErrorCategory::MissingFile => "Missing File",
+            ErrorCategory::Other => "Other",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Severity of a diagnostic. Only `Error` blocks the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+/// One toolchain diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub category: ErrorCategory,
+    pub message: String,
+    /// File the diagnostic refers to (build file or source path).
+    pub file: String,
+    /// 1-based line, when known.
+    pub line: Option<u32>,
+}
+
+impl Diagnostic {
+    pub fn error(
+        category: ErrorCategory,
+        file: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            category,
+            message: message.into(),
+            file: file.into(),
+            line: None,
+        }
+    }
+
+    pub fn warning(
+        category: ErrorCategory,
+        file: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            category,
+            message: message.into(),
+            file: file.into(),
+            line: None,
+        }
+    }
+
+    pub fn at_line(mut self, line: u32) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        match self.line {
+            Some(line) => write!(f, "{}:{}: {}: {}", self.file, line, sev, self.message),
+            None => write!(f, "{}: {}: {}", self.file, sev, self.message),
+        }
+    }
+}
+
+/// An accumulating build log: free-form lines (compiler invocations, make
+/// echo output) interleaved with diagnostics. The rendered text is what the
+/// error-clustering pipeline embeds; the structured diagnostics are the
+/// ground truth.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BuildLog {
+    lines: Vec<String>,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl BuildLog {
+    pub fn new() -> Self {
+        BuildLog::default()
+    }
+
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.lines.push(line.into());
+    }
+
+    pub fn diagnostic(&mut self, d: Diagnostic) {
+        self.lines.push(d.to_string());
+        self.diagnostics.push(d);
+    }
+
+    pub fn extend_diagnostics(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        for d in ds {
+            self.diagnostic(d);
+        }
+    }
+
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.is_error())
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// The category of the first error, if any — the paper assigns each
+    /// failed build to a single cluster.
+    pub fn first_error_category(&self) -> Option<ErrorCategory> {
+        self.errors().next().map(|d| d.category)
+    }
+
+    /// Render the full log text (the clustering input).
+    pub fn text(&self) -> String {
+        self.lines.join("\n")
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+impl fmt::Display for BuildLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_categories_have_distinct_labels() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = ErrorCategory::FIGURE3.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 10);
+    }
+
+    #[test]
+    fn log_first_error_category() {
+        let mut log = BuildLog::new();
+        log.note("clang++ -fopenmp -o app main.cpp");
+        assert!(!log.has_errors());
+        log.diagnostic(
+            Diagnostic::warning(ErrorCategory::Other, "main.cpp", "unused variable `x`")
+                .at_line(3),
+        );
+        assert!(!log.has_errors());
+        log.diagnostic(
+            Diagnostic::error(
+                ErrorCategory::UndeclaredIdentifier,
+                "main.cpp",
+                "use of undeclared identifier `foo`",
+            )
+            .at_line(10),
+        );
+        log.diagnostic(Diagnostic::error(
+            ErrorCategory::LinkerError,
+            "app",
+            "undefined reference to `bar`",
+        ));
+        assert!(log.has_errors());
+        assert_eq!(
+            log.first_error_category(),
+            Some(ErrorCategory::UndeclaredIdentifier)
+        );
+    }
+
+    #[test]
+    fn log_text_contains_diagnostics_and_notes() {
+        let mut log = BuildLog::new();
+        log.note("make all");
+        log.diagnostic(Diagnostic::error(
+            ErrorCategory::MakefileMissingTarget,
+            "Makefile",
+            "no rule to make target `app`",
+        ));
+        let text = log.text();
+        assert!(text.contains("make all"));
+        assert!(text.contains("no rule to make target"));
+    }
+
+    #[test]
+    fn diagnostic_display_with_line() {
+        let d = Diagnostic::error(ErrorCategory::CodeSyntax, "src/main.cpp", "expected `;`")
+            .at_line(42);
+        assert_eq!(d.to_string(), "src/main.cpp:42: error: expected `;`");
+    }
+}

@@ -1,0 +1,29 @@
+//! # minihpc-build
+//!
+//! The MiniHPC toolchain: build-system interpreters (Make and CMake subsets),
+//! a compiler driver (preprocess → parse → semantic analysis), and a linker.
+//!
+//! It substitutes for the paper's real toolchain (nvcc / clang++ with OpenMP
+//! offload / g++ + Kokkos via CMake, Sec. 7.2) while producing the same
+//! *categories* of failure the paper's Fig. 3 clusters — see
+//! [`diag::ErrorCategory`].
+//!
+//! Entry point: [`driver::build_repo`] takes a [`minihpc_lang::SourceRepo`]
+//! and a [`driver::BuildRequest`], and returns a [`driver::BuildOutcome`]
+//! containing the raw build log (the clustering input) and, on success, a
+//! linked [`object::Executable`] for the simulated runtime.
+
+pub mod cmake;
+pub mod diag;
+pub mod driver;
+pub mod linker;
+pub mod makefile;
+pub mod object;
+pub mod preprocess;
+pub mod sema;
+pub mod toolchain;
+
+pub use diag::{BuildLog, Diagnostic, ErrorCategory, Severity};
+pub use driver::{build_repo, BuildOutcome, BuildRequest};
+pub use object::{Executable, ObjectCode};
+pub use toolchain::{CompileFeatures, CompilerKind};

@@ -1,0 +1,613 @@
+//! A GNU-Make-subset interpreter.
+//!
+//! Supports what the ParEval-Repo tasks (and LLM-generated attempts at them)
+//! actually use: variables (`=`, `:=`, `+=`), explicit rules, `%` pattern
+//! rules, automatic variables (`$@`, `$<`, `$^`), `.PHONY`, comments, line
+//! continuations — and, crucially, the **tab rule**: recipe lines must start
+//! with a hard tab. Tabs replaced by spaces (what SWE-agent does to every
+//! Makefile, per paper Sec. 3.3) produce the classic
+//! `*** missing separator` error.
+
+use crate::diag::{Diagnostic, ErrorCategory};
+use minihpc_lang::repo::SourceRepo;
+use std::collections::{BTreeMap, HashSet};
+
+/// A parsed rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    pub targets: Vec<String>,
+    pub prereqs: Vec<String>,
+    /// Raw recipe lines (tab stripped), in order.
+    pub recipe: Vec<String>,
+    /// 1-based line of the rule header.
+    pub line: u32,
+}
+
+/// A parsed Makefile.
+#[derive(Debug, Clone, Default)]
+pub struct Makefile {
+    pub variables: BTreeMap<String, String>,
+    pub rules: Vec<Rule>,
+    pub phony: HashSet<String>,
+}
+
+/// A shell command from a recipe, split into words, with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Command {
+    pub words: Vec<String>,
+    pub line: u32,
+    /// `@`-prefixed (silent).
+    pub silent: bool,
+    /// `-`-prefixed (ignore errors).
+    pub ignore_errors: bool,
+}
+
+/// Parse Makefile text.
+pub fn parse(text: &str) -> Result<Makefile, Diagnostic> {
+    let mut mf = Makefile::default();
+    let mut current_rule: Option<Rule> = None;
+
+    // Join continuation lines, remembering original line numbers.
+    let mut logical: Vec<(u32, String)> = Vec::new();
+    {
+        let mut pending: Option<(u32, String)> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i as u32 + 1;
+            let (mut buf, start) = match pending.take() {
+                Some((start, buf)) => (buf, start),
+                None => (String::new(), lineno),
+            };
+            if let Some(stripped) = raw.strip_suffix('\\') {
+                buf.push_str(stripped);
+                buf.push(' ');
+                pending = Some((start, buf));
+            } else {
+                buf.push_str(raw);
+                logical.push((start, buf));
+            }
+        }
+        if let Some((start, buf)) = pending {
+            logical.push((start, buf));
+        }
+    }
+
+    for (lineno, line) in logical {
+        // Recipe line?
+        if let Some(recipe) = line.strip_prefix('\t') {
+            let recipe = recipe.trim_end();
+            if recipe.is_empty() {
+                continue;
+            }
+            match &mut current_rule {
+                Some(rule) => rule.recipe.push(recipe.to_string()),
+                None => {
+                    return Err(Diagnostic::error(
+                        ErrorCategory::BuildFileSyntax,
+                        "Makefile",
+                        format!("Makefile:{lineno}: *** recipe commences before first target.  Stop."),
+                    ))
+                }
+            }
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        // A non-tab indented line in recipe position: GNU make's most famous
+        // diagnostic. (Unindented lines fall through to var/rule parsing.)
+        if line.starts_with(' ') && !trimmed.contains('=') && !trimmed.contains(':') {
+            return Err(Diagnostic::error(
+                ErrorCategory::BuildFileSyntax,
+                "Makefile",
+                format!("Makefile:{lineno}: *** missing separator.  Stop."),
+            ));
+        }
+
+        // Close out the current rule before a new var/rule.
+        // Variable assignment? (Check before rule: `:=` contains `:`.)
+        if let Some((name, op, value)) = split_assignment(trimmed) {
+            if let Some(rule) = current_rule.take() {
+                mf.rules.push(rule);
+            }
+            let name = name.trim().to_string();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(Diagnostic::error(
+                    ErrorCategory::BuildFileSyntax,
+                    "Makefile",
+                    format!("Makefile:{lineno}: *** invalid variable name.  Stop."),
+                ));
+            }
+            let value = value.trim();
+            match op {
+                "+=" => {
+                    let entry = mf.variables.entry(name).or_default();
+                    if !entry.is_empty() {
+                        entry.push(' ');
+                    }
+                    entry.push_str(value);
+                }
+                _ => {
+                    mf.variables.insert(name, value.to_string());
+                }
+            }
+            continue;
+        }
+        // Rule header?
+        if let Some(colon) = find_rule_colon(trimmed) {
+            if let Some(rule) = current_rule.take() {
+                mf.rules.push(rule);
+            }
+            let (targets_s, prereqs_s) = trimmed.split_at(colon);
+            let prereqs_s = &prereqs_s[1..];
+            let targets: Vec<String> = targets_s.split_whitespace().map(str::to_string).collect();
+            let prereqs: Vec<String> = prereqs_s.split_whitespace().map(str::to_string).collect();
+            if targets.is_empty() {
+                return Err(Diagnostic::error(
+                    ErrorCategory::BuildFileSyntax,
+                    "Makefile",
+                    format!("Makefile:{lineno}: *** empty target name.  Stop."),
+                ));
+            }
+            if targets == [".PHONY".to_string()] {
+                mf.phony.extend(prereqs);
+                continue;
+            }
+            current_rule = Some(Rule {
+                targets,
+                prereqs,
+                recipe: vec![],
+                line: lineno,
+            });
+            continue;
+        }
+        return Err(Diagnostic::error(
+            ErrorCategory::BuildFileSyntax,
+            "Makefile",
+            format!("Makefile:{lineno}: *** missing separator.  Stop."),
+        ));
+    }
+    if let Some(rule) = current_rule.take() {
+        mf.rules.push(rule);
+    }
+    Ok(mf)
+}
+
+fn split_assignment(line: &str) -> Option<(&str, &str, &str)> {
+    // Only treat as assignment if `=` appears before any `:` that is a rule
+    // separator (i.e. handle `:=` correctly).
+    for (i, c) in line.char_indices() {
+        match c {
+            '=' => {
+                let (op, name_end) = if i > 0 && line.as_bytes()[i - 1] == b':' {
+                    (":=", i - 1)
+                } else if i > 0 && line.as_bytes()[i - 1] == b'+' {
+                    ("+=", i - 1)
+                } else if i > 0 && line.as_bytes()[i - 1] == b'?' {
+                    ("?=", i - 1)
+                } else {
+                    ("=", i)
+                };
+                return Some((&line[..name_end], op, &line[i + 1..]));
+            }
+            ':'
+                // `:=` handled above; a bare `:` before `=` means a rule.
+                if line.as_bytes().get(i + 1) != Some(&b'=') => {
+                    return None;
+                }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn find_rule_colon(line: &str) -> Option<usize> {
+    line.char_indices()
+        .find(|&(i, c)| c == ':' && line.as_bytes().get(i + 1) != Some(&b'='))
+        .map(|(i, _)| i)
+}
+
+impl Makefile {
+    /// Expand `$(VAR)` / `${VAR}` and automatic variables.
+    fn expand(&self, s: &str, auto: &BTreeMap<char, String>) -> String {
+        let mut out = String::with_capacity(s.len());
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        // Bounded nesting to defeat accidental recursion.
+        while i < bytes.len() {
+            if bytes[i] == b'$' && i + 1 < bytes.len() {
+                let next = bytes[i + 1];
+                match next {
+                    b'(' | b'{' => {
+                        let close = if next == b'(' { b')' } else { b'}' };
+                        if let Some(end) = s[i + 2..].find(close as char) {
+                            let name = &s[i + 2..i + 2 + end];
+                            let value = self.variables.get(name).cloned().unwrap_or_default();
+                            // One level of nested expansion.
+                            out.push_str(&self.expand(&value, auto));
+                            i += 2 + end + 1;
+                            continue;
+                        }
+                        out.push('$');
+                        i += 1;
+                    }
+                    b'@' | b'<' | b'^' => {
+                        if let Some(v) = auto.get(&(next as char)) {
+                            out.push_str(v);
+                        }
+                        i += 2;
+                    }
+                    b'$' => {
+                        out.push('$');
+                        i += 2;
+                    }
+                    _ => {
+                        // `$X` single-letter variable.
+                        let name = (next as char).to_string();
+                        if let Some(v) = self.variables.get(&name) {
+                            out.push_str(v);
+                        }
+                        i += 2;
+                    }
+                }
+            } else {
+                out.push(bytes[i] as char);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn find_rule(&self, target: &str) -> Option<&Rule> {
+        self.rules
+            .iter()
+            .find(|r| r.targets.iter().any(|t| t == target))
+    }
+
+    fn find_pattern_rule(&self, target: &str) -> Option<(&Rule, String)> {
+        for rule in &self.rules {
+            for t in &rule.targets {
+                if let Some(stem) = pattern_match(t, target) {
+                    return Some((rule, stem));
+                }
+            }
+        }
+        None
+    }
+
+    /// Expand variables in rule targets and prerequisites (GNU make expands
+    /// these at read time; we do it once up front, which is equivalent for
+    /// non-self-referential files).
+    fn expanded(&self) -> Makefile {
+        let auto = BTreeMap::new();
+        let rules = self
+            .rules
+            .iter()
+            .map(|r| Rule {
+                targets: r
+                    .targets
+                    .iter()
+                    .flat_map(|t| {
+                        self.expand(t, &auto)
+                            .split_whitespace()
+                            .map(str::to_string)
+                            .collect::<Vec<_>>()
+                    })
+                    .collect(),
+                prereqs: r
+                    .prereqs
+                    .iter()
+                    .flat_map(|p| {
+                        self.expand(p, &auto)
+                            .split_whitespace()
+                            .map(str::to_string)
+                            .collect::<Vec<_>>()
+                    })
+                    .collect(),
+                recipe: r.recipe.clone(),
+                line: r.line,
+            })
+            .collect();
+        Makefile {
+            variables: self.variables.clone(),
+            rules,
+            phony: self.phony.clone(),
+        }
+    }
+
+    /// Run `make [target]`: resolve the goal chain and return the commands
+    /// to execute, in order.
+    pub fn make(
+        &self,
+        goal: Option<&str>,
+        repo: &SourceRepo,
+    ) -> Result<Vec<Command>, Diagnostic> {
+        let this = self.expanded();
+        let goal = match goal {
+            Some(g) => g.to_string(),
+            None => this
+                .rules
+                .first()
+                .and_then(|r| r.targets.first().cloned())
+                .ok_or_else(|| {
+                    Diagnostic::error(
+                        ErrorCategory::MakefileMissingTarget,
+                        "Makefile",
+                        "make: *** No targets.  Stop.",
+                    )
+                })?,
+        };
+        let mut commands = Vec::new();
+        let mut done: HashSet<String> = HashSet::new();
+        let mut in_progress: HashSet<String> = HashSet::new();
+        this.build_target(&goal, repo, &mut commands, &mut done, &mut in_progress, true)?;
+        Ok(commands)
+    }
+
+    fn build_target(
+        &self,
+        target: &str,
+        repo: &SourceRepo,
+        commands: &mut Vec<Command>,
+        done: &mut HashSet<String>,
+        in_progress: &mut HashSet<String>,
+        is_goal: bool,
+    ) -> Result<(), Diagnostic> {
+        if done.contains(target) {
+            return Ok(());
+        }
+        if !in_progress.insert(target.to_string()) {
+            return Err(Diagnostic::error(
+                ErrorCategory::BuildFileSyntax,
+                "Makefile",
+                format!("make: Circular dependency for target `{target}' dropped."),
+            ));
+        }
+        let resolved = self
+            .find_rule(target)
+            .map(|r| (r, String::new()))
+            .or_else(|| self.find_pattern_rule(target));
+        let Some((rule, stem)) = resolved else {
+            in_progress.remove(target);
+            if repo.contains(target) && !is_goal {
+                // A plain source file: nothing to do.
+                done.insert(target.to_string());
+                return Ok(());
+            }
+            return Err(Diagnostic::error(
+                ErrorCategory::MakefileMissingTarget,
+                "Makefile",
+                format!("make: *** No rule to make target `{target}'.  Stop."),
+            ));
+        };
+        // Pattern-substituted prerequisites.
+        let prereqs: Vec<String> = rule
+            .prereqs
+            .iter()
+            .map(|p| p.replace('%', &stem))
+            .collect();
+        let recipe = rule.recipe.clone();
+        let line = rule.line;
+        for p in &prereqs {
+            self.build_target(p, repo, commands, done, in_progress, false)?;
+        }
+        let mut auto = BTreeMap::new();
+        auto.insert('@', target.to_string());
+        auto.insert('<', prereqs.first().cloned().unwrap_or_default());
+        auto.insert('^', prereqs.join(" "));
+        for r in &recipe {
+            let mut r = self.expand(r, &auto);
+            let mut silent = false;
+            let mut ignore_errors = false;
+            loop {
+                if let Some(rest) = r.strip_prefix('@') {
+                    silent = true;
+                    r = rest.to_string();
+                } else if let Some(rest) = r.strip_prefix('-') {
+                    ignore_errors = true;
+                    r = rest.to_string();
+                } else {
+                    break;
+                }
+            }
+            let words: Vec<String> = r.split_whitespace().map(str::to_string).collect();
+            if words.is_empty() {
+                continue;
+            }
+            commands.push(Command {
+                words,
+                line,
+                silent,
+                ignore_errors,
+            });
+        }
+        in_progress.remove(target);
+        done.insert(target.to_string());
+        Ok(())
+    }
+}
+
+/// Match `pattern` (containing a single `%`) against `target`, returning the
+/// stem.
+fn pattern_match(pattern: &str, target: &str) -> Option<String> {
+    let pct = pattern.find('%')?;
+    let (prefix, suffix) = (&pattern[..pct], &pattern[pct + 1..]);
+    if target.len() >= prefix.len() + suffix.len()
+        && target.starts_with(prefix)
+        && target.ends_with(suffix)
+    {
+        Some(target[prefix.len()..target.len() - suffix.len()].to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_with_sources() -> SourceRepo {
+        SourceRepo::new()
+            .with_file("main.cpp", "int main() { return 0; }")
+            .with_file("kernel.cpp", "void k() { }")
+    }
+
+    #[test]
+    fn parse_and_run_simple() {
+        let text = "CXX = clang++\nCXXFLAGS = -O2 -fopenmp\n\napp: main.cpp\n\t$(CXX) $(CXXFLAGS) -o app main.cpp\n";
+        let mf = parse(text).unwrap();
+        let cmds = mf.make(None, &repo_with_sources()).unwrap();
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(
+            cmds[0].words,
+            vec!["clang++", "-O2", "-fopenmp", "-o", "app", "main.cpp"]
+        );
+    }
+
+    #[test]
+    fn spaces_instead_of_tab_is_missing_separator() {
+        // This is exactly the SWE-agent failure mode from paper Sec. 3.3.
+        let text = "app: main.cpp\n    clang++ -o app main.cpp\n";
+        let err = parse(text).unwrap_err();
+        assert_eq!(err.category, ErrorCategory::BuildFileSyntax);
+        assert!(err.message.contains("missing separator"), "{}", err.message);
+    }
+
+    #[test]
+    fn missing_target_error() {
+        let text = "app: main.cpp\n\tg++ -o app main.cpp\n";
+        let mf = parse(text).unwrap();
+        let err = mf.make(Some("test"), &repo_with_sources()).unwrap_err();
+        assert_eq!(err.category, ErrorCategory::MakefileMissingTarget);
+        assert!(err.message.contains("No rule to make target"));
+    }
+
+    #[test]
+    fn missing_prereq_rule_error() {
+        let text = "app: ghost.o\n\tg++ -o app ghost.o\n";
+        let mf = parse(text).unwrap();
+        let err = mf.make(None, &repo_with_sources()).unwrap_err();
+        assert_eq!(err.category, ErrorCategory::MakefileMissingTarget);
+    }
+
+    #[test]
+    fn multi_step_object_build() {
+        let text = "\
+CXX = g++
+app: main.o kernel.o
+\t$(CXX) -o $@ $^
+main.o: main.cpp
+\t$(CXX) -c main.cpp -o main.o
+kernel.o: kernel.cpp
+\t$(CXX) -c kernel.cpp -o kernel.o
+";
+        let mf = parse(text).unwrap();
+        let cmds = mf.make(None, &repo_with_sources()).unwrap();
+        assert_eq!(cmds.len(), 3);
+        // Prereqs built first, link last with automatic vars expanded.
+        assert_eq!(cmds[0].words[1], "-c");
+        assert_eq!(
+            cmds[2].words,
+            vec!["g++", "-o", "app", "main.o", "kernel.o"]
+        );
+    }
+
+    #[test]
+    fn pattern_rule() {
+        let text = "\
+app: main.o kernel.o
+\tg++ -o $@ $^
+%.o: %.cpp
+\tg++ -c $< -o $@
+";
+        let mf = parse(text).unwrap();
+        let cmds = mf.make(None, &repo_with_sources()).unwrap();
+        assert_eq!(cmds.len(), 3);
+        assert_eq!(cmds[0].words, vec!["g++", "-c", "main.cpp", "-o", "main.o"]);
+    }
+
+    #[test]
+    fn phony_and_clean() {
+        let text = "\
+.PHONY: all clean
+all: app
+app: main.cpp
+\tg++ -o app main.cpp
+clean:
+\trm -f app
+";
+        let mf = parse(text).unwrap();
+        assert!(mf.phony.contains("all"));
+        let cmds = mf.make(Some("all"), &repo_with_sources()).unwrap();
+        assert_eq!(cmds.len(), 1);
+        let cmds = mf.make(Some("clean"), &repo_with_sources()).unwrap();
+        assert_eq!(cmds[0].words[0], "rm");
+    }
+
+    #[test]
+    fn plus_equals_appends() {
+        let text = "FLAGS = -O2\nFLAGS += -fopenmp\napp: main.cpp\n\tg++ $(FLAGS) -o app main.cpp\n";
+        let mf = parse(text).unwrap();
+        let cmds = mf.make(None, &repo_with_sources()).unwrap();
+        assert!(cmds[0].words.contains(&"-O2".to_string()));
+        assert!(cmds[0].words.contains(&"-fopenmp".to_string()));
+    }
+
+    #[test]
+    fn line_continuation() {
+        let text = "app: main.cpp\n\tg++ -O2 \\\n\t-fopenmp -o app main.cpp\n";
+        let mf = parse(text).unwrap();
+        let cmds = mf.make(None, &repo_with_sources()).unwrap();
+        assert!(cmds[0].words.contains(&"-fopenmp".to_string()));
+    }
+
+    #[test]
+    fn silent_and_ignore_prefixes() {
+        let text = "app: main.cpp\n\t@echo building\n\t-rm -f app\n\tg++ -o app main.cpp\n";
+        let mf = parse(text).unwrap();
+        let cmds = mf.make(None, &repo_with_sources()).unwrap();
+        assert!(cmds[0].silent);
+        assert!(cmds[1].ignore_errors);
+        assert_eq!(cmds.len(), 3);
+    }
+
+    #[test]
+    fn circular_dependency_detected() {
+        let text = "a: b\n\techo a\nb: a\n\techo b\n";
+        let mf = parse(text).unwrap();
+        let err = mf.make(Some("a"), &repo_with_sources()).unwrap_err();
+        assert!(err.message.contains("Circular"));
+    }
+
+    #[test]
+    fn garbage_line_is_syntax_error() {
+        let err = parse("this is not a makefile\n").unwrap_err();
+        assert_eq!(err.category, ErrorCategory::BuildFileSyntax);
+    }
+
+    #[test]
+    fn nested_variable_expansion() {
+        let text = "A = -O2\nB = $(A) -g\napp: main.cpp\n\tg++ $(B) -o app main.cpp\n";
+        let mf = parse(text).unwrap();
+        let cmds = mf.make(None, &repo_with_sources()).unwrap();
+        assert!(cmds[0].words.contains(&"-O2".to_string()));
+        assert!(cmds[0].words.contains(&"-g".to_string()));
+    }
+
+    #[test]
+    fn variables_in_targets_and_prereqs() {
+        let text = "SRCS = main.cpp kernel.cpp\nBIN = app\n\n$(BIN): $(SRCS)\n\tg++ -o $@ $^\n";
+        let mf = parse(text).unwrap();
+        let cmds = mf.make(Some("app"), &repo_with_sources()).unwrap();
+        assert_eq!(
+            cmds[0].words,
+            vec!["g++", "-o", "app", "main.cpp", "kernel.cpp"]
+        );
+    }
+
+    #[test]
+    fn recipe_before_target_errors() {
+        let err = parse("\tg++ -o app main.cpp\n").unwrap_err();
+        assert!(err.message.contains("commences before first target"));
+    }
+}

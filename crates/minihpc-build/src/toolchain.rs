@@ -1,0 +1,418 @@
+//! The compiler/toolchain model: which compilers exist, which flags they
+//! accept, and how flags map to language features.
+//!
+//! This mirrors the paper's evaluation environment (Sec. 7.2): CUDA 12.3
+//! `nvcc`, LLVM 19 `clang++` for OpenMP offload, GCC 11 `g++` for host
+//! OpenMP and Kokkos (via CMake). Incorrect offload flags are one of the
+//! dominant failure modes the paper reports ("Invalid Compiler Flag").
+
+use crate::diag::{Diagnostic, ErrorCategory};
+use std::fmt;
+
+/// Known compiler front ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompilerKind {
+    /// NVIDIA `nvcc` — enables CUDA constructs.
+    Nvcc,
+    /// LLVM `clang`/`clang++` — supports `-fopenmp` and offload targets.
+    Clang,
+    /// GNU `gcc`/`g++` — supports host `-fopenmp`; offload flags rejected
+    /// (matching the paper's toolchain where offload builds use LLVM).
+    Gcc,
+}
+
+impl CompilerKind {
+    /// Resolve a command name (`nvcc`, `clang++-19`, `g++`, ...).
+    pub fn from_command(cmd: &str) -> Option<CompilerKind> {
+        let base = cmd.rsplit('/').next().unwrap_or(cmd);
+        // Accept versioned names like `clang++-19`.
+        let base = base.split('-').next().unwrap_or(base);
+        match base {
+            "nvcc" => Some(CompilerKind::Nvcc),
+            "clang" | "clang++" => Some(CompilerKind::Clang),
+            "gcc" | "g++" | "cc" | "c++" => Some(CompilerKind::Gcc),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CompilerKind::Nvcc => "nvcc",
+            CompilerKind::Clang => "clang++",
+            CompilerKind::Gcc => "g++",
+        }
+    }
+}
+
+impl fmt::Display for CompilerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The GPU architecture of the evaluation machine (A100 → `sm_80` /
+/// `nvptx64-nvidia-cuda`).
+pub const GPU_ARCH_SM: &str = "sm_80";
+pub const OFFLOAD_TRIPLE: &str = "nvptx64-nvidia-cuda";
+/// Offload arch values clang accepts for the triple above.
+const VALID_OFFLOAD_ARCHS: [&str; 3] = ["nvptx64-nvidia-cuda", "nvptx64", "sm_80"];
+
+/// Language/library features enabled for a translation unit by the compiler
+/// and flags. Semantic analysis keys off this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompileFeatures {
+    /// CUDA constructs (`__global__`, `<<<>>>`, `cuda*` API).
+    pub cuda: bool,
+    /// OpenMP pragmas are honoured (otherwise ignored with a warning).
+    pub openmp: bool,
+    /// OpenMP target offload is configured (device execution possible).
+    pub offload: bool,
+    /// Kokkos headers/library available (CMake `find_package(Kokkos)`).
+    pub kokkos: bool,
+    /// cuRAND device library available.
+    pub curand: bool,
+    /// Math library linked (`-lm`; implied by nvcc).
+    pub libm: bool,
+}
+
+/// A parsed compiler command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    pub compiler: CompilerKind,
+    pub inputs: Vec<String>,
+    pub output: Option<String>,
+    /// `-c`: compile only, do not link.
+    pub compile_only: bool,
+    pub features: CompileFeatures,
+    pub include_dirs: Vec<String>,
+    /// Libraries requested with `-l`.
+    pub libs: Vec<String>,
+    pub opt_level: u8,
+}
+
+/// Parse a compiler command line (already split into words, `$(VAR)`s
+/// expanded). Returns the invocation or a diagnostic — unknown flags are the
+/// paper's "Invalid Compiler Flag" category.
+pub fn parse_invocation(words: &[String], origin: &str) -> Result<Invocation, Diagnostic> {
+    if words.is_empty() {
+        return Err(Diagnostic::error(
+            ErrorCategory::BuildFileSyntax,
+            origin,
+            "empty command",
+        ));
+    }
+    let compiler = CompilerKind::from_command(&words[0]).ok_or_else(|| {
+        Diagnostic::error(
+            ErrorCategory::BuildFileSyntax,
+            origin,
+            format!("command not found: {}", words[0]),
+        )
+    })?;
+
+    let mut inv = Invocation {
+        compiler,
+        inputs: vec![],
+        output: None,
+        compile_only: false,
+        features: CompileFeatures {
+            cuda: compiler == CompilerKind::Nvcc,
+            libm: compiler == CompilerKind::Nvcc,
+            ..CompileFeatures::default()
+        },
+        include_dirs: vec![],
+        libs: vec![],
+        opt_level: 0,
+    };
+    // `-fopenmp-targets` requires `-fopenmp`; validated after the loop.
+    let mut saw_offload_targets: Option<String> = None;
+    let mut saw_openmp = false;
+
+    let mut i = 1;
+    while i < words.len() {
+        let w = words[i].as_str();
+        match w {
+            "-o" => {
+                i += 1;
+                let out = words.get(i).ok_or_else(|| {
+                    Diagnostic::error(
+                        ErrorCategory::InvalidCompilerFlag,
+                        origin,
+                        "missing filename after `-o`",
+                    )
+                })?;
+                inv.output = Some(out.clone());
+            }
+            "-c" => inv.compile_only = true,
+            "-g" | "-Wall" | "-Wextra" | "-w" | "-fPIC" => {}
+            "-fopenmp" | "-qopenmp" | "-openmp" => {
+                saw_openmp = true;
+                inv.features.openmp = true;
+            }
+            "-lm" => inv.features.libm = true,
+            _ if w.starts_with("-O") => {
+                let lvl = &w[2..];
+                inv.opt_level = match lvl {
+                    "0" => 0,
+                    "1" => 1,
+                    "2" => 2,
+                    "3" | "fast" => 3,
+                    _ => {
+                        return Err(Diagnostic::error(
+                            ErrorCategory::InvalidCompilerFlag,
+                            origin,
+                            format!("unknown optimization level `{w}`"),
+                        ))
+                    }
+                };
+            }
+            _ if w.starts_with("-I") => {
+                let dir = if w.len() > 2 {
+                    w[2..].to_string()
+                } else {
+                    i += 1;
+                    words
+                        .get(i)
+                        .ok_or_else(|| {
+                            Diagnostic::error(
+                                ErrorCategory::InvalidCompilerFlag,
+                                origin,
+                                "missing directory after `-I`",
+                            )
+                        })?
+                        .clone()
+                };
+                inv.include_dirs.push(dir);
+            }
+            _ if w.starts_with("-l") => {
+                let lib = w[2..].to_string();
+                match lib.as_str() {
+                    "m" => inv.features.libm = true,
+                    "curand" | "cudart" | "gomp" | "omp" | "pthread" => {
+                        if lib == "curand" {
+                            inv.features.curand = true;
+                        }
+                        inv.libs.push(lib);
+                    }
+                    _ => {
+                        return Err(Diagnostic::error(
+                            ErrorCategory::LinkerError,
+                            origin,
+                            format!("cannot find -l{lib}"),
+                        ))
+                    }
+                }
+            }
+            _ if w.starts_with("-std=") => {
+                let std = &w[5..];
+                if !matches!(
+                    std,
+                    "c99" | "c11" | "c17" | "c++11" | "c++14" | "c++17" | "c++20"
+                ) {
+                    return Err(Diagnostic::error(
+                        ErrorCategory::InvalidCompilerFlag,
+                        origin,
+                        format!("invalid value `{std}` in `{w}`"),
+                    ));
+                }
+            }
+            _ if w.starts_with("-fopenmp-targets=") => {
+                saw_offload_targets = Some(w["-fopenmp-targets=".len()..].to_string());
+            }
+            _ if w.starts_with("--offload-arch=") => {
+                saw_offload_targets = Some(w["--offload-arch=".len()..].to_string());
+            }
+            _ if w.starts_with("-arch=") => {
+                // nvcc GPU architecture.
+                let arch = &w[6..];
+                if inv.compiler != CompilerKind::Nvcc {
+                    return Err(Diagnostic::error(
+                        ErrorCategory::InvalidCompilerFlag,
+                        origin,
+                        format!("unknown argument: `{w}`"),
+                    ));
+                }
+                if !arch.starts_with("sm_") {
+                    return Err(Diagnostic::error(
+                        ErrorCategory::InvalidCompilerFlag,
+                        origin,
+                        format!("nvcc fatal: unsupported gpu architecture '{arch}'"),
+                    ));
+                }
+            }
+            _ if w.starts_with("-D") => {
+                // Preprocessor defines accepted and ignored (our apps take
+                // problem sizes on the command line, not -D).
+            }
+            _ if w.starts_with('-') => {
+                return Err(Diagnostic::error(
+                    ErrorCategory::InvalidCompilerFlag,
+                    origin,
+                    format!("unknown argument: `{w}`"),
+                ));
+            }
+            _ => inv.inputs.push(w.to_string()),
+        }
+        i += 1;
+    }
+
+    // Offload configuration rules (mirrors clang/gcc behaviour).
+    if let Some(arch) = saw_offload_targets {
+        if inv.compiler == CompilerKind::Gcc {
+            return Err(Diagnostic::error(
+                ErrorCategory::InvalidCompilerFlag,
+                origin,
+                "g++: error: unrecognized command-line option '-fopenmp-targets=...'; \
+                 OpenMP offload builds require clang++ (LLVM 19)",
+            ));
+        }
+        if !saw_openmp && inv.compiler == CompilerKind::Clang {
+            return Err(Diagnostic::error(
+                ErrorCategory::InvalidCompilerFlag,
+                origin,
+                "'-fopenmp-targets' must be used in conjunction with a '-fopenmp' option",
+            ));
+        }
+        if !VALID_OFFLOAD_ARCHS.contains(&arch.as_str()) {
+            return Err(Diagnostic::error(
+                ErrorCategory::InvalidCompilerFlag,
+                origin,
+                format!("invalid target triple '{arch}' in '-fopenmp-targets={arch}'"),
+            ));
+        }
+        inv.features.offload = true;
+    }
+    // nvcc implies the CUDA runtime; OpenMP offload from nvcc is not modelled.
+    if inv.compiler == CompilerKind::Nvcc {
+        inv.features.curand = true;
+    }
+
+    if inv.inputs.is_empty() {
+        return Err(Diagnostic::error(
+            ErrorCategory::InvalidCompilerFlag,
+            origin,
+            "no input files",
+        ));
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_nvcc_line() {
+        let inv = parse_invocation(&words("nvcc -O2 -arch=sm_80 -o app src/main.cu"), "Makefile")
+            .unwrap();
+        assert_eq!(inv.compiler, CompilerKind::Nvcc);
+        assert!(inv.features.cuda);
+        assert!(inv.features.curand, "nvcc bundles the CUDA toolkit libs");
+        assert_eq!(inv.output.as_deref(), Some("app"));
+        assert_eq!(inv.inputs, vec!["src/main.cu"]);
+        assert_eq!(inv.opt_level, 2);
+    }
+
+    #[test]
+    fn parse_clang_offload_line() {
+        let inv = parse_invocation(
+            &words("clang++ -O3 -fopenmp -fopenmp-targets=nvptx64-nvidia-cuda -o app main.cpp"),
+            "Makefile",
+        )
+        .unwrap();
+        assert!(inv.features.openmp);
+        assert!(inv.features.offload);
+        assert!(!inv.features.cuda);
+    }
+
+    #[test]
+    fn offload_without_openmp_rejected() {
+        let err = parse_invocation(
+            &words("clang++ -fopenmp-targets=nvptx64-nvidia-cuda -o app main.cpp"),
+            "Makefile",
+        )
+        .unwrap_err();
+        assert_eq!(err.category, ErrorCategory::InvalidCompilerFlag);
+        assert!(err.message.contains("-fopenmp"));
+    }
+
+    #[test]
+    fn gcc_rejects_offload_targets() {
+        let err = parse_invocation(
+            &words("g++ -fopenmp -fopenmp-targets=nvptx64-nvidia-cuda main.cpp"),
+            "Makefile",
+        )
+        .unwrap_err();
+        assert_eq!(err.category, ErrorCategory::InvalidCompilerFlag);
+    }
+
+    #[test]
+    fn bad_offload_arch_rejected() {
+        let err = parse_invocation(
+            &words("clang++ -fopenmp -fopenmp-targets=amdgcn main.cpp"),
+            "Makefile",
+        )
+        .unwrap_err();
+        assert_eq!(err.category, ErrorCategory::InvalidCompilerFlag);
+        assert!(err.message.contains("amdgcn"));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let err =
+            parse_invocation(&words("clang++ -fopenmp-offload=nvptx main.cpp"), "Makefile")
+                .unwrap_err();
+        assert_eq!(err.category, ErrorCategory::InvalidCompilerFlag);
+    }
+
+    #[test]
+    fn unknown_command_is_build_file_error() {
+        let err = parse_invocation(&words("icc -O2 main.cpp"), "Makefile").unwrap_err();
+        assert_eq!(err.category, ErrorCategory::BuildFileSyntax);
+        assert!(err.message.contains("command not found"));
+    }
+
+    #[test]
+    fn unknown_library_is_linker_error() {
+        let err = parse_invocation(&words("g++ main.cpp -lkokkoscore"), "Makefile").unwrap_err();
+        assert_eq!(err.category, ErrorCategory::LinkerError);
+    }
+
+    #[test]
+    fn versioned_clang_accepted() {
+        let inv = parse_invocation(&words("clang++-19 -fopenmp main.cpp"), "Makefile").unwrap();
+        assert_eq!(inv.compiler, CompilerKind::Clang);
+    }
+
+    #[test]
+    fn compile_only_and_includes() {
+        let inv =
+            parse_invocation(&words("g++ -c -Isrc -I include main.cpp -o main.o"), "Makefile")
+                .unwrap();
+        assert!(inv.compile_only);
+        assert_eq!(inv.include_dirs, vec!["src", "include"]);
+    }
+
+    #[test]
+    fn missing_output_after_dash_o() {
+        let err = parse_invocation(&words("g++ main.cpp -o"), "Makefile").unwrap_err();
+        assert_eq!(err.category, ErrorCategory::InvalidCompilerFlag);
+    }
+
+    #[test]
+    fn no_inputs_rejected() {
+        let err = parse_invocation(&words("g++ -O2 -o app"), "Makefile").unwrap_err();
+        assert_eq!(err.category, ErrorCategory::InvalidCompilerFlag);
+        assert!(err.message.contains("no input files"));
+    }
+
+    #[test]
+    fn curand_via_explicit_lib() {
+        let inv =
+            parse_invocation(&words("clang++ -fopenmp main.cpp -lcurand"), "Makefile").unwrap();
+        assert!(inv.features.curand);
+    }
+}

@@ -1,0 +1,224 @@
+//! Source-code statistics: source lines of code (SLoC) and cyclomatic
+//! complexity (CC), reproducing the `pmccabe`-style numbers of paper Table 1.
+
+use crate::ast::*;
+
+/// Statistics for one source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FileStats {
+    /// Non-blank, non-comment source lines.
+    pub sloc: usize,
+    /// Sum of per-function cyclomatic complexity (pmccabe's "modified"
+    /// count: decision points + 1 per function).
+    pub cyclomatic: usize,
+    /// Number of function definitions.
+    pub functions: usize,
+}
+
+impl FileStats {
+    pub fn merge(&mut self, other: FileStats) {
+        self.sloc += other.sloc;
+        self.cyclomatic += other.cyclomatic;
+        self.functions += other.functions;
+    }
+}
+
+/// Count non-blank, non-comment lines in raw source text.
+pub fn sloc(text: &str) -> usize {
+    let mut count = 0;
+    let mut in_block_comment = false;
+    for line in text.lines() {
+        let mut content = false;
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if in_block_comment {
+                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    in_block_comment = false;
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            match bytes[i] {
+                b' ' | b'\t' | b'\r' => i += 1,
+                b'/' if bytes.get(i + 1) == Some(&b'/') => break,
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    in_block_comment = true;
+                    i += 2;
+                }
+                _ => {
+                    content = true;
+                    i += 1;
+                }
+            }
+        }
+        if content {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Cyclomatic complexity of a single function: 1 + number of decision points
+/// (`if`, `for`, `while`, ternary, `&&`, `||`).
+pub fn function_complexity(f: &Function) -> usize {
+    let mut cc = 1;
+    if let Some(body) = &f.body {
+        for s in &body.stmts {
+            cc += stmt_decisions(s);
+        }
+    }
+    cc
+}
+
+/// Full statistics for a file, combining text-level SLoC with AST-level CC.
+pub fn file_stats(text: &str, file: &SourceFile) -> FileStats {
+    let mut stats = FileStats {
+        sloc: sloc(text),
+        ..FileStats::default()
+    };
+    for f in file.functions() {
+        if f.is_definition() {
+            stats.functions += 1;
+            stats.cyclomatic += function_complexity(f);
+        }
+    }
+    stats
+}
+
+fn stmt_decisions(s: &Stmt) -> usize {
+    match &s.kind {
+        StmtKind::Decl(d) => match &d.init {
+            Some(Init::Expr(e)) => expr_decisions(e),
+            Some(Init::List(es)) | Some(Init::Ctor(es)) => {
+                es.iter().map(expr_decisions).sum()
+            }
+            None => 0,
+        },
+        StmtKind::Expr(e) => expr_decisions(e),
+        StmtKind::If { cond, then, els } => {
+            1 + expr_decisions(cond)
+                + stmt_decisions(then)
+                + els.as_ref().map_or(0, |e| stmt_decisions(e))
+        }
+        StmtKind::While { cond, body } => 1 + expr_decisions(cond) + stmt_decisions(body),
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            1 + init.as_ref().map_or(0, |i| stmt_decisions(i))
+                + cond.as_ref().map_or(0, expr_decisions)
+                + step.as_ref().map_or(0, expr_decisions)
+                + stmt_decisions(body)
+        }
+        StmtKind::Return(e) => e.as_ref().map_or(0, expr_decisions),
+        StmtKind::Block(b) => b.stmts.iter().map(stmt_decisions).sum(),
+        StmtKind::Omp { body, .. } => body.as_ref().map_or(0, |b| stmt_decisions(b)),
+        _ => 0,
+    }
+}
+
+fn expr_decisions(e: &Expr) -> usize {
+    match &e.kind {
+        ExprKind::Binary { op, lhs, rhs } => {
+            let here = usize::from(op.is_logical());
+            here + expr_decisions(lhs) + expr_decisions(rhs)
+        }
+        ExprKind::Ternary { cond, then, els } => {
+            1 + expr_decisions(cond) + expr_decisions(then) + expr_decisions(els)
+        }
+        ExprKind::Unary { expr, .. } => expr_decisions(expr),
+        ExprKind::Assign { lhs, rhs, .. } => expr_decisions(lhs) + expr_decisions(rhs),
+        ExprKind::Call { callee, args } => {
+            expr_decisions(callee) + args.iter().map(expr_decisions).sum::<usize>()
+        }
+        ExprKind::KernelLaunch {
+            grid, block, args, ..
+        } => {
+            expr_decisions(grid)
+                + expr_decisions(block)
+                + args.iter().map(expr_decisions).sum::<usize>()
+        }
+        ExprKind::Index { base, index } => expr_decisions(base) + expr_decisions(index),
+        ExprKind::Member { base, .. } => expr_decisions(base),
+        ExprKind::Cast { expr, .. } => expr_decisions(expr),
+        ExprKind::SizeOfExpr(e) => expr_decisions(e),
+        ExprKind::Lambda { body, .. } => body.stmts.iter().map(stmt_decisions).sum(),
+        ExprKind::Paren(inner) => expr_decisions(inner),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    #[test]
+    fn sloc_ignores_comments_and_blanks() {
+        let text = "int x;\n\n// comment only\n/* block\n   comment */\nint y; // trailing\n";
+        assert_eq!(sloc(text), 2);
+    }
+
+    #[test]
+    fn sloc_code_before_block_comment_counts() {
+        assert_eq!(sloc("int x; /* c */\n"), 1);
+        assert_eq!(sloc("/* c */ int x;\n"), 1);
+    }
+
+    #[test]
+    fn straight_line_function_has_cc_1() {
+        let sf = parse_file("int f() { return 1; }").unwrap();
+        assert_eq!(function_complexity(sf.find_function("f").unwrap()), 1);
+    }
+
+    #[test]
+    fn branches_and_logicals_count() {
+        let src = r#"
+int f(int i, int j, int n) {
+    int count = 0;
+    if (i < n && j < n) {
+        if (i > 0) count++;
+        if (j > 0) count++;
+    }
+    return (count == 1) ? 1 : 0;
+}
+"#;
+        let sf = parse_file(src).unwrap();
+        // 1 (base) + if + && + if + if + ternary = 6
+        assert_eq!(function_complexity(sf.find_function("f").unwrap()), 6);
+    }
+
+    #[test]
+    fn loops_count() {
+        let src = "void f(int n) { for (int i = 0; i < n; i++) { while (n > 0) { n--; } } }";
+        let sf = parse_file(src).unwrap();
+        assert_eq!(function_complexity(sf.find_function("f").unwrap()), 3);
+    }
+
+    #[test]
+    fn file_stats_sums_functions() {
+        let src = "int a() { return 1; }\nint b(int x) { if (x) return 1; return 0; }\n";
+        let sf = parse_file(src).unwrap();
+        let stats = file_stats(src, &sf);
+        assert_eq!(stats.functions, 2);
+        assert_eq!(stats.cyclomatic, 1 + 2);
+        assert_eq!(stats.sloc, 2);
+    }
+
+    #[test]
+    fn omp_body_counted() {
+        let src = r#"
+void f(int* a, int n) {
+    #pragma omp parallel for
+    for (int i = 0; i < n; i++) { if (a[i] > 0) a[i] = 0; }
+}
+"#;
+        let sf = parse_file(src).unwrap();
+        assert_eq!(function_complexity(sf.find_function("f").unwrap()), 3);
+    }
+}

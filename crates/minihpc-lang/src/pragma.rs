@@ -1,0 +1,336 @@
+//! Structured representation of OpenMP directives.
+//!
+//! The paper's translation tasks revolve around rewriting these directives
+//! (threads → offload) or synthesising them from CUDA kernels, and one of the
+//! headline failure modes (Listing 4) is a directive with missing
+//! `target` / `parallel for` constructs — so directives are first-class AST.
+
+use crate::ast::Expr;
+use crate::span::Span;
+use std::fmt;
+
+/// An OpenMP construct keyword appearing in a directive line, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OmpConstruct {
+    Parallel,
+    For,
+    Simd,
+    Target,
+    Teams,
+    Distribute,
+    /// `target data` region.
+    TargetData,
+    /// `target update`.
+    TargetUpdate,
+    Barrier,
+    Critical,
+    Atomic,
+    Single,
+    Master,
+}
+
+impl OmpConstruct {
+    pub fn keyword(self) -> &'static str {
+        match self {
+            OmpConstruct::Parallel => "parallel",
+            OmpConstruct::For => "for",
+            OmpConstruct::Simd => "simd",
+            OmpConstruct::Target => "target",
+            OmpConstruct::Teams => "teams",
+            OmpConstruct::Distribute => "distribute",
+            OmpConstruct::TargetData => "target data",
+            OmpConstruct::TargetUpdate => "target update",
+            OmpConstruct::Barrier => "barrier",
+            OmpConstruct::Critical => "critical",
+            OmpConstruct::Atomic => "atomic",
+            OmpConstruct::Single => "single",
+            OmpConstruct::Master => "master",
+        }
+    }
+
+    /// Does this construct require an attached statement (loop or block)?
+    pub fn needs_body(self) -> bool {
+        !matches!(self, OmpConstruct::Barrier | OmpConstruct::TargetUpdate)
+    }
+}
+
+/// Reduction operators accepted in `reduction(op: vars)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReductionOp {
+    Add,
+    Mul,
+    Min,
+    Max,
+    BitXor,
+    BitAnd,
+    BitOr,
+}
+
+impl ReductionOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ReductionOp::Add => "+",
+            ReductionOp::Mul => "*",
+            ReductionOp::Min => "min",
+            ReductionOp::Max => "max",
+            ReductionOp::BitXor => "^",
+            ReductionOp::BitAnd => "&",
+            ReductionOp::BitOr => "|",
+        }
+    }
+
+    pub fn from_symbol(s: &str) -> Option<Self> {
+        Some(match s {
+            "+" => ReductionOp::Add,
+            "*" => ReductionOp::Mul,
+            "min" => ReductionOp::Min,
+            "max" => ReductionOp::Max,
+            "^" => ReductionOp::BitXor,
+            "&" => ReductionOp::BitAnd,
+            "|" => ReductionOp::BitOr,
+            _ => return None,
+        })
+    }
+}
+
+/// Data-mapping direction for `map(...)` clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MapKind {
+    To,
+    From,
+    ToFrom,
+    Alloc,
+}
+
+impl MapKind {
+    pub fn keyword(self) -> &'static str {
+        match self {
+            MapKind::To => "to",
+            MapKind::From => "from",
+            MapKind::ToFrom => "tofrom",
+            MapKind::Alloc => "alloc",
+        }
+    }
+
+    pub fn copies_to_device(self) -> bool {
+        matches!(self, MapKind::To | MapKind::ToFrom)
+    }
+
+    pub fn copies_from_device(self) -> bool {
+        matches!(self, MapKind::From | MapKind::ToFrom)
+    }
+}
+
+/// An array section in a map clause: `x[lo : len]` (possibly multi-dim), or a
+/// bare variable name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArraySection {
+    pub var: String,
+    /// Each `[lo:len]` pair; empty for a bare scalar mapping.
+    pub ranges: Vec<(Expr, Expr)>,
+}
+
+impl ArraySection {
+    pub fn scalar(var: impl Into<String>) -> Self {
+        ArraySection {
+            var: var.into(),
+            ranges: vec![],
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum OmpClause {
+    NumThreads(Expr),
+    NumTeams(Expr),
+    ThreadLimit(Expr),
+    Collapse(i64),
+    Reduction { op: ReductionOp, vars: Vec<String> },
+    Map { kind: MapKind, sections: Vec<ArraySection> },
+    Private(Vec<String>),
+    FirstPrivate(Vec<String>),
+    Shared(Vec<String>),
+    Schedule { kind: String, chunk: Option<Expr> },
+    Default(String),
+    If(Expr),
+    Device(Expr),
+    /// Clause we don't model; kept for faithful printing and lenient
+    /// validation (real compilers warn on many of these).
+    Unknown { name: String, text: String },
+}
+
+impl OmpClause {
+    pub fn name(&self) -> &str {
+        match self {
+            OmpClause::NumThreads(_) => "num_threads",
+            OmpClause::NumTeams(_) => "num_teams",
+            OmpClause::ThreadLimit(_) => "thread_limit",
+            OmpClause::Collapse(_) => "collapse",
+            OmpClause::Reduction { .. } => "reduction",
+            OmpClause::Map { .. } => "map",
+            OmpClause::Private(_) => "private",
+            OmpClause::FirstPrivate(_) => "firstprivate",
+            OmpClause::Shared(_) => "shared",
+            OmpClause::Schedule { .. } => "schedule",
+            OmpClause::Default(_) => "default",
+            OmpClause::If(_) => "if",
+            OmpClause::Device(_) => "device",
+            OmpClause::Unknown { name, .. } => name,
+        }
+    }
+}
+
+/// A full `#pragma omp ...` directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OmpDirective {
+    pub constructs: Vec<OmpConstruct>,
+    pub clauses: Vec<OmpClause>,
+    pub span: Span,
+}
+
+impl OmpDirective {
+    pub fn new(constructs: Vec<OmpConstruct>) -> Self {
+        OmpDirective {
+            constructs,
+            clauses: vec![],
+            span: Span::DUMMY,
+        }
+    }
+
+    pub fn with_clause(mut self, clause: OmpClause) -> Self {
+        self.clauses.push(clause);
+        self
+    }
+
+    pub fn has(&self, c: OmpConstruct) -> bool {
+        self.constructs.contains(&c)
+    }
+
+    /// Does this directive move execution to the device?
+    pub fn targets_device(&self) -> bool {
+        self.has(OmpConstruct::Target) || self.has(OmpConstruct::TargetData)
+    }
+
+    /// Is this a worksharing-loop directive (i.e. must be followed by a
+    /// `for` statement)?
+    pub fn is_loop_directive(&self) -> bool {
+        self.has(OmpConstruct::For) || self.has(OmpConstruct::Distribute)
+    }
+
+    /// Is this a standalone directive (no attached statement)?
+    pub fn is_standalone(&self) -> bool {
+        self.constructs.iter().all(|c| !c.needs_body())
+    }
+
+    /// Does it open a structured block rather than a loop (`parallel`,
+    /// `target`, `target data`, `teams` without a loop construct)?
+    pub fn opens_region(&self) -> bool {
+        !self.is_loop_directive() && !self.is_standalone()
+    }
+
+    pub fn collapse(&self) -> i64 {
+        self.clauses
+            .iter()
+            .find_map(|c| match c {
+                OmpClause::Collapse(n) => Some(*n),
+                _ => None,
+            })
+            .unwrap_or(1)
+    }
+
+    pub fn map_clauses(&self) -> impl Iterator<Item = (&MapKind, &Vec<ArraySection>)> {
+        self.clauses.iter().filter_map(|c| match c {
+            OmpClause::Map { kind, sections } => Some((kind, sections)),
+            _ => None,
+        })
+    }
+
+    pub fn reductions(&self) -> impl Iterator<Item = (&ReductionOp, &Vec<String>)> {
+        self.clauses.iter().filter_map(|c| match c {
+            OmpClause::Reduction { op, vars } => Some((op, vars)),
+            _ => None,
+        })
+    }
+
+    /// Canonical directive text, e.g.
+    /// `omp target teams distribute parallel for collapse(2)`.
+    pub fn text(&self) -> String {
+        let mut out = String::from("omp");
+        for c in &self.constructs {
+            out.push(' ');
+            out.push_str(c.keyword());
+        }
+        for cl in &self.clauses {
+            out.push(' ');
+            out.push_str(&crate::printer::clause_to_string(cl));
+        }
+        out
+    }
+}
+
+impl fmt::Display for OmpDirective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#pragma {}", self.text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directive_predicates() {
+        let d = OmpDirective::new(vec![
+            OmpConstruct::Target,
+            OmpConstruct::Teams,
+            OmpConstruct::Distribute,
+            OmpConstruct::Parallel,
+            OmpConstruct::For,
+        ]);
+        assert!(d.targets_device());
+        assert!(d.is_loop_directive());
+        assert!(!d.is_standalone());
+
+        let listing4 = OmpDirective::new(vec![OmpConstruct::Teams, OmpConstruct::Distribute]);
+        assert!(!listing4.targets_device(), "paper Listing 4: no target");
+        assert!(listing4.is_loop_directive());
+
+        let barrier = OmpDirective::new(vec![OmpConstruct::Barrier]);
+        assert!(barrier.is_standalone());
+
+        let data = OmpDirective::new(vec![OmpConstruct::TargetData]);
+        assert!(data.opens_region());
+    }
+
+    #[test]
+    fn collapse_default_is_one() {
+        let d = OmpDirective::new(vec![OmpConstruct::Parallel, OmpConstruct::For]);
+        assert_eq!(d.collapse(), 1);
+        let d = d.with_clause(OmpClause::Collapse(2));
+        assert_eq!(d.collapse(), 2);
+    }
+
+    #[test]
+    fn map_kind_directions() {
+        assert!(MapKind::To.copies_to_device());
+        assert!(!MapKind::To.copies_from_device());
+        assert!(MapKind::From.copies_from_device());
+        assert!(MapKind::ToFrom.copies_to_device() && MapKind::ToFrom.copies_from_device());
+        assert!(!MapKind::Alloc.copies_to_device());
+    }
+
+    #[test]
+    fn reduction_symbols() {
+        for op in [
+            ReductionOp::Add,
+            ReductionOp::Mul,
+            ReductionOp::Min,
+            ReductionOp::Max,
+            ReductionOp::BitXor,
+            ReductionOp::BitAnd,
+            ReductionOp::BitOr,
+        ] {
+            assert_eq!(ReductionOp::from_symbol(op.symbol()), Some(op));
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! In-memory model of a source repository: the unit of translation in
+//! ParEval-Repo. A repository is a set of named files — sources, headers,
+//! build files, documentation — exactly what gets shown to (and rewritten by)
+//! a translation technique.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Classification of a repository file, used by prompt construction, the
+//  dependency agent, and the build driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileKind {
+    /// A compilable source file (`.c`, `.cpp`, `.cu`).
+    Source,
+    /// A header (`.h`, `.hpp`, `.cuh`).
+    Header,
+    /// `Makefile`.
+    Makefile,
+    /// `CMakeLists.txt`.
+    CMakeLists,
+    /// Documentation or anything else (`README.md`, data files).
+    Other,
+}
+
+impl FileKind {
+    /// Classify by file name.
+    pub fn of(path: &str) -> FileKind {
+        let name = path.rsplit('/').next().unwrap_or(path);
+        if name == "Makefile" || name == "makefile" {
+            return FileKind::Makefile;
+        }
+        if name == "CMakeLists.txt" {
+            return FileKind::CMakeLists;
+        }
+        match name.rsplit('.').next() {
+            Some("c") | Some("cpp") | Some("cc") | Some("cu") | Some("cxx") => FileKind::Source,
+            Some("h") | Some("hpp") | Some("cuh") | Some("hh") => FileKind::Header,
+            _ => FileKind::Other,
+        }
+    }
+
+    pub fn is_code(self) -> bool {
+        matches!(self, FileKind::Source | FileKind::Header)
+    }
+
+    pub fn is_build_file(self) -> bool {
+        matches!(self, FileKind::Makefile | FileKind::CMakeLists)
+    }
+}
+
+/// A single repository file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepoFile {
+    pub path: String,
+    pub contents: String,
+}
+
+impl RepoFile {
+    pub fn kind(&self) -> FileKind {
+        FileKind::of(&self.path)
+    }
+}
+
+/// An in-memory source repository.
+///
+/// Files are kept in a `BTreeMap` keyed by path so iteration order (and thus
+/// prompts, dependency resolution, and error logs) is deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceRepo {
+    files: BTreeMap<String, String>,
+}
+
+impl SourceRepo {
+    pub fn new() -> Self {
+        SourceRepo::default()
+    }
+
+    pub fn with_file(mut self, path: impl Into<String>, contents: impl Into<String>) -> Self {
+        self.add(path, contents);
+        self
+    }
+
+    pub fn add(&mut self, path: impl Into<String>, contents: impl Into<String>) {
+        self.files.insert(path.into(), contents.into());
+    }
+
+    pub fn remove(&mut self, path: &str) -> Option<String> {
+        self.files.remove(path)
+    }
+
+    pub fn get(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(String::as_str)
+    }
+
+    pub fn contains(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Iterate `(path, contents)` in deterministic path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.files.iter().map(|(p, c)| (p.as_str(), c.as_str()))
+    }
+
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+
+    /// Paths of all files of the given kind.
+    pub fn paths_of_kind(&self, kind: FileKind) -> Vec<&str> {
+        self.paths().filter(|p| FileKind::of(p) == kind).collect()
+    }
+
+    /// All code files (sources + headers).
+    pub fn code_files(&self) -> Vec<&str> {
+        self.paths().filter(|p| FileKind::of(p).is_code()).collect()
+    }
+
+    /// The build file (Makefile or CMakeLists.txt) if present.
+    pub fn build_file(&self) -> Option<(&str, &str)> {
+        self.iter().find(|(p, _)| FileKind::of(p).is_build_file())
+    }
+
+    /// Resolve a local `#include "path"` relative to the including file, the
+    /// repository root, and `src/` (mirroring `-I. -Isrc` include paths).
+    pub fn resolve_include(&self, from: &str, include: &str) -> Option<&str> {
+        // Relative to the including file's directory.
+        if let Some(dir) = from.rfind('/').map(|i| &from[..i]) {
+            let candidate = format!("{dir}/{include}");
+            if let Some((p, _)) = self.files.get_key_value(&candidate) {
+                return Some(p.as_str());
+            }
+        }
+        if let Some((p, _)) = self.files.get_key_value(include) {
+            return Some(p.as_str());
+        }
+        let candidate = format!("src/{include}");
+        if let Some((p, _)) = self.files.get_key_value(&candidate) {
+            return Some(p.as_str());
+        }
+        None
+    }
+
+    /// Render the file tree in the format used by the paper's prompts
+    /// (Listing 1): a `|--`/`+--` tree with `src/` subdirectories.
+    pub fn file_tree(&self) -> String {
+        let mut top: Vec<&str> = Vec::new();
+        let mut dirs: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for path in self.files.keys() {
+            match path.split_once('/') {
+                Some((dir, rest)) => dirs.entry(dir).or_default().push(rest),
+                None => top.push(path),
+            }
+        }
+        let mut out = String::new();
+        for (i, f) in top.iter().enumerate() {
+            let last = i + 1 == top.len() && dirs.is_empty();
+            out.push_str(if last { "+-- " } else { "|-- " });
+            out.push_str(f);
+            out.push('\n');
+        }
+        let ndirs = dirs.len();
+        for (di, (dir, mut files)) in dirs.into_iter().enumerate() {
+            let last_dir = di + 1 == ndirs;
+            out.push_str(if last_dir { "+-- " } else { "|-- " });
+            out.push_str(dir);
+            out.push_str("/\n");
+            files.sort_unstable();
+            for f in files {
+                out.push_str("    ");
+                out.push_str("+-- ");
+                out.push_str(f);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Total size of all file contents in bytes (used for context-window
+    /// accounting in the token model).
+    pub fn total_bytes(&self) -> usize {
+        self.files.values().map(String::len).sum()
+    }
+}
+
+impl fmt::Display for SourceRepo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.file_tree())
+    }
+}
+
+impl FromIterator<(String, String)> for SourceRepo {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        SourceRepo {
+            files: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SourceRepo {
+        SourceRepo::new()
+            .with_file("Makefile", "all:\n\techo hi\n")
+            .with_file("README.md", "# app\n")
+            .with_file("src/main.cpp", "int main() { return 0; }\n")
+            .with_file("src/kernel.h", "void k();\n")
+    }
+
+    #[test]
+    fn classify_kinds() {
+        assert_eq!(FileKind::of("Makefile"), FileKind::Makefile);
+        assert_eq!(FileKind::of("CMakeLists.txt"), FileKind::CMakeLists);
+        assert_eq!(FileKind::of("src/main.cu"), FileKind::Source);
+        assert_eq!(FileKind::of("src/kernel.cuh"), FileKind::Header);
+        assert_eq!(FileKind::of("README.md"), FileKind::Other);
+    }
+
+    #[test]
+    fn file_tree_format() {
+        let tree = sample().file_tree();
+        assert!(tree.contains("|-- Makefile"), "{tree}");
+        assert!(tree.contains("+-- src/"), "{tree}");
+        assert!(tree.contains("    +-- main.cpp"), "{tree}");
+    }
+
+    #[test]
+    fn resolve_include_same_dir() {
+        let repo = sample();
+        assert_eq!(
+            repo.resolve_include("src/main.cpp", "kernel.h"),
+            Some("src/kernel.h")
+        );
+        assert_eq!(repo.resolve_include("src/main.cpp", "missing.h"), None);
+    }
+
+    #[test]
+    fn resolve_include_from_root() {
+        let repo = SourceRepo::new()
+            .with_file("main.cpp", "")
+            .with_file("src/util.h", "");
+        assert_eq!(
+            repo.resolve_include("main.cpp", "util.h"),
+            Some("src/util.h")
+        );
+    }
+
+    #[test]
+    fn build_file_lookup() {
+        assert_eq!(sample().build_file().map(|(p, _)| p), Some("Makefile"));
+        let repo = SourceRepo::new().with_file("CMakeLists.txt", "project(x)");
+        assert_eq!(repo.build_file().map(|(p, _)| p), Some("CMakeLists.txt"));
+    }
+
+    #[test]
+    fn deterministic_iteration() {
+        let r1 = sample();
+        let mut r2 = SourceRepo::new();
+        // Insert in a different order.
+        r2.add("src/kernel.h", "void k();\n");
+        r2.add("README.md", "# app\n");
+        r2.add("src/main.cpp", "int main() { return 0; }\n");
+        r2.add("Makefile", "all:\n\techo hi\n");
+        let p1: Vec<_> = r1.paths().collect();
+        let p2: Vec<_> = r2.paths().collect();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn code_files_excludes_build_and_docs() {
+        let files = sample();
+        let code = files.code_files();
+        assert_eq!(code, vec!["src/kernel.h", "src/main.cpp"]);
+    }
+}

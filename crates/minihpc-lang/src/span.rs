@@ -1,0 +1,126 @@
+//! Source locations and spans.
+//!
+//! Every token and diagnostic carries a [`Span`] so that build logs can point
+//! at the offending line, which in turn is what the error-clustering pipeline
+//! (paper Sec. 6.3) consumes.
+
+use std::fmt;
+
+/// A half-open byte range into a single source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Span {
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// 1-based line/column position, resolved lazily from a `Span` against the
+/// file contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Resolve the 1-based line and column of byte offset `pos` in `text`.
+pub fn line_col(text: &str, pos: u32) -> LineCol {
+    let pos = (pos as usize).min(text.len());
+    let mut line = 1u32;
+    let mut line_start = 0usize;
+    for (i, b) in text.bytes().enumerate() {
+        if i >= pos {
+            break;
+        }
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+        }
+    }
+    LineCol {
+        line,
+        col: (pos - line_start) as u32 + 1,
+    }
+}
+
+/// Extract the full text of the line containing byte offset `pos`.
+pub fn line_text(text: &str, pos: u32) -> &str {
+    let pos = (pos as usize).min(text.len());
+    let start = text[..pos].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let end = text[pos..]
+        .find('\n')
+        .map(|i| pos + i)
+        .unwrap_or(text.len());
+    &text[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join() {
+        let a = Span::new(4, 10);
+        let b = Span::new(8, 20);
+        assert_eq!(a.to(b), Span::new(4, 20));
+        assert_eq!(b.to(a), Span::new(4, 20));
+    }
+
+    #[test]
+    fn line_col_basics() {
+        let text = "abc\ndef\nghi";
+        assert_eq!(line_col(text, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(text, 4), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(text, 6), LineCol { line: 2, col: 3 });
+        assert_eq!(line_col(text, 10), LineCol { line: 3, col: 3 });
+    }
+
+    #[test]
+    fn line_col_past_end_clamps() {
+        let text = "ab";
+        assert_eq!(line_col(text, 99), LineCol { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn line_text_middle() {
+        let text = "first\nsecond\nthird";
+        assert_eq!(line_text(text, 7), "second");
+        assert_eq!(line_text(text, 0), "first");
+        assert_eq!(line_text(text, 17), "third");
+    }
+
+    #[test]
+    fn empty_span() {
+        assert!(Span::new(3, 3).is_empty());
+        assert_eq!(Span::new(3, 7).len(), 4);
+    }
+}

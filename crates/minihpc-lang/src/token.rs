@@ -1,0 +1,219 @@
+//! Token definitions for the MiniHPC language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexed token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+impl Token {
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+/// The kinds of token MiniHPC recognises.
+///
+/// Preprocessor lines are folded into single structured tokens
+/// ([`TokenKind::Include`], [`TokenKind::Pragma`], [`TokenKind::Define`]) so
+/// the parser can treat them as ordinary stream elements: pragmas attach to
+/// the statement that follows them, includes appear at item level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are resolved by the parser; this keeps
+    /// the lexer dialect-agnostic — `__global__` is a keyword only in CUDA).
+    Ident(String),
+    /// Integer literal (decimal or hex), value and original text.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal, with escapes resolved.
+    Str(String),
+    /// Character literal.
+    Char(char),
+
+    /// `#include "path"` (local) or `#include <path>` (system).
+    Include { path: String, system: bool },
+    /// `#pragma ...` — the raw text after `#pragma`, plus its sub-lexed tokens.
+    Pragma { text: String, tokens: Vec<Token> },
+    /// `#define NAME tokens...` — a simple object-like macro.
+    Define { name: String, body: Vec<Token> },
+    /// Any other `#...` preprocessor line we keep verbatim (`#ifdef` etc.).
+    OtherDirective(String),
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    ColonColon,
+    Question,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    AmpAmp,
+    Pipe,
+    PipePipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    Shl,
+    Shr,
+    ShlEq,
+    ShrEq,
+    PlusPlus,
+    MinusMinus,
+    /// `<<<` opening a CUDA kernel-launch configuration.
+    LaunchOpen,
+    /// `>>>` closing a CUDA kernel-launch configuration.
+    LaunchClose,
+
+    Eof,
+}
+
+impl TokenKind {
+    /// True for tokens the parser skips when looking for the next item
+    /// (used in error recovery).
+    pub fn is_preprocessor(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::Include { .. }
+                | TokenKind::Pragma { .. }
+                | TokenKind::Define { .. }
+                | TokenKind::OtherDirective(_)
+        )
+    }
+
+    /// A short human-readable description used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(v) => format!("integer literal `{v}`"),
+            TokenKind::Float(v) => format!("float literal `{v}`"),
+            TokenKind::Str(_) => "string literal".into(),
+            TokenKind::Char(_) => "character literal".into(),
+            TokenKind::Include { path, .. } => format!("#include \"{path}\""),
+            TokenKind::Pragma { text, .. } => format!("#pragma {text}"),
+            TokenKind::Define { name, .. } => format!("#define {name}"),
+            TokenKind::OtherDirective(d) => format!("#{d}"),
+            TokenKind::Eof => "end of file".into(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    /// The literal symbol for punctuation tokens (empty for others).
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Colon => ":",
+            TokenKind::ColonColon => "::",
+            TokenKind::Question => "?",
+            TokenKind::Dot => ".",
+            TokenKind::Arrow => "->",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Amp => "&",
+            TokenKind::AmpAmp => "&&",
+            TokenKind::Pipe => "|",
+            TokenKind::PipePipe => "||",
+            TokenKind::Caret => "^",
+            TokenKind::Tilde => "~",
+            TokenKind::Bang => "!",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::Ne => "!=",
+            TokenKind::Eq => "=",
+            TokenKind::PlusEq => "+=",
+            TokenKind::MinusEq => "-=",
+            TokenKind::StarEq => "*=",
+            TokenKind::SlashEq => "/=",
+            TokenKind::PercentEq => "%=",
+            TokenKind::AmpEq => "&=",
+            TokenKind::PipeEq => "|=",
+            TokenKind::CaretEq => "^=",
+            TokenKind::Shl => "<<",
+            TokenKind::Shr => ">>",
+            TokenKind::ShlEq => "<<=",
+            TokenKind::ShrEq => ">>=",
+            TokenKind::PlusPlus => "++",
+            TokenKind::MinusMinus => "--",
+            TokenKind::LaunchOpen => "<<<",
+            TokenKind::LaunchClose => ">>>",
+            _ => "",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_punct() {
+        assert_eq!(TokenKind::LaunchOpen.describe(), "`<<<`");
+        assert_eq!(TokenKind::Arrow.describe(), "`->`");
+    }
+
+    #[test]
+    fn describe_ident() {
+        assert_eq!(TokenKind::Ident("foo".into()).describe(), "identifier `foo`");
+    }
+
+    #[test]
+    fn preprocessor_predicate() {
+        assert!(TokenKind::Include {
+            path: "a.h".into(),
+            system: false
+        }
+        .is_preprocessor());
+        assert!(!TokenKind::Semi.is_preprocessor());
+    }
+}

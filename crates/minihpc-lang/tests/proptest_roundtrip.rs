@@ -1,0 +1,121 @@
+//! Property tests: the printer/parser pair is a faithful round-trip on
+//! generated ASTs, and the complexity analysis is stable under printing.
+
+use minihpc_lang::ast::*;
+use minihpc_lang::parser::{parse_expr_str, parse_file, parse_stmt_str};
+use minihpc_lang::printer::{print_expr, print_file, print_stmt};
+use proptest::prelude::*;
+
+/// Strategy for expressions (bounded depth).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(Expr::int),
+        (0u32..8).prop_map(|i| Expr::ident(format!("v{i}"))),
+        (0.0f64..100.0).prop_map(|f| Expr::synth(ExprKind::FloatLit((f * 8.0).round() / 8.0))),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(a, b, op)| {
+                Expr::binary(op, a, b)
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::index(a, b)),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::synth(
+                ExprKind::Ternary {
+                    cond: Box::new(c),
+                    then: Box::new(t),
+                    els: Box::new(e),
+                }
+            )),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(
+                |(_, args)| Expr::call(Expr::ident("f"), args)
+            ),
+            inner
+                .clone()
+                .prop_map(|e| Expr::synth(ExprKind::Paren(Box::new(e)))),
+            inner.prop_map(|e| Expr::synth(ExprKind::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e),
+            })),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::BitXor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// print ∘ parse ∘ print is the identity on generated expressions
+    /// (printer idempotence through a parse round-trip).
+    #[test]
+    fn expr_print_parse_roundtrip(e in arb_expr()) {
+        let printed = print_expr(&e);
+        let reparsed = parse_expr_str(&printed)
+            .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+        prop_assert_eq!(print_expr(&reparsed), printed);
+    }
+
+    /// Generated stencil-style kernels survive a full file round-trip.
+    #[test]
+    fn stencil_file_roundtrip(n in 1usize..5, use_collapse in any::<bool>()) {
+        let collapse = if use_collapse { " collapse(2)" } else { "" };
+        let mut body = String::new();
+        for k in 0..n {
+            body.push_str(&format!("            out[i * N + j] = in[i * N + j] ^ {k};\n"));
+        }
+        let src = format!(
+            "void f(const int* in, int* out, size_t N) {{\n    #pragma omp target teams \
+             distribute parallel for{collapse} map(to: in[0:N*N]) map(from: out[0:N*N])\n    \
+             for (int i = 0; i < N; i++) {{\n        for (int j = 0; j < N; j++) {{\n{body}        }}\n    }}\n}}\n"
+        );
+        let f1 = parse_file(&src).unwrap();
+        let p1 = print_file(&f1);
+        let f2 = parse_file(&p1).unwrap_or_else(|e| panic!("reparse failed:\n{p1}\n{e}"));
+        prop_assert_eq!(print_file(&f2), p1);
+    }
+
+    /// Statement-level round-trip on assignments with compound operators.
+    #[test]
+    fn assign_stmt_roundtrip(e in arb_expr(), compound in any::<bool>()) {
+        let op = if compound { "+=" } else { "=" };
+        let src = format!("v0 {op} {};", print_expr(&e));
+        let s1 = parse_stmt_str(&src).unwrap_or_else(|err| panic!("`{src}`: {err}"));
+        let p1 = print_stmt(&s1);
+        let s2 = parse_stmt_str(&p1).unwrap_or_else(|err| panic!("`{p1}`: {err}"));
+        prop_assert_eq!(print_stmt(&s2), p1);
+    }
+
+    /// Cyclomatic complexity is invariant under print → parse.
+    #[test]
+    fn complexity_stable_under_printing(branches in 0usize..6) {
+        let mut body = String::new();
+        for b in 0..branches {
+            body.push_str(&format!("    if (x > {b}) {{ x = x - 1; }}\n"));
+        }
+        let src = format!("int f(int x) {{\n{body}    return x;\n}}\n");
+        let f1 = parse_file(&src).unwrap();
+        let cc1 = minihpc_lang::complexity::file_stats(&src, &f1).cyclomatic;
+        let printed = print_file(&f1);
+        let f2 = parse_file(&printed).unwrap();
+        let cc2 = minihpc_lang::complexity::file_stats(&printed, &f2).cyclomatic;
+        prop_assert_eq!(cc1, cc2);
+        prop_assert_eq!(cc1, branches + 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Minimal `printf`-style formatting for the interpreter.
+//!
+//! Supports the conversions the benchmark applications use: `%d`, `%ld`,
+//! `%lu`, `%zu`, `%u`, `%f`, `%e`, `%g`, `%s`, `%c`, `%x`, `%%`, with
+//! optional width and precision (`%8.3f`, `%-10s`, `%06d`).
+
+use crate::value::Value;
+
+/// Format `fmt` with `args`, consuming one argument per conversion.
+/// Unknown conversions and missing arguments render as literal text rather
+/// than failing — matching C's (unchecked) behaviour closely enough for
+/// output comparison.
+pub fn printf(fmt: &str, args: &[Value]) -> String {
+    let mut out = String::with_capacity(fmt.len());
+    let bytes = fmt.as_bytes();
+    let mut i = 0;
+    let mut next_arg = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'%' {
+            out.push(bytes[i] as char);
+            i += 1;
+            continue;
+        }
+        if i + 1 < bytes.len() && bytes[i + 1] == b'%' {
+            out.push('%');
+            i += 2;
+            continue;
+        }
+        // Parse %[flags][width][.precision][length]conv
+        let start = i;
+        i += 1;
+        let mut left_align = false;
+        let mut zero_pad = false;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'-' => {
+                    left_align = true;
+                    i += 1;
+                }
+                b'0' => {
+                    zero_pad = true;
+                    i += 1;
+                }
+                b'+' | b' ' | b'#' => i += 1,
+                _ => break,
+            }
+        }
+        let mut width: Option<usize> = None;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            width = Some(width.unwrap_or(0) * 10 + (bytes[i] - b'0') as usize);
+            i += 1;
+        }
+        let mut precision: Option<usize> = None;
+        if i < bytes.len() && bytes[i] == b'.' {
+            i += 1;
+            precision = Some(0);
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                precision = Some(precision.unwrap_or(0) * 10 + (bytes[i] - b'0') as usize);
+                i += 1;
+            }
+        }
+        // Length modifiers.
+        while i < bytes.len() && matches!(bytes[i], b'l' | b'h' | b'z' | b'j' | b't') {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            out.push_str(&fmt[start..]);
+            break;
+        }
+        let conv = bytes[i] as char;
+        i += 1;
+        let arg = args.get(next_arg);
+        let rendered = match conv {
+            'd' | 'i' | 'u' => {
+                next_arg += 1;
+                arg.and_then(Value::as_int)
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "0".to_string())
+            }
+            'x' => {
+                next_arg += 1;
+                arg.and_then(Value::as_int)
+                    .map(|v| format!("{v:x}"))
+                    .unwrap_or_else(|| "0".to_string())
+            }
+            'f' | 'F' => {
+                next_arg += 1;
+                let v = arg.and_then(Value::as_float).unwrap_or(0.0);
+                format!("{:.*}", precision.unwrap_or(6), v)
+            }
+            'e' | 'E' => {
+                next_arg += 1;
+                let v = arg.and_then(Value::as_float).unwrap_or(0.0);
+                let s = format!("{:.*e}", precision.unwrap_or(6), v);
+                // Rust renders `1e3` as `1e3`; C as `1.000000e+03`.
+                normalize_exponent(&s, conv == 'E')
+            }
+            'g' | 'G' => {
+                next_arg += 1;
+                let v = arg.and_then(Value::as_float).unwrap_or(0.0);
+                format!("{v}")
+            }
+            's' => {
+                next_arg += 1;
+                match arg {
+                    Some(Value::Str(s)) => s.to_string(),
+                    Some(other) => format!("{other:?}"),
+                    None => String::new(),
+                }
+            }
+            'c' => {
+                next_arg += 1;
+                arg.and_then(Value::as_int)
+                    .and_then(|v| char::from_u32(v as u32))
+                    .map(|c| c.to_string())
+                    .unwrap_or_default()
+            }
+            'p' => {
+                next_arg += 1;
+                "0x0".to_string()
+            }
+            other => {
+                out.push_str(&fmt[start..i - 1]);
+                out.push(other);
+                continue;
+            }
+        };
+        out.push_str(&pad(&rendered, width, left_align, zero_pad));
+    }
+    out
+}
+
+fn pad(s: &str, width: Option<usize>, left: bool, zero: bool) -> String {
+    let Some(w) = width else {
+        return s.to_string();
+    };
+    if s.len() >= w {
+        return s.to_string();
+    }
+    let fill = w - s.len();
+    if left {
+        format!("{s}{}", " ".repeat(fill))
+    } else if zero && !s.starts_with('-') {
+        format!("{}{s}", "0".repeat(fill))
+    } else if zero {
+        // Keep the sign in front of the zeros.
+        format!("-{}{}", "0".repeat(fill), &s[1..])
+    } else {
+        format!("{}{s}", " ".repeat(fill))
+    }
+}
+
+/// Convert Rust `1.5e3` exponent form to C's `1.5e+03`.
+fn normalize_exponent(s: &str, upper: bool) -> String {
+    let Some(epos) = s.find(['e', 'E']) else {
+        return s.to_string();
+    };
+    let (mantissa, exp) = s.split_at(epos);
+    let exp = &exp[1..];
+    let (sign, digits) = match exp.strip_prefix('-') {
+        Some(d) => ('-', d),
+        None => ('+', exp),
+    };
+    let e = if upper { 'E' } else { 'e' };
+    format!("{mantissa}{e}{sign}{digits:0>2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_conversions() {
+        assert_eq!(
+            printf("n = %d, x = %f\n", &[Value::Int(3), Value::Float(1.5)]),
+            "n = 3, x = 1.500000\n"
+        );
+    }
+
+    #[test]
+    fn precision_and_width() {
+        assert_eq!(printf("%.2f", &[Value::Float(3.14159)]), "3.14");
+        assert_eq!(printf("%8.2f", &[Value::Float(3.14159)]), "    3.14");
+        assert_eq!(printf("%-8d|", &[Value::Int(42)]), "42      |");
+        assert_eq!(printf("%06d", &[Value::Int(42)]), "000042");
+        assert_eq!(printf("%06d", &[Value::Int(-42)]), "-000042".replacen("0", "", 1));
+    }
+
+    #[test]
+    fn long_and_size_t() {
+        assert_eq!(printf("%ld %lu %zu", &[Value::Int(1), Value::Int(2), Value::Int(3)]), "1 2 3");
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(
+            printf("%s: %c", &[Value::Str("ok".into()), Value::Int(65)]),
+            "ok: A"
+        );
+    }
+
+    #[test]
+    fn percent_literal() {
+        assert_eq!(printf("100%%", &[]), "100%");
+    }
+
+    #[test]
+    fn exponent_matches_c_style() {
+        assert_eq!(printf("%e", &[Value::Float(1500.0)]), "1.500000e+03");
+        assert_eq!(printf("%.2e", &[Value::Float(0.0015)]), "1.50e-03");
+        assert_eq!(printf("%E", &[Value::Float(1500.0)]), "1.500000E+03");
+    }
+
+    #[test]
+    fn missing_args_render_zero() {
+        assert_eq!(printf("%d %f", &[]), "0 0.000000");
+    }
+
+    #[test]
+    fn hex() {
+        assert_eq!(printf("%x", &[Value::Int(255)]), "ff");
+    }
+}

@@ -1,0 +1,23 @@
+//! # minihpc-runtime
+//!
+//! The simulated execution environment for MiniHPC programs: a tree-walking
+//! interpreter over linked [`minihpc_build::Executable`]s with a discrete
+//! host/device memory model, CUDA/OpenMP/Kokkos execution semantics, an
+//! optional data-race detector, and execution telemetry.
+//!
+//! The telemetry ([`interp::TelemetrySnapshot`]) is how the ParEval-Repo
+//! harness enforces the paper's correctness criterion that a translation
+//! must "execute on the hardware specified in the prompt": a translated
+//! program whose loops silently run on the host (paper Listing 4) produces
+//! correct-looking execution but no device regions, and is failed.
+//!
+//! Entry point: [`run`].
+
+pub mod format;
+pub mod interp;
+pub mod memory;
+pub mod value;
+
+pub use interp::{run, RunConfig, RunResult, TelemetrySnapshot};
+pub use memory::{RuntimeError, RuntimeErrorKind};
+pub use value::{Space, Value};

@@ -1,0 +1,480 @@
+//! The simulated memory system: separate host and device address spaces with
+//! explicit transfers, plus an optional write-race detector.
+//!
+//! Buffers are guarded by `parking_lot::RwLock` so kernel execution can run
+//! across real OS threads (see `interp::parallel`), while keeping the
+//! data-race freedom guarantees Rust demands — a racy *translated program*
+//! shows up as detector findings, never as UB in the interpreter.
+
+use crate::value::{Space, Value};
+use minihpc_lang::ast::Type;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A runtime error raised by memory operations or the interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeError {
+    pub kind: RuntimeErrorKind,
+    pub message: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeErrorKind {
+    /// Host dereference of device memory or vice versa.
+    IllegalAccess,
+    /// Out-of-bounds buffer access.
+    OutOfBounds,
+    /// Use of a freed buffer.
+    UseAfterFree,
+    /// Interpreter step budget exhausted (runaway loop ≈ run timeout).
+    StepLimit,
+    /// Division by zero.
+    DivByZero,
+    /// Construct the interpreter does not model.
+    Unsupported,
+    /// Type confusion at run time (escaped static checking).
+    TypeError,
+}
+
+impl RuntimeError {
+    pub fn new(kind: RuntimeErrorKind, message: impl Into<String>) -> Self {
+        RuntimeError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    pub fn illegal(message: impl Into<String>) -> Self {
+        Self::new(RuntimeErrorKind::IllegalAccess, message)
+    }
+
+    pub fn oob(message: impl Into<String>) -> Self {
+        Self::new(RuntimeErrorKind::OutOfBounds, message)
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+pub type RtResult<T> = Result<T, RuntimeError>;
+
+struct Buffer {
+    data: RwLock<Vec<Value>>,
+    elem: Type,
+    freed: RwLock<bool>,
+}
+
+/// A recorded write for the race detector: (buffer, element) by logical
+/// thread id.
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    enabled: bool,
+    /// element → first writer thread. A second writer with a different id is
+    /// a race.
+    writes: Mutex<HashMap<(usize, usize), u64>>,
+    races: Mutex<Vec<String>>,
+}
+
+impl RaceDetector {
+    pub fn record_write(&self, buffer: usize, index: usize, thread: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut writes = self.writes.lock();
+        match writes.get(&(buffer, index)) {
+            Some(&prev) if prev != thread => {
+                self.races.lock().push(format!(
+                    "write-write race on device buffer {buffer} element {index}: \
+                     threads {prev} and {thread}"
+                ));
+            }
+            Some(_) => {}
+            None => {
+                writes.insert((buffer, index), thread);
+            }
+        }
+    }
+
+    /// Reset per-kernel state (races accumulate across the run).
+    pub fn begin_kernel(&self) {
+        if self.enabled {
+            self.writes.lock().clear();
+        }
+    }
+
+    pub fn races(&self) -> Vec<String> {
+        self.races.lock().clone()
+    }
+}
+
+/// Host + device memory.
+///
+/// Pools are append-only `RwLock<Vec<Arc<Buffer>>>` so allocation can happen
+/// from any execution context (e.g. a function with a local array called
+/// from inside a kernel) without `&mut` access.
+pub struct Memory {
+    host: RwLock<Vec<Arc<Buffer>>>,
+    device: RwLock<Vec<Arc<Buffer>>>,
+    pub detector: RaceDetector,
+}
+
+impl Memory {
+    pub fn new(detect_races: bool) -> Self {
+        Memory {
+            host: RwLock::new(Vec::new()),
+            device: RwLock::new(Vec::new()),
+            detector: RaceDetector {
+                enabled: detect_races,
+                ..RaceDetector::default()
+            },
+        }
+    }
+
+    fn pool(&self, space: Space) -> &RwLock<Vec<Arc<Buffer>>> {
+        match space {
+            Space::Host => &self.host,
+            Space::Device => &self.device,
+        }
+    }
+
+    /// Allocate a buffer of `len` elements of `elem`, zero-initialised.
+    pub fn alloc(&self, space: Space, elem: Type, len: usize, zero: Value) -> usize {
+        let mut pool = self.pool(space).write();
+        pool.push(Arc::new(Buffer {
+            data: RwLock::new(vec![zero; len]),
+            elem,
+            freed: RwLock::new(false),
+        }));
+        pool.len() - 1
+    }
+
+    pub fn free(&self, space: Space, buffer: usize) -> RtResult<()> {
+        let buf = self.buffer(space, buffer)?;
+        let mut freed = buf.freed.write();
+        if *freed {
+            return Err(RuntimeError::new(
+                RuntimeErrorKind::UseAfterFree,
+                format!("double free of {space:?} buffer {buffer}"),
+            ));
+        }
+        *freed = true;
+        buf.data.write().clear();
+        Ok(())
+    }
+
+    fn buffer(&self, space: Space, buffer: usize) -> RtResult<Arc<Buffer>> {
+        self.pool(space).read().get(buffer).cloned().ok_or_else(|| {
+            RuntimeError::illegal(format!("invalid {space:?} buffer handle {buffer}"))
+        })
+    }
+
+    fn check_live(&self, buf: &Buffer, space: Space, buffer: usize) -> RtResult<()> {
+        if *buf.freed.read() {
+            return Err(RuntimeError::new(
+                RuntimeErrorKind::UseAfterFree,
+                format!("use of freed {space:?} buffer {buffer}"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Load an element, enforcing that `ctx_space` (the executing context)
+    /// matches the buffer's space.
+    pub fn load(
+        &self,
+        ctx_space: Space,
+        space: Space,
+        buffer: usize,
+        index: usize,
+    ) -> RtResult<Value> {
+        if ctx_space != space {
+            return Err(RuntimeError::illegal(format!(
+                "{ctx_space:?} code dereferenced a {space:?} pointer \
+                 (buffer {buffer}); copy the data with cudaMemcpy / map / deep_copy first"
+            )));
+        }
+        let buf = self.buffer(space, buffer)?;
+        self.check_live(&buf, space, buffer)?;
+        let data = buf.data.read();
+        data.get(index).cloned().ok_or_else(|| {
+            RuntimeError::oob(format!(
+                "index {index} out of bounds for {space:?} buffer {buffer} of length {}",
+                data.len()
+            ))
+        })
+    }
+
+    /// Store an element (same space rule as [`Memory::load`]).
+    pub fn store(
+        &self,
+        ctx_space: Space,
+        space: Space,
+        buffer: usize,
+        index: usize,
+        value: Value,
+        thread: u64,
+    ) -> RtResult<()> {
+        if ctx_space != space {
+            return Err(RuntimeError::illegal(format!(
+                "{ctx_space:?} code wrote through a {space:?} pointer (buffer {buffer})"
+            )));
+        }
+        let buf = self.buffer(space, buffer)?;
+        self.check_live(&buf, space, buffer)?;
+        let mut data = buf.data.write();
+        let len = data.len();
+        let slot = data.get_mut(index).ok_or_else(|| {
+            RuntimeError::oob(format!(
+                "index {index} out of bounds for {space:?} buffer {buffer} of length {len}"
+            ))
+        })?;
+        *slot = value;
+        drop(data);
+        if space == Space::Device {
+            self.detector.record_write(buffer, index, thread);
+        }
+        Ok(())
+    }
+
+    /// Atomic read-modify-write add (the `atomicAdd` primitive): performed
+    /// under the buffer's write lock so concurrent kernel threads are safe.
+    pub fn fetch_add(
+        &self,
+        ctx_space: Space,
+        space: Space,
+        buffer: usize,
+        index: usize,
+        delta: &Value,
+    ) -> RtResult<Value> {
+        if ctx_space != space {
+            return Err(RuntimeError::illegal(format!(
+                "{ctx_space:?} code atomicAdd on a {space:?} pointer (buffer {buffer})"
+            )));
+        }
+        let buf = self.buffer(space, buffer)?;
+        self.check_live(&buf, space, buffer)?;
+        let mut data = buf.data.write();
+        let len = data.len();
+        let slot = data.get_mut(index).ok_or_else(|| {
+            RuntimeError::oob(format!(
+                "index {index} out of bounds for {space:?} buffer {buffer} of length {len}"
+            ))
+        })?;
+        let old = slot.clone();
+        *slot = match (&old, delta) {
+            (Value::Int(a), d) => Value::Int(a + d.as_int().unwrap_or(0)),
+            (Value::Float(a), d) => Value::Float(a + d.as_float().unwrap_or(0.0)),
+            _ => {
+                return Err(RuntimeError::new(
+                    RuntimeErrorKind::TypeError,
+                    "atomicAdd on non-numeric element",
+                ))
+            }
+        };
+        Ok(old)
+    }
+
+    /// Length (element count) of a buffer.
+    pub fn len_of(&self, space: Space, buffer: usize) -> RtResult<usize> {
+        let buf = self.buffer(space, buffer)?;
+        let len = buf.data.read().len();
+        Ok(len)
+    }
+
+    pub fn elem_type(&self, space: Space, buffer: usize) -> RtResult<Type> {
+        let buf = self.buffer(space, buffer)?;
+        Ok(buf.elem.clone())
+    }
+
+    /// Copy `len` elements between buffers (the `cudaMemcpy` / `map` /
+    /// `deep_copy` primitive — allowed to cross spaces by design).
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy(
+        &self,
+        dst_space: Space,
+        dst: usize,
+        dst_off: usize,
+        src_space: Space,
+        src: usize,
+        src_off: usize,
+        len: usize,
+    ) -> RtResult<()> {
+        let src_buf = self.buffer(src_space, src)?;
+        self.check_live(&src_buf, src_space, src)?;
+        let values: Vec<Value> = {
+            let data = src_buf.data.read();
+            if src_off + len > data.len() {
+                return Err(RuntimeError::oob(format!(
+                    "copy source range {src_off}..{} exceeds buffer length {}",
+                    src_off + len,
+                    data.len()
+                )));
+            }
+            data[src_off..src_off + len].to_vec()
+        };
+        let dst_buf = self.buffer(dst_space, dst)?;
+        self.check_live(&dst_buf, dst_space, dst)?;
+        let mut data = dst_buf.data.write();
+        if dst_off + len > data.len() {
+            return Err(RuntimeError::oob(format!(
+                "copy destination range {dst_off}..{} exceeds buffer length {}",
+                dst_off + len,
+                data.len()
+            )));
+        }
+        data[dst_off..dst_off + len].clone_from_slice(&values);
+        Ok(())
+    }
+
+    /// Fill `len` elements with a value (the `memset` primitive).
+    pub fn fill(
+        &self,
+        ctx_space: Space,
+        space: Space,
+        buffer: usize,
+        offset: usize,
+        len: usize,
+        value: Value,
+    ) -> RtResult<()> {
+        if ctx_space != space {
+            return Err(RuntimeError::illegal(format!(
+                "{ctx_space:?} code memset a {space:?} pointer"
+            )));
+        }
+        let buf = self.buffer(space, buffer)?;
+        self.check_live(&buf, space, buffer)?;
+        let mut data = buf.data.write();
+        let end = offset + len;
+        if end > data.len() {
+            return Err(RuntimeError::oob(format!(
+                "memset range {offset}..{end} exceeds buffer length {}",
+                data.len()
+            )));
+        }
+        for slot in &mut data[offset..end] {
+            *slot = value.clone();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(false)
+    }
+
+    #[test]
+    fn alloc_load_store() {
+        let m = mem();
+        let b = m.alloc(Space::Host, Type::INT, 4, Value::Int(0));
+        m.store(Space::Host, Space::Host, b, 2, Value::Int(42), 0)
+            .unwrap();
+        assert_eq!(
+            m.load(Space::Host, Space::Host, b, 2).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            m.load(Space::Host, Space::Host, b, 0).unwrap(),
+            Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn cross_space_access_is_illegal() {
+        let m = mem();
+        let d = m.alloc(Space::Device, Type::INT, 4, Value::Int(0));
+        let err = m.load(Space::Host, Space::Device, d, 0).unwrap_err();
+        assert_eq!(err.kind, RuntimeErrorKind::IllegalAccess);
+        let err = m
+            .store(Space::Device, Space::Host, 0, 0, Value::Int(1), 0)
+            .unwrap_err();
+        assert_eq!(err.kind, RuntimeErrorKind::IllegalAccess);
+    }
+
+    #[test]
+    fn out_of_bounds() {
+        let m = mem();
+        let b = m.alloc(Space::Host, Type::INT, 4, Value::Int(0));
+        let err = m.load(Space::Host, Space::Host, b, 4).unwrap_err();
+        assert_eq!(err.kind, RuntimeErrorKind::OutOfBounds);
+    }
+
+    #[test]
+    fn copy_crosses_spaces() {
+        let m = mem();
+        let h = m.alloc(Space::Host, Type::INT, 4, Value::Int(7));
+        let d = m.alloc(Space::Device, Type::INT, 4, Value::Int(0));
+        m.copy(Space::Device, d, 0, Space::Host, h, 0, 4).unwrap();
+        assert_eq!(
+            m.load(Space::Device, Space::Device, d, 0).unwrap(),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn copy_bounds_checked() {
+        let m = mem();
+        let h = m.alloc(Space::Host, Type::INT, 4, Value::Int(0));
+        let d = m.alloc(Space::Device, Type::INT, 2, Value::Int(0));
+        let err = m.copy(Space::Device, d, 0, Space::Host, h, 0, 4).unwrap_err();
+        assert_eq!(err.kind, RuntimeErrorKind::OutOfBounds);
+    }
+
+    #[test]
+    fn double_free_and_use_after_free() {
+        let m = mem();
+        let b = m.alloc(Space::Host, Type::INT, 4, Value::Int(0));
+        m.free(Space::Host, b).unwrap();
+        assert_eq!(
+            m.free(Space::Host, b).unwrap_err().kind,
+            RuntimeErrorKind::UseAfterFree
+        );
+        assert_eq!(
+            m.load(Space::Host, Space::Host, b, 0).unwrap_err().kind,
+            RuntimeErrorKind::UseAfterFree
+        );
+    }
+
+    #[test]
+    fn race_detector_flags_conflicting_writes() {
+        let m = Memory::new(true);
+        let d = m.alloc(Space::Device, Type::INT, 4, Value::Int(0));
+        m.detector.begin_kernel();
+        m.store(Space::Device, Space::Device, d, 1, Value::Int(1), 10)
+            .unwrap();
+        m.store(Space::Device, Space::Device, d, 1, Value::Int(2), 11)
+            .unwrap();
+        // Same thread rewriting is fine.
+        m.store(Space::Device, Space::Device, d, 2, Value::Int(1), 5)
+            .unwrap();
+        m.store(Space::Device, Space::Device, d, 2, Value::Int(2), 5)
+            .unwrap();
+        let races = m.detector.races();
+        assert_eq!(races.len(), 1);
+        assert!(races[0].contains("element 1"));
+    }
+
+    #[test]
+    fn fill_respects_bounds() {
+        let m = mem();
+        let b = m.alloc(Space::Host, Type::INT, 4, Value::Int(1));
+        m.fill(Space::Host, Space::Host, b, 1, 2, Value::Int(9))
+            .unwrap();
+        assert_eq!(m.load(Space::Host, Space::Host, b, 0).unwrap(), Value::Int(1));
+        assert_eq!(m.load(Space::Host, Space::Host, b, 1).unwrap(), Value::Int(9));
+        assert_eq!(m.load(Space::Host, Space::Host, b, 2).unwrap(), Value::Int(9));
+        assert!(m
+            .fill(Space::Host, Space::Host, b, 3, 5, Value::Int(0))
+            .is_err());
+    }
+}

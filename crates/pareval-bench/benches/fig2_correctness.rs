@@ -1,0 +1,53 @@
+//! Fig. 2 (a–f): build@1 and pass@1 heatmaps for the three programming-model
+//! translation pairs, code-only and overall, per technique. Prints all six
+//! regenerated subfigures, then benchmarks one representative sample
+//! (translate + build + test of nanoXOR with o4-mini).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minihpc_lang::model::TranslationPair;
+use pareval_core::{report, run_experiment, run_sample, EvalConfig, ExperimentConfig};
+use pareval_llm::model_by_name;
+use pareval_translate::Technique;
+
+fn bench(c: &mut Criterion) {
+    let samples = std::env::var("PAREVAL_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let results = run_experiment(&ExperimentConfig::full(samples));
+    for pair in TranslationPair::ALL {
+        println!("{}", report::fig2(&results, pair, false));
+        println!("{}", report::fig2(&results, pair, true));
+    }
+
+    let task = pareval_core::all_tasks()
+        .into_iter()
+        .find(|t| t.app.name == "nanoXOR" && t.pair == TranslationPair::CUDA_TO_OMP_OFFLOAD)
+        .unwrap();
+    let model = model_by_name("o4-mini").unwrap();
+    let eval = EvalConfig {
+        max_cases: 1,
+        ..EvalConfig::default()
+    };
+    let mut sample = 0u32;
+    c.bench_function("fig2/one_translation_sample", |b| {
+        b.iter(|| {
+            sample = sample.wrapping_add(1);
+            std::hint::black_box(run_sample(
+                &task,
+                Technique::NonAgentic,
+                &model,
+                99,
+                sample,
+                &eval,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

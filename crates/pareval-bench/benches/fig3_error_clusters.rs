@@ -1,0 +1,45 @@
+//! Fig. 3: build-error category counts per model, recovered by the
+//! word2vec + DBSCAN clustering pipeline from raw build logs and validated
+//! against the toolchain's ground-truth categories. Prints both views, then
+//! benchmarks the clustering step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pareval_core::{report, run_experiment, ExperimentConfig};
+use pareval_errclust::{cluster_logs, PipelineConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::full(4);
+    cfg.apps = vec![
+        "nanoXOR".into(),
+        "microXORh".into(),
+        "microXOR".into(),
+        "SimpleMOC-kernel".into(),
+    ];
+    let results = run_experiment(&cfg);
+    println!("\n{}", report::fig3(&results));
+
+    let logs: Vec<_> = results
+        .error_logs_with_models()
+        .into_iter()
+        .map(|(_, l)| l)
+        .collect();
+    println!("Clustering {} failed-build logs...", logs.len());
+    let clustering = cluster_logs(&logs, &PipelineConfig::default());
+    println!(
+        "Recovered {} clusters (+{} noise), purity {:.2}\n",
+        clustering.clusters.len(),
+        clustering.noise.len(),
+        clustering.purity
+    );
+
+    c.bench_function("fig3/cluster_logs", |b| {
+        b.iter(|| std::hint::black_box(cluster_logs(&logs, &PipelineConfig::default())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 4: total inference tokens per (technique, model, app), averaged over
+//! pairs and generations. Prints the regenerated table, then benchmarks the
+//! token-accounting path (one simulated translation with the heaviest
+//! reasoning model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minihpc_lang::model::TranslationPair;
+use pareval_core::{report, run_experiment, run_sample, EvalConfig, ExperimentConfig};
+use pareval_llm::model_by_name;
+use pareval_translate::Technique;
+
+fn bench(c: &mut Criterion) {
+    let results = run_experiment(&ExperimentConfig::full(4));
+    println!("\n{}", report::fig4(&results));
+
+    let task = pareval_core::all_tasks()
+        .into_iter()
+        .find(|t| t.app.name == "microXOR" && t.pair == TranslationPair::CUDA_TO_OMP_OFFLOAD)
+        .unwrap();
+    let model = model_by_name("qwq-32b-q8_0").unwrap();
+    let eval = EvalConfig {
+        max_cases: 1,
+        ..EvalConfig::default()
+    };
+    c.bench_function("fig4/qwq_token_accounting", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_sample(
+                &task,
+                Technique::NonAgentic,
+                &model,
+                123,
+                1,
+                &eval,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

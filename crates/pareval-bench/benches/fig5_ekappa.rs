@@ -1,0 +1,34 @@
+//! Fig. 5: expected token cost E_kappa (Eq. 2) per (technique, model, app),
+//! aggregated over pairs with pass@1 > 0. Prints the regenerated table, then
+//! benchmarks the estimator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pareval_core::{report, run_experiment, ExperimentConfig};
+use pareval_metrics::{expected_token_cost, pass_at_k};
+
+fn bench(c: &mut Criterion) {
+    let results = run_experiment(&ExperimentConfig::full(5));
+    println!("\n{}", report::fig5(&results));
+
+    c.bench_function("fig5/ekappa_estimator", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in 1..50u64 {
+                for correct in 0..=n {
+                    let p = pass_at_k(n, correct, 1);
+                    if let Some(e) = expected_token_cost(p, 10_000.0) {
+                        acc += e;
+                    }
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

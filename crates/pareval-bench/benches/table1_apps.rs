@@ -1,0 +1,19 @@
+//! Table 1: application statistics. Prints the regenerated table, then
+//! benchmarks the statistics computation (parse + SLoC + cyclomatic
+//! complexity over the whole suite).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}\n", pareval_core::report::table1());
+    c.bench_function("table1/suite_statistics", |b| {
+        b.iter(|| std::hint::black_box(pareval_core::report::table1()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

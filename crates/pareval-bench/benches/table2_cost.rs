@@ -1,0 +1,35 @@
+//! Table 2: estimated dollar / node-hour cost per successful translation
+//! for the most token-economic commercial (o4-mini) and local (Llama-3.3)
+//! models on the three XOR applications. Prints the regenerated table, then
+//! benchmarks the cost computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minihpc_lang::model::TranslationPair;
+use pareval_core::{report, run_experiment, ExperimentConfig};
+use pareval_metrics::{dollar_cost, node_hours};
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::full(5);
+    cfg.pairs = TranslationPair::ALL.to_vec();
+    cfg.apps = vec!["nanoXOR".into(), "microXORh".into(), "microXOR".into()];
+    let results = run_experiment(&cfg);
+    println!("\n{}", report::table2(&results));
+
+    c.bench_function("table2/cost_model", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for t in 0..1000u64 {
+                total += dollar_cost(t * 100, t * 35, 1.1, 4.4);
+                total += node_hours(t * 135, 187.0);
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! # pareval-core
+//!
+//! The ParEval-Repo harness: the sixteen translation tasks, the experiment
+//! runner (N generations per task × technique × model cell, each evaluated
+//! through the real MiniHPC build + run pipeline under both the "Code-only"
+//! and "Overall" scorings), and plain-text emitters for every table and
+//! figure of the paper.
+//!
+//! ```no_run
+//! use pareval_core::{run_experiment, ExperimentConfig, report};
+//!
+//! let results = run_experiment(&ExperimentConfig::quick());
+//! println!("{}", report::fig2(
+//!     &results,
+//!     minihpc_lang::TranslationPair::CUDA_TO_OMP_OFFLOAD,
+//!     true,
+//! ));
+//! ```
+
+pub mod experiment;
+pub mod report;
+pub mod task;
+
+pub use experiment::{run_experiment, CellResult, ExperimentConfig, ExperimentResults};
+pub use task::{all_tasks, evaluate, run_sample, EvalConfig, EvalOutcome, SampleResult, Task};

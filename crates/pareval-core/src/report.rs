@@ -1,0 +1,295 @@
+//! Plain-text report emitters: one per table and figure of the paper.
+
+use crate::experiment::ExperimentResults;
+use minihpc_build::ErrorCategory;
+use minihpc_lang::complexity;
+use minihpc_lang::model::TranslationPair;
+use minihpc_lang::parser;
+use minihpc_lang::repo::FileKind;
+use pareval_llm::{all_models, MODEL_ORDER};
+use pareval_metrics::{dollar_cost, expected_token_cost, node_hours};
+use pareval_translate::Technique;
+use std::fmt::Write as _;
+
+const APP_ORDER: [&str; 6] = [
+    "nanoXOR",
+    "microXORh",
+    "microXOR",
+    "SimpleMOC-kernel",
+    "XSBench",
+    "llm.c",
+];
+
+/// Table 1: application statistics (SLoC, cyclomatic complexity, files,
+/// available models) computed from the MiniHPC ports.
+pub fn table1() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<18} {:>6} {:>5} {:>7}  Models",
+        "Application", "SLoC", "CC", "#Files"
+    )
+    .unwrap();
+    for app in pareval_apps::suite() {
+        let (model, repo) = app.repos.iter().next().unwrap();
+        let mut sloc = 0usize;
+        let mut cc = 0usize;
+        let mut files = 0usize;
+        for (path, text) in repo.iter() {
+            let kind = FileKind::of(path);
+            if kind == FileKind::Other {
+                continue;
+            }
+            files += 1;
+            if kind.is_code() {
+                if let Ok(parsed) = parser::parse_file(text) {
+                    let stats = complexity::file_stats(text, &parsed);
+                    sloc += stats.sloc;
+                    cc += stats.cyclomatic;
+                } else {
+                    sloc += complexity::sloc(text);
+                }
+            } else {
+                sloc += complexity::sloc(text);
+            }
+        }
+        let models: Vec<&str> = app.available_models().iter().map(|m| m.name()).collect();
+        let _ = model;
+        writeln!(
+            out,
+            "{:<18} {:>6} {:>5} {:>7}  {}",
+            app.name,
+            sloc,
+            cc,
+            files,
+            models.join(", ")
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// One Fig. 2 subfigure: build@1 or pass@1 heatmaps (code-only and overall)
+/// for one pair and the techniques that ran.
+pub fn fig2(results: &ExperimentResults, pair: TranslationPair, pass: bool) -> String {
+    let metric = if pass { "pass@1" } else { "build@1" };
+    let mut out = String::new();
+    writeln!(out, "== {metric} for {pair} ==").unwrap();
+    for scoring in ["Code-only", "Overall"] {
+        for technique in [
+            Technique::NonAgentic,
+            Technique::TopDownAgentic,
+            Technique::SweAgent,
+        ] {
+            let mut grid = String::new();
+            let mut any = false;
+            for app in APP_ORDER {
+                let mut row = format!("{app:<18}");
+                let mut row_any = false;
+                for model in MODEL_ORDER {
+                    let cell = results.cell(pair, technique, model, app);
+                    match cell {
+                        Some(c) if c.feasible && c.samples > 0 => {
+                            let v = match (scoring, pass) {
+                                ("Code-only", false) => c.build_at_1_code(),
+                                ("Code-only", true) => c.pass_at_1_code(),
+                                ("Overall", false) => c.build_at_1_overall(),
+                                ("Overall", true) => c.pass_at_1_overall(),
+                                _ => unreachable!(),
+                            };
+                            write!(row, " {v:>5.2}").unwrap();
+                            row_any = true;
+                        }
+                        Some(_) => write!(row, " {:>5}", "-").unwrap(),
+                        None => write!(row, " {:>5}", ".").unwrap(),
+                    }
+                }
+                if row_any {
+                    any = true;
+                }
+                grid.push_str(&row);
+                grid.push('\n');
+            }
+            if any {
+                writeln!(out, "-- {scoring} / {technique} --").unwrap();
+                writeln!(
+                    out,
+                    "{:<18} {:>5} {:>5} {:>5} {:>5} {:>5}",
+                    "", "gem", "gpt", "o4", "llam", "qwq"
+                )
+                .unwrap();
+                out.push_str(&grid);
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 3: per-(model, category) build-error counts, via the ground-truth
+/// categories (the clustering pipeline's validation target).
+pub fn fig3(results: &ExperimentResults) -> String {
+    let counts = results.error_counts();
+    let mut out = String::new();
+    writeln!(out, "== Error category counts (Fig. 3) ==").unwrap();
+    write!(out, "{:<34}", "Category").unwrap();
+    for m in MODEL_ORDER {
+        write!(out, " {:>6}", &m[..4.min(m.len())]).unwrap();
+    }
+    out.push('\n');
+    for category in ErrorCategory::FIGURE3 {
+        write!(out, "{:<34}", category.label()).unwrap();
+        for model in MODEL_ORDER {
+            let c = counts
+                .get(&(model.to_string(), category))
+                .copied()
+                .unwrap_or(0);
+            write!(out, " {c:>6}").unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 4: average total inference tokens per (technique, model, app),
+/// averaged over pairs and generations, in thousands.
+pub fn fig4(results: &ExperimentResults) -> String {
+    let mut out = String::new();
+    writeln!(out, "== Avg total inference tokens, thousands (Fig. 4) ==").unwrap();
+    for technique in [Technique::NonAgentic, Technique::TopDownAgentic] {
+        writeln!(out, "-- {technique} --").unwrap();
+        for app in APP_ORDER {
+            write!(out, "{app:<18}").unwrap();
+            for model in MODEL_ORDER {
+                let mut sum = 0.0;
+                let mut n = 0.0;
+                for pair in TranslationPair::ALL {
+                    if let Some(c) = results.cell(pair, technique, model, app) {
+                        if let Some(m) = c.tokens.mean() {
+                            sum += m;
+                            n += 1.0;
+                        }
+                    }
+                }
+                if n > 0.0 {
+                    write!(out, " {:>8.1}", sum / n / 1000.0).unwrap();
+                } else {
+                    write!(out, " {:>8}", "-").unwrap();
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Fig. 5: expected token cost E_kappa (thousands), aggregated over pairs
+/// with pass@1 > 0.
+pub fn fig5(results: &ExperimentResults) -> String {
+    let mut out = String::new();
+    writeln!(out, "== Expected tokens for success, thousands (Fig. 5) ==").unwrap();
+    for technique in [Technique::NonAgentic, Technique::TopDownAgentic] {
+        writeln!(out, "-- {technique} --").unwrap();
+        for app in APP_ORDER {
+            write!(out, "{app:<18}").unwrap();
+            for model in MODEL_ORDER {
+                let mut acc = Vec::new();
+                for pair in TranslationPair::ALL {
+                    if let Some(c) = results.cell(pair, technique, model, app) {
+                        let p = c.pass_at_1_overall();
+                        if let (true, Some(t)) = (p > 0.0, c.tokens.mean()) {
+                            if let Some(e) = expected_token_cost(p, t) {
+                                acc.push(e);
+                            }
+                        }
+                    }
+                }
+                if acc.is_empty() {
+                    write!(out, " {:>9}", "-").unwrap();
+                } else {
+                    let mean = acc.iter().sum::<f64>() / acc.len() as f64;
+                    write!(out, " {:>9.1}", mean / 1000.0).unwrap();
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Table 2: estimated cost ($ for the cheapest commercial model, node-hours
+/// for the cheapest local model) per successful translation of the three
+/// XOR applications.
+pub fn table2(results: &ExperimentResults) -> String {
+    let models = all_models();
+    let o4 = models.iter().find(|m| m.name == "o4-mini").unwrap();
+    let llama = models.iter().find(|m| m.name == "Llama-3.3-70B").unwrap();
+    let apps = ["nanoXOR", "microXORh", "microXOR"];
+    let mut out = String::new();
+    writeln!(out, "== Estimated cost per successful translation (Table 2) ==").unwrap();
+    writeln!(
+        out,
+        "{:<28} {:>10} {:>11} {:>10}",
+        "", apps[0], apps[1], apps[2]
+    )
+    .unwrap();
+    for (label, model) in [("Non-agentic o4-mini", o4), ("Non-agentic Llama-3.3", llama)] {
+        write!(out, "{label:<28}").unwrap();
+        for app in apps {
+            let mut ek = Vec::new();
+            for pair in TranslationPair::ALL {
+                if let Some(c) = results.cell(pair, Technique::NonAgentic, model.name, app) {
+                    let p = c.pass_at_1_overall();
+                    if let (true, Some(t)) = (p > 0.0, c.tokens.mean()) {
+                        if let Some(e) = expected_token_cost(p, t) {
+                            ek.push(e);
+                        }
+                    }
+                }
+            }
+            if ek.is_empty() {
+                write!(out, " {:>10}", "-").unwrap();
+                continue;
+            }
+            let tokens = ek.iter().sum::<f64>() / ek.len() as f64;
+            if model.local_tokens_per_second > 0.0 {
+                let nh = node_hours(tokens as u64, model.local_tokens_per_second);
+                write!(out, " {nh:>8.2}nh").unwrap();
+            } else {
+                // Approximate input/output split from the profile multiplier.
+                let out_frac = 0.35;
+                let d = dollar_cost(
+                    (tokens * (1.0 - out_frac)) as u64,
+                    (tokens * out_frac) as u64,
+                    model.price_in_per_mtok,
+                    model.price_out_per_mtok,
+                );
+                write!(out, " {:>9}", format!("${d:.2}")).unwrap();
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_apps_and_increasing_size() {
+        let t = table1();
+        for app in APP_ORDER {
+            assert!(t.contains(app), "missing {app} in:\n{t}");
+        }
+        // Extract SLoC column and check nanoXOR < XSBench.
+        let sloc = |name: &str| -> usize {
+            t.lines()
+                .find(|l| l.starts_with(name))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+                .unwrap()
+        };
+        assert!(sloc("nanoXOR") < sloc("XSBench"));
+        assert!(sloc("SimpleMOC-kernel") < sloc("XSBench"));
+    }
+}

@@ -1,0 +1,179 @@
+//! DBSCAN (Ester, Kriegel, Sander, Xu — KDD'96), the density-based
+//! clustering algorithm the paper uses on log embeddings (Sec. 6.3): finds
+//! clusters of arbitrary shape, is robust to noise, and has exactly two
+//! hyperparameters (`eps`, `min_pts`).
+
+/// Cluster assignment for one point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    Noise,
+    Cluster(usize),
+}
+
+/// Run DBSCAN over points with Euclidean distance.
+pub fn dbscan(points: &[Vec<f64>], eps: f64, min_pts: usize) -> Vec<Assignment> {
+    let n = points.len();
+    let mut labels = vec![None::<Assignment>; n];
+    let mut cluster = 0usize;
+
+    let neighbors = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| euclidean(&points[i], &points[j]) <= eps)
+            .collect()
+    };
+
+    for i in 0..n {
+        if labels[i].is_some() {
+            continue;
+        }
+        let nbrs = neighbors(i);
+        if nbrs.len() < min_pts {
+            labels[i] = Some(Assignment::Noise);
+            continue;
+        }
+        labels[i] = Some(Assignment::Cluster(cluster));
+        // Expand the cluster from the seed set.
+        let mut queue: Vec<usize> = nbrs;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let j = queue[qi];
+            qi += 1;
+            match labels[j] {
+                Some(Assignment::Noise) => {
+                    // Border point reached by density.
+                    labels[j] = Some(Assignment::Cluster(cluster));
+                }
+                Some(_) => continue,
+                None => {
+                    labels[j] = Some(Assignment::Cluster(cluster));
+                    let jn = neighbors(j);
+                    if jn.len() >= min_pts {
+                        queue.extend(jn);
+                    }
+                }
+            }
+        }
+        cluster += 1;
+    }
+    labels.into_iter().map(|l| l.unwrap()).collect()
+}
+
+/// Number of clusters in an assignment.
+pub fn n_clusters(assignments: &[Assignment]) -> usize {
+    assignments
+        .iter()
+        .filter_map(|a| match a {
+            Assignment::Cluster(c) => Some(*c + 1),
+            Assignment::Noise => None,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: (f64, f64), n: usize, spread: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let angle = i as f64 * 2.39996; // golden-angle spiral
+                let r = spread * (i as f64 / n as f64);
+                vec![center.0 + r * angle.cos(), center.1 + r * angle.sin()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_blobs_two_clusters() {
+        let mut pts = blob((0.0, 0.0), 20, 0.5);
+        pts.extend(blob((10.0, 10.0), 20, 0.5));
+        let labels = dbscan(&pts, 0.8, 4);
+        assert_eq!(n_clusters(&labels), 2);
+        // Every point of the first blob shares a cluster id.
+        let first = labels[0];
+        assert!(labels[..20].iter().all(|l| *l == first));
+        assert!(labels[20..].iter().all(|l| *l != first));
+    }
+
+    #[test]
+    fn isolated_points_are_noise() {
+        let mut pts = blob((0.0, 0.0), 10, 0.3);
+        pts.push(vec![100.0, 100.0]);
+        let labels = dbscan(&pts, 0.8, 4);
+        assert_eq!(*labels.last().unwrap(), Assignment::Noise);
+        assert_eq!(n_clusters(&labels), 1);
+    }
+
+    #[test]
+    fn min_pts_threshold_matters() {
+        let pts = blob((0.0, 0.0), 3, 0.1);
+        // Only three points: below min_pts=5 everything is noise.
+        let labels = dbscan(&pts, 1.0, 5);
+        assert!(labels.iter().all(|l| *l == Assignment::Noise));
+        // With min_pts=2 they form one cluster.
+        let labels = dbscan(&pts, 1.0, 2);
+        assert_eq!(n_clusters(&labels), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let labels = dbscan(&[], 1.0, 3);
+        assert!(labels.is_empty());
+        assert_eq!(n_clusters(&labels), 0);
+    }
+
+    #[test]
+    fn chain_connectivity() {
+        // A chain of points each within eps of the next forms one cluster
+        // (arbitrary shape, the DBSCAN selling point).
+        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.5, 0.0]).collect();
+        let labels = dbscan(&pts, 0.6, 2);
+        assert_eq!(n_clusters(&labels), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn labels_cover_all_points(
+            xs in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 0..40),
+            eps in 0.1f64..2.0,
+            min_pts in 2usize..6,
+        ) {
+            let pts: Vec<Vec<f64>> = xs.iter().map(|(x, y)| vec![*x, *y]).collect();
+            let labels = dbscan(&pts, eps, min_pts);
+            prop_assert_eq!(labels.len(), pts.len());
+            // Cluster ids are contiguous from zero.
+            let k = n_clusters(&labels);
+            for l in &labels {
+                if let Assignment::Cluster(c) = l {
+                    prop_assert!(*c < k);
+                }
+            }
+        }
+
+        #[test]
+        fn duplicate_points_share_fate(
+            x in -5.0f64..5.0,
+            y in -5.0f64..5.0,
+            n in 2usize..8,
+        ) {
+            let pts: Vec<Vec<f64>> = (0..n).map(|_| vec![x, y]).collect();
+            let labels = dbscan(&pts, 0.5, 2);
+            prop_assert!(labels.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # pareval-errclust
+//!
+//! The paper's semi-automated error-classification pipeline (Sec. 6.3),
+//! built from scratch: [`word2vec`] (skip-gram with negative sampling)
+//! embeds each build/run log into a vector, [`dbscan`] clusters the vectors,
+//! and [`pipeline`] performs the merge-and-label pass that produces the
+//! Fig. 3 category counts.
+
+pub mod dbscan;
+pub mod pipeline;
+pub mod word2vec;
+
+pub use dbscan::{dbscan, Assignment};
+pub use pipeline::{category_counts, cluster_logs, ClusteringResult, LogEntry, PipelineConfig};
+pub use word2vec::{tokenize, W2vConfig, Word2Vec};

@@ -1,0 +1,198 @@
+//! The semi-automated error-clustering pipeline of paper Sec. 6.3:
+//! word2vec-embed each build/run log, cluster with DBSCAN, then apply the
+//! "manual pass" — merging algorithmic clusters and assigning a category
+//! label to each. The manual labelling step is simulated by majority vote
+//! over the ground-truth categories the toolchain recorded, which is
+//! exactly the information a human label-assigner reads off the logs.
+
+use crate::dbscan::{dbscan, Assignment};
+use crate::word2vec::{tokenize, W2vConfig, Word2Vec};
+use minihpc_build::ErrorCategory;
+use std::collections::HashMap;
+
+/// One log to cluster: raw text plus the ground-truth category (used for
+/// labelling and for validating the clustering).
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    pub text: String,
+    pub truth: ErrorCategory,
+}
+
+/// A labelled cluster.
+#[derive(Debug, Clone)]
+pub struct LabelledCluster {
+    pub label: ErrorCategory,
+    /// Indices into the input logs.
+    pub members: Vec<usize>,
+}
+
+/// Result of the full pipeline.
+#[derive(Debug, Clone)]
+pub struct ClusteringResult {
+    pub clusters: Vec<LabelledCluster>,
+    pub noise: Vec<usize>,
+    /// Fraction of logs whose cluster label matches their ground truth
+    /// (quality of the automated step before manual correction).
+    pub purity: f64,
+}
+
+/// Hyperparameters (the paper tunes DBSCAN's two knobs by inspection).
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    pub w2v: W2vConfig,
+    pub eps: f64,
+    pub min_pts: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            w2v: W2vConfig::default(),
+            eps: 0.35,
+            min_pts: 3,
+        }
+    }
+}
+
+/// Run embed → cluster → merge/label.
+pub fn cluster_logs(logs: &[LogEntry], config: &PipelineConfig) -> ClusteringResult {
+    let docs: Vec<Vec<String>> = logs.iter().map(|l| tokenize(&l.text)).collect();
+    let model = Word2Vec::train(&docs, &config.w2v);
+    let points: Vec<Vec<f64>> = docs.iter().map(|d| model.embed_document(d)).collect();
+    let assignments = dbscan(&points, config.eps, config.min_pts);
+
+    let mut by_cluster: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut noise = Vec::new();
+    for (i, a) in assignments.iter().enumerate() {
+        match a {
+            Assignment::Cluster(c) => by_cluster.entry(*c).or_default().push(i),
+            Assignment::Noise => noise.push(i),
+        }
+    }
+
+    // Label each cluster by majority ground truth (the manual pass), then
+    // merge clusters that received the same label — the paper merges
+    // "highly similar clusters" the algorithm split.
+    let mut merged: HashMap<ErrorCategory, Vec<usize>> = HashMap::new();
+    for (_, members) in by_cluster {
+        let mut votes: HashMap<ErrorCategory, usize> = HashMap::new();
+        for &i in &members {
+            *votes.entry(logs[i].truth).or_default() += 1;
+        }
+        let label = votes
+            .into_iter()
+            .max_by_key(|(_, v)| *v)
+            .map(|(c, _)| c)
+            .unwrap_or(ErrorCategory::Other);
+        merged.entry(label).or_default().extend(members);
+    }
+    // During the manual pass, noise points are reassigned to the cluster of
+    // their label when one exists.
+    let mut still_noise = Vec::new();
+    for i in noise {
+        match merged.get_mut(&logs[i].truth) {
+            Some(members) => members.push(i),
+            None => still_noise.push(i),
+        }
+    }
+
+    let mut clusters: Vec<LabelledCluster> = merged
+        .into_iter()
+        .map(|(label, mut members)| {
+            members.sort_unstable();
+            LabelledCluster { label, members }
+        })
+        .collect();
+    clusters.sort_by_key(|c| c.label);
+
+    let correct: usize = clusters
+        .iter()
+        .flat_map(|c| c.members.iter().map(move |&i| (c.label, i)))
+        .filter(|(label, i)| logs[*i].truth == *label)
+        .count();
+    let assigned: usize = clusters.iter().map(|c| c.members.len()).sum();
+    let purity = if assigned == 0 {
+        0.0
+    } else {
+        correct as f64 / assigned as f64
+    };
+    ClusteringResult {
+        clusters,
+        noise: still_noise,
+        purity,
+    }
+}
+
+/// Count logs per category out of a clustering (the Fig. 3 measurement).
+pub fn category_counts(result: &ClusteringResult) -> HashMap<ErrorCategory, usize> {
+    result
+        .clusters
+        .iter()
+        .map(|c| (c.label, c.members.len()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_logs() -> Vec<LogEntry> {
+        let mut logs = Vec::new();
+        for i in 0..12 {
+            logs.push(LogEntry {
+                text: format!(
+                    "app: undefined reference to `helper_{i}' collect2 error ld returned 1"
+                ),
+                truth: ErrorCategory::LinkerError,
+            });
+        }
+        for i in 0..12 {
+            logs.push(LogEntry {
+                text: format!("Makefile:{i}: *** missing separator.  Stop."),
+                truth: ErrorCategory::BuildFileSyntax,
+            });
+        }
+        for i in 0..12 {
+            logs.push(LogEntry {
+                text: format!(
+                    "main.cpp:{i}: error: use of undeclared identifier 'computeWith{i}'"
+                ),
+                truth: ErrorCategory::UndeclaredIdentifier,
+            });
+        }
+        logs
+    }
+
+    #[test]
+    fn clean_categories_cluster_with_high_purity() {
+        let logs = synthetic_logs();
+        let result = cluster_logs(&logs, &PipelineConfig::default());
+        assert!(result.purity > 0.9, "purity {}", result.purity);
+        let counts = category_counts(&result);
+        assert_eq!(counts.get(&ErrorCategory::LinkerError), Some(&12));
+        assert_eq!(counts.get(&ErrorCategory::BuildFileSyntax), Some(&12));
+        assert_eq!(counts.get(&ErrorCategory::UndeclaredIdentifier), Some(&12));
+    }
+
+    #[test]
+    fn all_logs_accounted_for() {
+        let logs = synthetic_logs();
+        let result = cluster_logs(&logs, &PipelineConfig::default());
+        let assigned: usize = result.clusters.iter().map(|c| c.members.len()).sum();
+        assert_eq!(assigned + result.noise.len(), logs.len());
+        // No index appears twice.
+        let mut seen = std::collections::HashSet::new();
+        for c in &result.clusters {
+            for &i in &c.members {
+                assert!(seen.insert(i), "duplicate assignment for {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let result = cluster_logs(&[], &PipelineConfig::default());
+        assert!(result.clusters.is_empty());
+        assert!(result.noise.is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! A from-scratch word2vec (skip-gram with negative sampling, Mikolov et
+//! al. 2013) sized for build/run-log corpora: the paper embeds each
+//! translation's logs as a single vector (we mean-pool word vectors) before
+//! clustering with DBSCAN (Sec. 6.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct W2vConfig {
+    pub dim: usize,
+    pub window: usize,
+    pub negatives: usize,
+    pub epochs: usize,
+    pub learning_rate: f64,
+    pub seed: u64,
+    /// Words rarer than this are dropped from the vocabulary.
+    pub min_count: usize,
+}
+
+impl Default for W2vConfig {
+    fn default() -> Self {
+        W2vConfig {
+            dim: 32,
+            window: 4,
+            negatives: 5,
+            epochs: 8,
+            learning_rate: 0.05,
+            seed: 13,
+            min_count: 1,
+        }
+    }
+}
+
+/// A trained embedding model.
+pub struct Word2Vec {
+    vocab: HashMap<String, usize>,
+    vectors: Vec<Vec<f64>>,
+    dim: usize,
+}
+
+/// Tokenize a log line corpus: lowercase, split on non-alphanumerics,
+/// collapse numbers to `<num>` (so line/byte offsets don't fragment the
+/// vocabulary).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split(|c: char| !c.is_ascii_alphanumeric() && c != '_') {
+        if raw.is_empty() {
+            continue;
+        }
+        if raw.chars().all(|c| c.is_ascii_digit()) {
+            out.push("<num>".to_string());
+        } else {
+            out.push(raw.to_ascii_lowercase());
+        }
+    }
+    out
+}
+
+impl Word2Vec {
+    /// Train on a corpus of documents (one token stream per document).
+    pub fn train(documents: &[Vec<String>], config: &W2vConfig) -> Word2Vec {
+        // Vocabulary with counts.
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for doc in documents {
+            for w in doc {
+                *counts.entry(w.as_str()).or_default() += 1;
+            }
+        }
+        let mut words: Vec<&str> = counts
+            .iter()
+            .filter(|(_, c)| **c >= config.min_count)
+            .map(|(w, _)| *w)
+            .collect();
+        words.sort_unstable();
+        let vocab: HashMap<String, usize> = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.to_string(), i))
+            .collect();
+        let v = vocab.len().max(1);
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut input_vecs: Vec<Vec<f64>> = (0..v)
+            .map(|_| {
+                (0..config.dim)
+                    .map(|_| (rng.gen::<f64>() - 0.5) / config.dim as f64)
+                    .collect()
+            })
+            .collect();
+        let mut output_vecs: Vec<Vec<f64>> = vec![vec![0.0; config.dim]; v];
+
+        // Unigram table for negative sampling (counts^0.75), built in
+        // sorted-word order so training is deterministic.
+        let mut table: Vec<usize> = Vec::new();
+        for w in &words {
+            let idx = vocab[*w];
+            let c = counts[w] as f64;
+            let reps = (c.powf(0.75).ceil() as usize).max(1);
+            table.extend(std::iter::repeat_n(idx, reps));
+        }
+        if table.is_empty() {
+            table.push(0);
+        }
+
+        let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+        for epoch in 0..config.epochs {
+            let lr = config.learning_rate * (1.0 - epoch as f64 / config.epochs as f64).max(0.1);
+            for doc in documents {
+                let ids: Vec<usize> = doc.iter().filter_map(|w| vocab.get(w).copied()).collect();
+                for (pos, &center) in ids.iter().enumerate() {
+                    let lo = pos.saturating_sub(config.window);
+                    let hi = (pos + config.window + 1).min(ids.len());
+                    for ctx_pos in lo..hi {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        let context = ids[ctx_pos];
+                        // One positive + `negatives` negative updates.
+                        let mut grad_center = vec![0.0; config.dim];
+                        for neg in 0..=config.negatives {
+                            let (target, label) = if neg == 0 {
+                                (context, 1.0)
+                            } else {
+                                (table[rng.gen_range(0..table.len())], 0.0)
+                            };
+                            if label == 0.0 && target == context {
+                                continue;
+                            }
+                            let dot: f64 = input_vecs[center]
+                                .iter()
+                                .zip(&output_vecs[target])
+                                .map(|(a, b)| a * b)
+                                .sum();
+                            let g = (sigmoid(dot) - label) * lr;
+                            for d in 0..config.dim {
+                                grad_center[d] += g * output_vecs[target][d];
+                                output_vecs[target][d] -= g * input_vecs[center][d];
+                            }
+                        }
+                        for d in 0..config.dim {
+                            input_vecs[center][d] -= grad_center[d];
+                        }
+                    }
+                }
+            }
+        }
+        Word2Vec {
+            vocab,
+            vectors: input_vecs,
+            dim: config.dim,
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn vector(&self, word: &str) -> Option<&[f64]> {
+        self.vocab.get(word).map(|&i| self.vectors[i].as_slice())
+    }
+
+    /// Mean-pooled document embedding, L2-normalised (a single vector per
+    /// translation log, as the paper does).
+    pub fn embed_document(&self, tokens: &[String]) -> Vec<f64> {
+        let mut acc = vec![0.0; self.dim];
+        let mut n = 0.0;
+        for t in tokens {
+            if let Some(v) = self.vector(t) {
+                for (a, b) in acc.iter_mut().zip(v) {
+                    *a += b;
+                }
+                n += 1.0;
+            }
+        }
+        if n > 0.0 {
+            for a in &mut acc {
+                *a /= n;
+            }
+        }
+        let norm: f64 = acc.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for a in &mut acc {
+                *a /= norm;
+            }
+        }
+        acc
+    }
+
+    pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<String>> {
+        let docs = [
+            "error undefined reference to function link failed",
+            "error undefined reference to symbol link failed",
+            "error undefined reference to helper link failed",
+            "makefile missing separator stop",
+            "makefile missing separator line stop",
+            "makefile recipe missing separator stop",
+            "cmake unknown command parse error",
+            "cmake find_package kokkos not found",
+        ];
+        docs.iter().map(|d| tokenize(d)).collect()
+    }
+
+    #[test]
+    fn tokenizer_normalises() {
+        assert_eq!(
+            tokenize("Makefile:12: *** missing separator.  Stop."),
+            vec!["makefile", "<num>", "missing", "separator", "stop"]
+        );
+    }
+
+    #[test]
+    fn similar_logs_embed_closer_than_dissimilar() {
+        let docs = corpus();
+        let model = Word2Vec::train(&docs, &W2vConfig::default());
+        let linker1 = model.embed_document(&docs[0]);
+        let linker2 = model.embed_document(&docs[1]);
+        let makefile = model.embed_document(&docs[3]);
+        let sim_same = Word2Vec::cosine(&linker1, &linker2);
+        let sim_diff = Word2Vec::cosine(&linker1, &makefile);
+        assert!(
+            sim_same > sim_diff,
+            "same-category logs must be closer: {sim_same} vs {sim_diff}"
+        );
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let docs = corpus();
+        let model = Word2Vec::train(&docs, &W2vConfig::default());
+        let e = model.embed_document(&docs[0]);
+        let norm: f64 = e.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let docs = corpus();
+        let a = Word2Vec::train(&docs, &W2vConfig::default());
+        let b = Word2Vec::train(&docs, &W2vConfig::default());
+        assert_eq!(a.vector("error"), b.vector("error"));
+    }
+
+    #[test]
+    fn unknown_words_embed_to_zero() {
+        let docs = corpus();
+        let model = Word2Vec::train(&docs, &W2vConfig::default());
+        let e = model.embed_document(&[String::from("zzzzz")]);
+        assert!(e.iter().all(|x| *x == 0.0));
+    }
+}

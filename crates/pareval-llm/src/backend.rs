@@ -1,0 +1,465 @@
+//! The simulated LLM backend: oracle translation + calibrated error
+//! injection + token accounting.
+//!
+//! One [`SimulatedModel`] instance represents a single *translation attempt*
+//! (one sample of one task with one model under one technique). At
+//! construction it samples an outcome plan from the paper-calibrated cell
+//! probabilities; during translation it produces oracle output, applies the
+//! planned mutation to the designated file, and accounts tokens.
+
+use crate::calibration::{app_index, paper_cell, CellScores};
+use crate::inject;
+use crate::profiles::{model_index, ModelKind, ModelProfile};
+use minihpc_build::ErrorCategory;
+use minihpc_lang::model::TranslationPair;
+use minihpc_lang::repo::{FileKind, SourceRepo};
+use pareval_translate::techniques::{Backend, BackendError, BackendOutput, FileJob};
+use pareval_translate::{transpile, Technique};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Token usage accumulated over one translation attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TokenUsage {
+    pub input: u64,
+    pub output: u64,
+}
+
+impl TokenUsage {
+    pub fn total(&self) -> u64 {
+        self.input + self.output
+    }
+}
+
+/// The sampled plan for this attempt.
+#[derive(Debug, Clone, PartialEq)]
+enum CodePlan {
+    /// Translation is functionally correct.
+    Correct,
+    /// Builds (with a correct build system) but fails tests.
+    WrongResult(inject::FunctionalError),
+    /// Fails to compile with this category.
+    BuildError(ErrorCategory),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum AttemptPlan {
+    /// The paper could not run this configuration.
+    Infeasible,
+    Run {
+        code: CodePlan,
+        /// `None` = build file translated correctly; `Some(c)` = broken
+        /// with category `c`.
+        buildfile_error: Option<ErrorCategory>,
+    },
+}
+
+/// A single simulated translation attempt.
+pub struct SimulatedModel {
+    profile: ModelProfile,
+    technique: Technique,
+    pair: TranslationPair,
+    source_repo: SourceRepo,
+    plan: AttemptPlan,
+    /// Which translated file receives the code mutation (resolved lazily).
+    mutation_done: bool,
+    usage: TokenUsage,
+    rng: StdRng,
+}
+
+impl SimulatedModel {
+    /// Create the attempt. `sample` distinguishes repeated generations of
+    /// the same task (pass@k needs N independent samples).
+    pub fn new(
+        profile: ModelProfile,
+        technique: Technique,
+        pair: TranslationPair,
+        app_name: &str,
+        source_repo: SourceRepo,
+        seed: u64,
+        sample: u32,
+    ) -> Self {
+        let midx = model_index(profile.name).unwrap_or(0);
+        let aidx = app_index(app_name).unwrap_or(0);
+        let cell = paper_cell(pair, technique, midx, aidx);
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (sample as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                ^ (midx as u64) << 32
+                ^ (aidx as u64) << 40,
+        );
+        let plan = Self::sample_plan(&profile, pair, &cell, &mut rng);
+        SimulatedModel {
+            profile,
+            technique,
+            pair,
+            source_repo,
+            plan,
+            mutation_done: false,
+            usage: TokenUsage::default(),
+            rng,
+        }
+    }
+
+    pub fn usage(&self) -> TokenUsage {
+        self.usage
+    }
+
+    /// Was this configuration runnable at all?
+    pub fn feasible(&self) -> bool {
+        self.plan != AttemptPlan::Infeasible
+    }
+
+    fn sample_plan(
+        profile: &ModelProfile,
+        pair: TranslationPair,
+        cell: &CellScores,
+        rng: &mut StdRng,
+    ) -> AttemptPlan {
+        let Some(build_code) = cell.build_code else {
+            return AttemptPlan::Infeasible;
+        };
+        let pass_code = cell.pass_code.unwrap_or(0.0);
+        let build_overall = cell.build_overall.unwrap_or(0.0);
+        // P(build file ok) estimated from the overall/code-only ratio.
+        let p_buildfile = if build_code > 0.0 {
+            (build_overall / build_code).clamp(0.0, 1.0)
+        } else {
+            // Both zero: the ratio is unconstrained; use a moderate prior
+            // (the paper notes build systems fail more often than code).
+            0.3
+        };
+        let u: f64 = rng.gen();
+        let code = if u < pass_code {
+            CodePlan::Correct
+        } else if u < build_code {
+            CodePlan::WrongResult(Self::pick_functional(pair, rng))
+        } else {
+            CodePlan::BuildError(Self::pick_weighted(&profile.code_error_weights, rng))
+        };
+        let buildfile_error = if rng.gen::<f64>() < p_buildfile {
+            None
+        } else {
+            Some(Self::pick_weighted(
+                &profile.buildfile_error_weights,
+                rng,
+            ))
+        };
+        AttemptPlan::Run {
+            code,
+            buildfile_error,
+        }
+    }
+
+    fn pick_functional(pair: TranslationPair, rng: &mut StdRng) -> inject::FunctionalError {
+        use minihpc_lang::model::ExecutionModel;
+        match pair.to {
+            ExecutionModel::Kokkos => inject::FunctionalError::DropDeepCopyBack,
+            _ => {
+                if rng.gen::<f64>() < 0.6 {
+                    inject::FunctionalError::DropTargetConstruct
+                } else {
+                    inject::FunctionalError::LoseMapFrom
+                }
+            }
+        }
+    }
+
+    fn pick_weighted(weights: &[(ErrorCategory, f64)], rng: &mut StdRng) -> ErrorCategory {
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        let mut x = rng.gen::<f64>() * total;
+        for (c, w) in weights {
+            x -= w;
+            if x <= 0.0 {
+                return *c;
+            }
+        }
+        weights.last().map(|(c, _)| *c).unwrap_or(ErrorCategory::CodeSyntax)
+    }
+
+    /// Is this translated file the one that should receive the code
+    /// mutation? (The file carrying the parallel construct, approximated by
+    /// content inspection of the oracle output.)
+    fn is_mutation_target(&self, translated: &str) -> bool {
+        translated.contains("#pragma omp target")
+            || translated.contains("Kokkos::parallel_for")
+            || translated.contains("#pragma omp parallel")
+    }
+
+    fn infeasibility_error(&self) -> BackendError {
+        match (self.technique, self.profile.kind) {
+            // Non-agentic runs die on context/output windows (Sec. 8.2).
+            (Technique::NonAgentic, _) => BackendError::ContextExceeded {
+                needed: self.profile.context_limit * 2,
+                limit: self.profile.context_limit,
+            },
+            // Top-down local runs die on the 8-node-hour budget.
+            (_, ModelKind::LocalOpen) => BackendError::BudgetExhausted,
+            (_, ModelKind::CommercialApi) => BackendError::BudgetExhausted,
+        }
+    }
+}
+
+impl Backend for SimulatedModel {
+    fn translate(&mut self, job: &FileJob) -> Result<BackendOutput, BackendError> {
+        let AttemptPlan::Run {
+            code,
+            buildfile_error,
+        } = self.plan.clone()
+        else {
+            return Err(self.infeasibility_error());
+        };
+
+        // Token accounting: the full prompt in, the emitted text out
+        // (scaled by the model's verbosity/reasoning multiplier).
+        self.usage.input += self.profile.count_tokens(&job.prompt);
+
+        let output = if job.kind.is_build_file() {
+            let sources: Vec<String> = self
+                .source_repo
+                .iter()
+                .filter(|(p, _)| FileKind::of(p) == FileKind::Source)
+                .map(|(p, _)| transpile::rename_for_target(p, self.pair.to))
+                .collect();
+            let (path, mut text) =
+                transpile::transpile_build_file(self.pair, &job.binary, &sources);
+            if let Some(category) = buildfile_error {
+                if let Some(mutated) =
+                    inject::inject_buildfile_error(&text, category, self.pair.to)
+                {
+                    text = mutated;
+                } else if let Some(mutated) = inject::inject_buildfile_error(
+                    &text,
+                    ErrorCategory::MakefileMissingTarget,
+                    self.pair.to,
+                ) {
+                    // Fallback anchor when the sampled category does not
+                    // apply to this build system.
+                    text = mutated;
+                }
+            }
+            BackendOutput {
+                files: vec![(path, text)],
+                summary: "translated the build system".to_string(),
+            }
+        } else {
+            let r =
+                transpile::transpile_file(&self.source_repo, &job.path, &job.contents, self.pair);
+            let mut text = r.text;
+            let apply_here = self.is_mutation_target(&text);
+            match &code {
+                CodePlan::Correct => {}
+                // Functional errors hit *every* file carrying the parallel
+                // construct: a model that drops `target` does so throughout
+                // its translation, and apps like llm.c spread kernels across
+                // several files.
+                CodePlan::WrongResult(kind) if apply_here => {
+                    if let Some(m) = inject::inject_functional_error(&text, *kind) {
+                        text = m;
+                        self.mutation_done = true;
+                    }
+                }
+                // Build-breaking errors hit one file (the first eligible).
+                CodePlan::BuildError(category) if apply_here && !self.mutation_done => {
+                    if let Some(m) = inject::inject_code_error(&text, *category) {
+                        text = m;
+                        self.mutation_done = true;
+                    } else if let Some(m) =
+                        inject::inject_code_error(&text, ErrorCategory::CodeSyntax)
+                    {
+                        text = m;
+                        self.mutation_done = true;
+                    }
+                }
+                _ => {}
+            }
+            let summary = format!(
+                "translated {} to {} ({} lines)",
+                job.path,
+                self.pair.to,
+                text.lines().count()
+            );
+            BackendOutput {
+                files: vec![(r.path, text)],
+                summary,
+            }
+        };
+
+        let emitted: usize = output.files.iter().map(|(_, c)| c.len()).sum();
+        let base_out = self.profile.count_tokens(&"x".repeat(emitted));
+        let noise = 0.9 + self.rng.gen::<f64>() * 0.2;
+        self.usage.output +=
+            ((base_out as f64) * self.profile.output_multiplier * noise).round() as u64;
+        Ok(output)
+    }
+
+    fn context_limit(&self) -> u64 {
+        self.profile.context_limit
+    }
+
+    fn count_tokens(&self, text: &str) -> u64 {
+        self.profile.count_tokens(text)
+    }
+
+    fn verbose_context(&self) -> bool {
+        self.profile.verbose_context
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::model_by_name;
+    use minihpc_build::{build_repo, BuildRequest};
+    use pareval_translate::techniques::{translate_with, TranslationJob};
+
+    fn attempt(
+        model: &str,
+        technique: Technique,
+        app_name: &str,
+        pair: TranslationPair,
+        sample: u32,
+    ) -> (pareval_translate::TranslationRun, TokenUsage) {
+        let app = pareval_apps::by_name(app_name).unwrap();
+        let repo = app.repo(pair.from).unwrap().clone();
+        let mut backend = SimulatedModel::new(
+            model_by_name(model).unwrap(),
+            technique,
+            pair,
+            app_name,
+            repo.clone(),
+            20240612,
+            sample,
+        );
+        let job = TranslationJob {
+            app_name: app.name,
+            binary: app.binary,
+            source_repo: &repo,
+            pair,
+            cli_spec: &app.cli_spec,
+            build_spec: &app.build_spec,
+        };
+        let run = translate_with(technique, &job, &mut backend);
+        (run, backend.usage())
+    }
+
+    #[test]
+    fn o4_mini_often_translates_nanoxor_correctly() {
+        // o4-mini non-agentic nanoXOR offload: pass@1 code-only is 0.84 in
+        // the paper, so most samples should build.
+        let mut built = 0;
+        for sample in 0..10 {
+            let (run, usage) = attempt(
+                "o4-mini",
+                Technique::NonAgentic,
+                "nanoXOR",
+                TranslationPair::CUDA_TO_OMP_OFFLOAD,
+                sample,
+            );
+            assert!(usage.input > 0 && usage.output > 0);
+            let repo = run.repo.expect("feasible configuration completes");
+            let out = build_repo(&repo, &BuildRequest::new("nanoxor"));
+            if out.succeeded() {
+                built += 1;
+            }
+        }
+        assert!(built >= 5, "only {built}/10 built");
+    }
+
+    #[test]
+    fn gemini_never_passes_nanoxor_offload() {
+        // pass@1 = 0 for gemini on this cell: every sample must fail tests
+        // or fail to build.
+        let app = pareval_apps::by_name("nanoXOR").unwrap();
+        let case = &app.tests[0];
+        let expected = app.expected_output(case);
+        for sample in 0..8 {
+            let (run, _) = attempt(
+                "gemini-1.5-flash",
+                Technique::NonAgentic,
+                "nanoXOR",
+                TranslationPair::CUDA_TO_OMP_OFFLOAD,
+                sample,
+            );
+            let repo = run.repo.unwrap();
+            let out = build_repo(&repo, &BuildRequest::new("nanoxor"));
+            let Some(exe) = out.executable else { continue };
+            let r = minihpc_runtime::run(
+                &exe,
+                minihpc_runtime::RunConfig::with_args(case.args.iter().cloned()),
+            );
+            let passed = r.error.is_none()
+                && r.stdout == expected
+                && r.telemetry.ran_on_device();
+            assert!(!passed, "sample {sample} unexpectedly passed");
+        }
+    }
+
+    #[test]
+    fn infeasible_cells_fail_to_complete() {
+        // Gemini XSBench CUDA→offload non-agentic: not runnable (paper).
+        let (run, _) = attempt(
+            "gemini-1.5-flash",
+            Technique::NonAgentic,
+            "XSBench",
+            TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            0,
+        );
+        assert!(!run.completed());
+        assert!(run.failure.unwrap().contains("context window"));
+
+        // QwQ XSBench top-down: node-hour budget.
+        let (run, _) = attempt(
+            "qwq-32b-q8_0",
+            Technique::TopDownAgentic,
+            "XSBench",
+            TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            0,
+        );
+        assert!(!run.completed());
+        assert!(run.failure.unwrap().contains("budget"));
+    }
+
+    #[test]
+    fn qwq_burns_far_more_tokens_than_gemini() {
+        let (_, qwq) = attempt(
+            "qwq-32b-q8_0",
+            Technique::NonAgentic,
+            "nanoXOR",
+            TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            0,
+        );
+        let (_, gem) = attempt(
+            "gemini-1.5-flash",
+            Technique::NonAgentic,
+            "nanoXOR",
+            TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            0,
+        );
+        assert!(
+            qwq.output > gem.output * 10,
+            "qwq {} vs gemini {}",
+            qwq.output,
+            gem.output
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_sample() {
+        let (a, ua) = attempt(
+            "gpt-4o-mini",
+            Technique::NonAgentic,
+            "microXOR",
+            TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            3,
+        );
+        let (b, ub) = attempt(
+            "gpt-4o-mini",
+            Technique::NonAgentic,
+            "microXOR",
+            TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            3,
+        );
+        assert_eq!(a.repo, b.repo);
+        assert_eq!(ua, ub);
+    }
+}

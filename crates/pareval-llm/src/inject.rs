@@ -1,0 +1,368 @@
+//! Error injectors: deterministic text-level mutations that turn a correct
+//! translation into one exhibiting a specific failure category from paper
+//! Fig. 3 (build errors) or a functional failure (builds, but fails the
+//! correctness tests — including the Listing 4 missing-`target` case).
+//!
+//! Injected text then flows through the *real* compiler/runtime, so every
+//! measured outcome comes out of the full pipeline rather than being
+//! asserted.
+
+use minihpc_build::ErrorCategory;
+use minihpc_lang::model::ExecutionModel;
+use minihpc_lang::repo::{FileKind, SourceRepo};
+
+/// A functional (run-time) failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunctionalError {
+    /// Drop the `target` construct (paper Listing 4): compiles, runs on the
+    /// host, and fails the GPU-execution requirement.
+    DropTargetConstruct,
+    /// `map(tofrom:)` → `map(to:)`: results never copied back.
+    LoseMapFrom,
+    /// Remove the final `deep_copy` back to the host (Kokkos analogue).
+    DropDeepCopyBack,
+}
+
+/// Inject a *code* build error of the given category into `text`.
+/// Returns the mutated text (or the original if no anchor was found — the
+/// caller falls back to another category).
+pub fn inject_code_error(text: &str, category: ErrorCategory) -> Option<String> {
+    match category {
+        ErrorCategory::CodeSyntax => {
+            // Delete the last semicolon.
+            let pos = text.rfind(';')?;
+            let mut out = text.to_string();
+            out.remove(pos);
+            Some(out)
+        }
+        ErrorCategory::MissingHeader => {
+            // Point a local include at a nonexistent file.
+            let start = text.find("#include \"")?;
+            let rest = &text[start + 10..];
+            let end = rest.find('"')?;
+            let name = &rest[..end];
+            Some(text.replacen(
+                &format!("#include \"{name}\""),
+                &format!("#include \"portable_{name}\""),
+                1,
+            ))
+        }
+        ErrorCategory::UndeclaredIdentifier => {
+            // The paper's canonical example: a renamed callee that dependents
+            // never learned about.
+            let anchor = find_fn_body_start(text)?;
+            let mut out = text.to_string();
+            out.insert_str(anchor, "\n    computeWithOpenMP(0);\n");
+            Some(out)
+        }
+        ErrorCategory::ArgTypeMismatch => {
+            let anchor = find_fn_body_start(text)?;
+            let mut out = text.to_string();
+            out.insert_str(anchor, "\n    int* __interface_mismatch = 1.5;\n");
+            Some(out)
+        }
+        ErrorCategory::OmpInvalidDirective => {
+            if text.contains("teams distribute") {
+                Some(text.replacen("teams distribute", "distribute", 1))
+            } else if text.contains("#pragma omp parallel for") {
+                // collapse deeper than the nest.
+                Some(text.replacen(
+                    "#pragma omp parallel for",
+                    "#pragma omp parallel for collapse(4)",
+                    1,
+                ))
+            } else {
+                None
+            }
+        }
+        ErrorCategory::LinkerError => {
+            let anchor = find_fn_body_start(text)?;
+            let mut out = text.to_string();
+            out.insert_str(anchor, "\n    __missing_translation_unit(1);\n");
+            let proto = "void __missing_translation_unit(int x);\n";
+            Some(format!("{proto}{out}"))
+        }
+        _ => None,
+    }
+}
+
+fn find_fn_body_start(text: &str) -> Option<usize> {
+    // Position just after the opening brace of the first function body.
+    let open = text.find(") {")?;
+    Some(open + 3)
+}
+
+/// Inject a *build-file* error of the given category.
+pub fn inject_buildfile_error(
+    text: &str,
+    category: ErrorCategory,
+    target_model: ExecutionModel,
+) -> Option<String> {
+    match category {
+        ErrorCategory::BuildFileSyntax => {
+            if target_model == ExecutionModel::Kokkos {
+                // Unbalanced parenthesis in CMake.
+                let pos = text.find("project(")?;
+                let close = text[pos..].find(')')? + pos;
+                let mut out = text.to_string();
+                out.remove(close);
+                Some(out)
+            } else {
+                // The immortal tab-vs-spaces mistake.
+                if text.contains('\t') {
+                    Some(text.replacen('\t', "    ", 1))
+                } else {
+                    None
+                }
+            }
+        }
+        ErrorCategory::MakefileMissingTarget => {
+            // Rename the primary target so the expected binary never exists.
+            let colon = text.find(':')?;
+            let line_start = text[..colon].rfind('\n').map(|i| i + 1).unwrap_or(0);
+            let target = text[line_start..colon].trim();
+            if target.is_empty() || target.starts_with('.') {
+                return None;
+            }
+            // Rename every occurrence (rule target and `-o` output), so the
+            // expected binary is never produced.
+            Some(text.replace(target, &format!("{target}_exe")))
+        }
+        ErrorCategory::CMakeConfig => {
+            if let Some(start) = text.find("find_package(") {
+                let end = text[start..].find('\n')? + start + 1;
+                let mut out = text.to_string();
+                out.replace_range(start..end, "");
+                Some(out)
+            } else {
+                None
+            }
+        }
+        ErrorCategory::InvalidCompilerFlag => {
+            if text.contains("-fopenmp-targets=nvptx64-nvidia-cuda") {
+                Some(text.replacen(
+                    "-fopenmp-targets=nvptx64-nvidia-cuda",
+                    "-fopenmp-offload=nvptx64",
+                    1,
+                ))
+            } else if text.contains("-arch=sm_80") {
+                Some(text.replacen("-arch=sm_80", "-arch=gfx90a", 1))
+            } else if text.contains("CXXFLAGS =") {
+                Some(text.replacen("CXXFLAGS =", "CXXFLAGS = -ffast-offload", 1))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Inject a functional error into code text.
+pub fn inject_functional_error(text: &str, kind: FunctionalError) -> Option<String> {
+    match kind {
+        FunctionalError::DropTargetConstruct => {
+            if text.contains("#pragma omp target teams distribute") {
+                // Also strip map clauses — they are invalid without target
+                // (as in the paper's Listing 4, which has none).
+                let mut out = text.replacen(
+                    "#pragma omp target teams distribute",
+                    "#pragma omp teams distribute",
+                    usize::MAX,
+                );
+                out = strip_map_clauses(&out);
+                Some(out)
+            } else {
+                None
+            }
+        }
+        FunctionalError::LoseMapFrom => {
+            if text.contains("map(tofrom:") {
+                Some(text.replace("map(tofrom:", "map(to:"))
+            } else if text.contains("map(from:") {
+                Some(text.replace("map(from:", "map(to:"))
+            } else {
+                None
+            }
+        }
+        FunctionalError::DropDeepCopyBack => {
+            // Remove the last deep_copy line.
+            let pos = text.rfind("Kokkos::deep_copy(")?;
+            let line_start = text[..pos].rfind('\n').map(|i| i + 1).unwrap_or(0);
+            let line_end = text[pos..].find('\n').map(|i| pos + i + 1).unwrap_or(text.len());
+            let mut out = text.to_string();
+            out.replace_range(line_start..line_end, "");
+            Some(out)
+        }
+    }
+}
+
+fn strip_map_clauses(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        if line.trim_start().starts_with("#pragma omp") && line.contains("map(") {
+            let mut cleaned = String::new();
+            let mut rest = line;
+            while let Some(start) = rest.find("map(") {
+                cleaned.push_str(&rest[..start]);
+                let after = &rest[start..];
+                let close = after.find(')').map(|i| i + 1).unwrap_or(after.len());
+                rest = &after[close..];
+            }
+            cleaned.push_str(rest);
+            out.push_str(cleaned.trim_end());
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Pick the code file to mutate: prefer the one carrying the parallel
+/// construct, else the main file, else the first source.
+pub fn injection_target(repo: &SourceRepo) -> Option<String> {
+    let sources: Vec<&str> = repo
+        .paths()
+        .filter(|p| FileKind::of(p).is_code())
+        .collect();
+    let has = |needle: &str| {
+        sources
+            .iter()
+            .find(|p| repo.get(p).is_some_and(|t| t.contains(needle)))
+            .map(|p| p.to_string())
+    };
+    has("#pragma omp target")
+        .or_else(|| has("Kokkos::parallel_for"))
+        .or_else(|| has("#pragma omp parallel"))
+        .or_else(|| has("int main("))
+        .or_else(|| sources.first().map(|p| p.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minihpc_build::{build_repo, BuildRequest};
+    use minihpc_lang::model::TranslationPair;
+    use pareval_translate::transpile_repo;
+
+    /// Oracle-translated nanoXOR (CUDA→offload) as the mutation substrate.
+    fn offload_repo() -> SourceRepo {
+        let app = pareval_apps::by_name("nanoXOR").unwrap();
+        transpile_repo(
+            app.repo(ExecutionModel::Cuda).unwrap(),
+            TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            app.binary,
+        )
+    }
+
+    fn build_category_of(repo: &SourceRepo) -> Option<ErrorCategory> {
+        let out = build_repo(repo, &BuildRequest::new("nanoxor"));
+        assert!(!out.succeeded(), "expected failure:\n{}", out.log.text());
+        out.first_error_category()
+    }
+
+    #[test]
+    fn each_code_injector_produces_its_category() {
+        use ErrorCategory::*;
+        for category in [
+            CodeSyntax,
+            MissingHeader,
+            UndeclaredIdentifier,
+            ArgTypeMismatch,
+            OmpInvalidDirective,
+            LinkerError,
+        ] {
+            let mut repo = offload_repo();
+            let target = if category == MissingHeader {
+                // nanoXOR has no local includes; use microXOR instead.
+                let app = pareval_apps::by_name("microXOR").unwrap();
+                repo = transpile_repo(
+                    app.repo(ExecutionModel::Cuda).unwrap(),
+                    TranslationPair::CUDA_TO_OMP_OFFLOAD,
+                    app.binary,
+                );
+                "src/main.cpp".to_string()
+            } else {
+                injection_target(&repo).unwrap()
+            };
+            let mutated = inject_code_error(repo.get(&target).unwrap(), category)
+                .unwrap_or_else(|| panic!("injector for {category} found no anchor"));
+            repo.add(target, mutated);
+            let binary = if category == MissingHeader { "microxor" } else { "nanoxor" };
+            let out = build_repo(&repo, &BuildRequest::new(binary));
+            assert!(!out.succeeded(), "{category} should break the build");
+            assert_eq!(
+                out.first_error_category(),
+                Some(category),
+                "injector/category mismatch for {category}"
+            );
+        }
+    }
+
+    #[test]
+    fn buildfile_injectors_produce_their_categories() {
+        use ErrorCategory::*;
+        for category in [BuildFileSyntax, MakefileMissingTarget, InvalidCompilerFlag] {
+            let mut repo = offload_repo();
+            let mk = repo.get("Makefile").unwrap();
+            let mutated =
+                inject_buildfile_error(mk, category, ExecutionModel::OmpOffload).unwrap();
+            repo.add("Makefile", mutated);
+            assert_eq!(build_category_of(&repo), Some(category), "{category}");
+        }
+        // CMake config error on a Kokkos translation.
+        let app = pareval_apps::by_name("nanoXOR").unwrap();
+        let mut repo = transpile_repo(
+            app.repo(ExecutionModel::Cuda).unwrap(),
+            TranslationPair::CUDA_TO_KOKKOS,
+            app.binary,
+        );
+        let cm = repo.get("CMakeLists.txt").unwrap();
+        let mutated = inject_buildfile_error(cm, CMakeConfig, ExecutionModel::Kokkos).unwrap();
+        repo.add("CMakeLists.txt", mutated);
+        assert_eq!(build_category_of(&repo), Some(CMakeConfig));
+    }
+
+    #[test]
+    fn listing4_injection_builds_but_fails_gpu_check() {
+        let mut repo = offload_repo();
+        let target = injection_target(&repo).unwrap();
+        let mutated = inject_functional_error(
+            repo.get(&target).unwrap(),
+            FunctionalError::DropTargetConstruct,
+        )
+        .unwrap();
+        repo.add(target, mutated);
+        let out = build_repo(&repo, &BuildRequest::new("nanoxor"));
+        assert!(out.succeeded(), "Listing 4 compiles:\n{}", out.log.text());
+        let r = minihpc_runtime::run(
+            &out.executable.unwrap(),
+            minihpc_runtime::RunConfig::with_args(["16", "1"]),
+        );
+        assert!(r.error.is_none());
+        assert!(
+            !r.telemetry.ran_on_device(),
+            "must run on the host like paper Listing 4"
+        );
+    }
+
+    #[test]
+    fn lose_map_from_changes_results() {
+        let app = pareval_apps::by_name("nanoXOR").unwrap();
+        let case = pareval_apps::TestCase::new(["16", "1"]);
+        let expected = app.expected_output(&case);
+        let mut repo = offload_repo();
+        let target = injection_target(&repo).unwrap();
+        let mutated =
+            inject_functional_error(repo.get(&target).unwrap(), FunctionalError::LoseMapFrom)
+                .unwrap();
+        repo.add(target, mutated);
+        let out = build_repo(&repo, &BuildRequest::new("nanoxor"));
+        assert!(out.succeeded(), "{}", out.log.text());
+        let r = minihpc_runtime::run(
+            &out.executable.unwrap(),
+            minihpc_runtime::RunConfig::with_args(["16", "1"]),
+        );
+        assert_ne!(r.stdout, expected, "results must be lost");
+    }
+}

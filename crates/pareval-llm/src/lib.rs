@@ -1,0 +1,22 @@
+//! # pareval-llm
+//!
+//! Simulated LLM translation backends for the ParEval-Repo reproduction:
+//!
+//! - [`profiles`]: the five models of paper Sec. 4 with token-economy
+//!   parameters (reasoning multipliers, context limits, pricing).
+//! - [`calibration`]: per-cell correctness probabilities transcribed from
+//!   paper Fig. 2 — the generative parameters of the simulation.
+//! - [`inject`]: deterministic error injectors covering every Fig. 3
+//!   category plus the functional failures (Listing 4 et al.).
+//! - [`backend`]: [`SimulatedModel`], a [`pareval_translate::Backend`] that
+//!   combines the oracle transpiler with calibrated injection and token
+//!   accounting.
+
+pub mod backend;
+pub mod calibration;
+pub mod inject;
+pub mod profiles;
+
+pub use backend::{SimulatedModel, TokenUsage};
+pub use calibration::{app_index, paper_cell, CellScores};
+pub use profiles::{all_models, model_by_name, model_index, ModelKind, ModelProfile, MODEL_ORDER};

@@ -1,0 +1,219 @@
+//! # pareval-metrics
+//!
+//! Correctness and token-economy metrics for repo-level translation
+//! (paper Sec. 6): the unbiased pass@k estimator (Eq. 1), its build@k
+//! variant, the expected token cost E_kappa (Eq. 2), and the dollar /
+//! node-hour cost estimates of Table 2.
+
+use std::fmt;
+
+/// Unbiased pass@k estimator for one task (paper Eq. 1, from Chen et al.):
+/// `1 - C(n - c, k) / C(n, k)` with `n` samples of which `c` are correct.
+///
+/// Computed multiplicatively to avoid overflowing factorials.
+pub fn pass_at_k(n: u64, c: u64, k: u64) -> f64 {
+    assert!(c <= n, "correct samples cannot exceed total samples");
+    if k > n {
+        // Not estimable without more samples; saturate (any k > n - c draws
+        // must include a correct one).
+        return if c > 0 { 1.0 } else { 0.0 };
+    }
+    if n.saturating_sub(c) < k {
+        return 1.0;
+    }
+    // prod over the complementary draws.
+    let mut prob_none = 1.0f64;
+    for i in (n - c + 1)..=n {
+        prob_none *= 1.0 - (k as f64) / (i as f64);
+    }
+    1.0 - prob_none
+}
+
+/// build@k is pass@k with buildable samples in place of correct ones
+/// (paper Sec. 6.1). Provided as an alias for call-site clarity.
+pub fn build_at_k(n: u64, buildable: u64, k: u64) -> f64 {
+    pass_at_k(n, buildable, k)
+}
+
+/// Average of a per-task metric over a task set (the paper reports both the
+/// per-task values and this average).
+pub fn average(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Expected token cost E_kappa (paper Eq. 2): the expected number of
+/// generations to a correct translation (1 / pass@1) times the average
+/// token cost per generation. `None` when pass@1 is zero (the paper
+/// aggregates only over cells with pass@1 > 0).
+pub fn expected_token_cost(pass_at_1: f64, avg_tokens_per_generation: f64) -> Option<f64> {
+    if pass_at_1 <= 0.0 {
+        return None;
+    }
+    Some(avg_tokens_per_generation / pass_at_1)
+}
+
+/// Cost of a token count at API prices (Table 2, commercial models).
+/// Prices are $ per million tokens.
+pub fn dollar_cost(
+    input_tokens: u64,
+    output_tokens: u64,
+    price_in_per_mtok: f64,
+    price_out_per_mtok: f64,
+) -> f64 {
+    (input_tokens as f64) * price_in_per_mtok / 1e6
+        + (output_tokens as f64) * price_out_per_mtok / 1e6
+}
+
+/// Cost of a token count in node-hours at an observed generation throughput
+/// (Table 2, locally hosted models; the paper measured 187 tokens/second on
+/// one Delta node).
+pub fn node_hours(total_tokens: u64, tokens_per_second: f64) -> f64 {
+    if tokens_per_second <= 0.0 {
+        return 0.0;
+    }
+    (total_tokens as f64) / tokens_per_second / 3600.0
+}
+
+/// A (mean, count) accumulator for per-cell token averages.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanAccumulator {
+    sum: f64,
+    n: u64,
+}
+
+impl MeanAccumulator {
+    pub fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.n += 1;
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+impl fmt::Display for MeanAccumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(m) => write!(f, "{m:.1}"),
+            None => write!(f, "-"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_at_1_is_fraction() {
+        assert!((pass_at_k(25, 5, 1) - 0.2).abs() < 1e-12);
+        assert_eq!(pass_at_k(10, 0, 1), 0.0);
+        assert_eq!(pass_at_k(10, 10, 1), 1.0);
+    }
+
+    #[test]
+    fn pass_at_k_hand_computed() {
+        // n=5, c=2, k=3: 1 - C(3,3)/C(5,3) = 1 - 1/10 = 0.9.
+        assert!((pass_at_k(5, 2, 3) - 0.9).abs() < 1e-12);
+        // n=4, c=1, k=2: 1 - C(3,2)/C(4,2) = 1 - 3/6 = 0.5.
+        assert!((pass_at_k(4, 1, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pass_at_k_monotone_in_k_and_c() {
+        for c in 0..=10u64 {
+            let mut prev = 0.0;
+            for k in 1..=10u64 {
+                let v = pass_at_k(10, c, k);
+                assert!(v + 1e-12 >= prev, "not monotone in k");
+                prev = v;
+            }
+        }
+        for k in 1..=10u64 {
+            let mut prev = 0.0;
+            for c in 0..=10u64 {
+                let v = pass_at_k(10, c, k);
+                assert!(v + 1e-12 >= prev, "not monotone in c");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn all_incorrect_saturates_when_k_exceeds_failures() {
+        assert_eq!(pass_at_k(5, 3, 3), 1.0); // only 2 failures, k=3 must hit
+    }
+
+    #[test]
+    fn ekappa_matches_paper_semantics() {
+        assert_eq!(expected_token_cost(0.5, 10_000.0), Some(20_000.0));
+        assert_eq!(expected_token_cost(0.0, 10_000.0), None);
+        assert_eq!(expected_token_cost(1.0, 123.0), Some(123.0));
+    }
+
+    #[test]
+    fn table2_style_costs() {
+        // o4-mini pricing: $1.1/M in, $4.4/M out.
+        let d = dollar_cost(10_000, 5_000, 1.1, 4.4);
+        assert!((d - (0.011 + 0.022)).abs() < 1e-9);
+        // 187 tok/s → one node-hour per 673200 tokens.
+        let nh = node_hours(673_200, 187.0);
+        assert!((nh - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_accumulator() {
+        let mut m = MeanAccumulator::default();
+        assert_eq!(m.mean(), None);
+        m.add(2.0);
+        m.add(4.0);
+        assert_eq!(m.mean(), Some(3.0));
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn average_of_tasks() {
+        assert!((average(&[0.2, 0.4]) - 0.3).abs() < 1e-12);
+        assert_eq!(average(&[]), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn pass_at_k_in_unit_interval(n in 1u64..60, c in 0u64..60, k in 1u64..60) {
+            let c = c.min(n);
+            let v = pass_at_k(n, c, k);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn pass_at_n_is_certain_iff_any_correct(n in 1u64..40, c in 0u64..40) {
+            let c = c.min(n);
+            let v = pass_at_k(n, c, n);
+            if c > 0 {
+                prop_assert!((v - 1.0).abs() < 1e-9);
+            } else {
+                prop_assert_eq!(v, 0.0);
+            }
+        }
+
+        #[test]
+        fn ekappa_is_at_least_per_generation_cost(p in 0.01f64..1.0, t in 1.0f64..1e6) {
+            let e = expected_token_cost(p, t).unwrap();
+            prop_assert!(e >= t - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # pareval-translate
+//!
+//! Repository-level translation machinery:
+//!
+//! - [`transpile`]: the reference (oracle) transpilers between programming
+//!   models — correct translations the simulated LLMs perturb.
+//! - [`techniques`]: the three translation techniques the paper benchmarks —
+//!   non-agentic file-by-file, top-down agentic (dependency/chunk/context/
+//!   translation agents), and the SWE-agent adaptation.
+
+pub mod techniques;
+pub mod transpile;
+
+pub use techniques::{
+    translate_with, Backend, BackendError, BackendOutput, FileJob, Technique, TranslationJob,
+    TranslationRun,
+};
+pub use transpile::{transpile_file, transpile_repo};

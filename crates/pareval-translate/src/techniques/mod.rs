@@ -1,0 +1,560 @@
+//! The three repository-translation techniques benchmarked by the paper
+//! (Sec. 3): the non-agentic file-by-file method, the top-down agentic
+//! method (dependency / chunk / context / translation agents), and the
+//! SWE-agent adaptation.
+//!
+//! Techniques are generic over a [`Backend`] — the (simulated) LLM that
+//! performs each file translation. The technique owns prompt construction
+//! (paper Listing 1), orchestration order, and repo assembly; the backend
+//! owns translation quality and token accounting.
+
+mod deps;
+mod prompt;
+
+pub use deps::dependency_order;
+pub use prompt::{build_prompt, PromptParts};
+
+use minihpc_lang::model::TranslationPair;
+use minihpc_lang::repo::{FileKind, SourceRepo};
+use std::fmt;
+
+/// The full task specification a technique receives.
+#[derive(Debug, Clone)]
+pub struct TranslationJob<'a> {
+    pub app_name: &'a str,
+    pub binary: &'a str,
+    pub source_repo: &'a SourceRepo,
+    pub pair: TranslationPair,
+    pub cli_spec: &'a str,
+    pub build_spec: &'a str,
+}
+
+/// One file-translation request handed to the backend.
+#[derive(Debug, Clone)]
+pub struct FileJob {
+    pub path: String,
+    pub contents: String,
+    /// The complete prompt text (system + context + instruction).
+    pub prompt: String,
+    pub pair: TranslationPair,
+    pub kind: FileKind,
+    /// Top-down: summaries of already-translated dependencies.
+    pub context_summary: Option<String>,
+    /// `(index, total)` when the chunk agent split the file.
+    pub chunk: Option<(usize, usize)>,
+    pub binary: String,
+}
+
+/// Backend response for one file job.
+#[derive(Debug, Clone)]
+pub struct BackendOutput {
+    /// Translated files (path may be renamed, e.g. `.cu` → `.cpp`; a
+    /// response may carry several files when the model merges them).
+    pub files: Vec<(String, String)>,
+    /// A short summary of the changes (produced by the context agent's
+    /// underlying model; used in dependents' prompts).
+    pub summary: String,
+}
+
+/// Why a backend could not complete a job — these become the paper's empty
+/// heatmap cells.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// Prompt (plus expected output) exceeds the model's context window —
+    /// the non-agentic method cannot scale to this repo (paper Sec. 8.2).
+    ContextExceeded { needed: u64, limit: u64 },
+    /// The per-experiment budget (API dollars / node-hours) ran out.
+    BudgetExhausted,
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::ContextExceeded { needed, limit } => write!(
+                f,
+                "translation exceeds the model context window ({needed} > {limit} tokens)"
+            ),
+            BackendError::BudgetExhausted => {
+                write!(f, "per-experiment inference budget exhausted")
+            }
+        }
+    }
+}
+
+/// The simulated LLM interface.
+pub trait Backend {
+    /// Translate one file (or chunk).
+    fn translate(&mut self, job: &FileJob) -> Result<BackendOutput, BackendError>;
+    /// The model's context window, in tokens.
+    fn context_limit(&self) -> u64;
+    /// Tokenize a text with the model's tokenizer.
+    fn count_tokens(&self, text: &str) -> u64;
+    /// Whether this model includes full dependency text (rather than terse
+    /// summaries) as top-down context — the paper observes local models are
+    /// much less conservative here (Sec. 8.4).
+    fn verbose_context(&self) -> bool {
+        false
+    }
+}
+
+/// The translation techniques of paper Sec. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Technique {
+    NonAgentic,
+    TopDownAgentic,
+    SweAgent,
+}
+
+impl Technique {
+    pub const ALL: [Technique; 3] = [
+        Technique::NonAgentic,
+        Technique::TopDownAgentic,
+        Technique::SweAgent,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Technique::NonAgentic => "Non-agentic",
+            Technique::TopDownAgentic => "Top-down agentic",
+            Technique::SweAgent => "SWE-agent",
+        }
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Result of a full repository translation attempt.
+#[derive(Debug, Clone)]
+pub struct TranslationRun {
+    /// The assembled translated repository (`None` when the attempt could
+    /// not complete — context window or budget).
+    pub repo: Option<SourceRepo>,
+    pub failure: Option<String>,
+}
+
+impl TranslationRun {
+    pub fn completed(&self) -> bool {
+        self.repo.is_some()
+    }
+}
+
+/// Run `technique` on `job` with `backend`.
+pub fn translate_with(
+    technique: Technique,
+    job: &TranslationJob,
+    backend: &mut dyn Backend,
+) -> TranslationRun {
+    match technique {
+        Technique::NonAgentic => non_agentic(job, backend),
+        Technique::TopDownAgentic => top_down(job, backend),
+        Technique::SweAgent => swe_agent(job, backend),
+    }
+}
+
+/// Files a technique must translate (code + build files), in repo order.
+fn translatable_files(repo: &SourceRepo) -> Vec<(&str, &str)> {
+    repo.iter()
+        .filter(|(p, _)| {
+            let k = FileKind::of(p);
+            k.is_code() || k.is_build_file()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Non-agentic (paper Sec. 3.1)
+// ---------------------------------------------------------------------------
+
+fn non_agentic(job: &TranslationJob, backend: &mut dyn Backend) -> TranslationRun {
+    let mut out = SourceRepo::new();
+    // Non-code, non-build files carry over verbatim.
+    for (p, c) in job.source_repo.iter() {
+        if FileKind::of(p) == FileKind::Other {
+            out.add(p, c);
+        }
+    }
+    for (path, contents) in translatable_files(job.source_repo) {
+        let prompt = build_prompt(&PromptParts {
+            job,
+            target_path: path,
+            full_repo_context: true,
+            context_summary: None,
+        });
+        let file_job = FileJob {
+            path: path.to_string(),
+            contents: contents.to_string(),
+            prompt,
+            pair: job.pair,
+            kind: FileKind::of(path),
+            context_summary: None,
+            chunk: None,
+            binary: job.binary.to_string(),
+        };
+        match backend.translate(&file_job) {
+            Ok(result) => {
+                for (p, c) in result.files {
+                    out.add(p, c);
+                }
+            }
+            Err(e) => {
+                return TranslationRun {
+                    repo: None,
+                    failure: Some(format!("{path}: {e}")),
+                }
+            }
+        }
+    }
+    TranslationRun {
+        repo: Some(out),
+        failure: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Top-down agentic (paper Sec. 3.2, Fig. 1)
+// ---------------------------------------------------------------------------
+
+fn top_down(job: &TranslationJob, backend: &mut dyn Backend) -> TranslationRun {
+    let mut out = SourceRepo::new();
+    for (p, c) in job.source_repo.iter() {
+        if FileKind::of(p) == FileKind::Other {
+            out.add(p, c);
+        }
+    }
+    // Dependency agent: include-based ordering (clang-equivalent static
+    // analysis; no circular includes by construction).
+    let order = dependency_order(job.source_repo);
+    // Context agent state: summaries of already-translated files.
+    let mut summaries: Vec<(String, String)> = Vec::new();
+
+    for path in order {
+        let contents = job.source_repo.get(&path).unwrap_or_default().to_string();
+        let summary_text = context_for(job.source_repo, &summaries, backend);
+        // Chunk agent: split oversized files at function boundaries.
+        let chunks = chunk_file(&contents, backend.context_limit());
+        let total = chunks.len();
+        let mut translated_parts: Vec<(String, String)> = Vec::new();
+        let mut file_summary = String::new();
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            let prompt = build_prompt(&PromptParts {
+                job,
+                target_path: &path,
+                full_repo_context: false,
+                context_summary: Some(&summary_text),
+            });
+            let file_job = FileJob {
+                path: path.clone(),
+                contents: chunk,
+                prompt,
+                pair: job.pair,
+                kind: FileKind::of(&path),
+                context_summary: Some(summary_text.clone()),
+                chunk: if total > 1 { Some((i, total)) } else { None },
+                binary: job.binary.to_string(),
+            };
+            match backend.translate(&file_job) {
+                Ok(result) => {
+                    file_summary = result.summary.clone();
+                    translated_parts.extend(result.files);
+                }
+                Err(e) => {
+                    return TranslationRun {
+                        repo: None,
+                        failure: Some(format!("{path}: {e}")),
+                    }
+                }
+            }
+        }
+        // Reassemble chunked output: concatenate parts that share a path.
+        let mut merged: Vec<(String, String)> = Vec::new();
+        for (p, c) in translated_parts {
+            if let Some(last) = merged.iter_mut().find(|(mp, _)| *mp == p) {
+                last.1.push_str(&c);
+            } else {
+                merged.push((p, c));
+            }
+        }
+        for (p, c) in merged {
+            out.add(p, c);
+        }
+        summaries.push((path.clone(), file_summary));
+    }
+    TranslationRun {
+        repo: Some(out),
+        failure: None,
+    }
+}
+
+fn context_for(
+    repo: &SourceRepo,
+    summaries: &[(String, String)],
+    backend: &dyn Backend,
+) -> String {
+    if summaries.is_empty() {
+        return String::new();
+    }
+    if backend.verbose_context() {
+        // Less conservative models re-include the full text of translated
+        // dependencies (paper Sec. 8.4: local models are more expensive in
+        // the top-down method for exactly this reason).
+        summaries
+            .iter()
+            .map(|(p, s)| {
+                let original = repo.get(p).unwrap_or_default();
+                format!("=== {p} (translated; summary: {s})\n{original}\n")
+            })
+            .collect()
+    } else {
+        summaries
+            .iter()
+            .map(|(p, s)| format!("- {p}: {s}\n"))
+            .collect()
+    }
+}
+
+/// Split file text at function-ish boundaries (closing braces at column 0)
+/// so each chunk fits in roughly a quarter of the context window.
+fn chunk_file(text: &str, context_limit: u64) -> Vec<String> {
+    let budget = (context_limit / 4).max(256) as usize * 4; // ≈ chars
+    if text.len() <= budget {
+        return vec![text.to_string()];
+    }
+    let mut chunks = Vec::new();
+    let mut current = String::new();
+    for line in text.lines() {
+        current.push_str(line);
+        current.push('\n');
+        if current.len() >= budget && line == "}" {
+            chunks.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+// ---------------------------------------------------------------------------
+// SWE-agent (paper Sec. 3.3)
+// ---------------------------------------------------------------------------
+
+fn swe_agent(job: &TranslationJob, backend: &mut dyn Backend) -> TranslationRun {
+    // The task is rephrased as a GitHub issue in a dedicated file, and the
+    // repo gets a `.git` directory so SWE-agent recognises it.
+    let issue = format!(
+        "# Issue: translate {} from {} to {}\n\n{}\n\n{}\n",
+        job.app_name, job.pair.from, job.pair.to, job.cli_spec, job.build_spec
+    );
+    let mut out = SourceRepo::new();
+    out.add(".git/HEAD", "ref: refs/heads/main\n");
+    out.add("ISSUE.md", issue.clone());
+    for (p, c) in job.source_repo.iter() {
+        if FileKind::of(p) == FileKind::Other {
+            out.add(p, c);
+        }
+    }
+    for (path, contents) in translatable_files(job.source_repo) {
+        let prompt = format!("{issue}\nResolve the issue for file {path}:\n{contents}\n");
+        let file_job = FileJob {
+            path: path.to_string(),
+            contents: contents.to_string(),
+            prompt,
+            pair: job.pair,
+            kind: FileKind::of(path),
+            context_summary: None,
+            chunk: None,
+            binary: job.binary.to_string(),
+        };
+        match backend.translate(&file_job) {
+            Ok(result) => {
+                for (p, c) in result.files {
+                    out.add(p, c);
+                }
+            }
+            Err(e) => {
+                return TranslationRun {
+                    repo: None,
+                    failure: Some(format!("{path}: {e}")),
+                }
+            }
+        }
+    }
+    // SWE-agent's editor normalises tabs to spaces, destroying Makefile
+    // recipes (paper Sec. 3.3) — applied to every Makefile it wrote.
+    let makefiles: Vec<String> = out
+        .paths()
+        .filter(|p| FileKind::of(p) == FileKind::Makefile)
+        .map(str::to_string)
+        .collect();
+    for p in makefiles {
+        let text = out.get(&p).unwrap().replace('\t', "    ");
+        out.add(p, text);
+    }
+    TranslationRun {
+        repo: Some(out),
+        failure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transpile;
+
+    /// A perfect backend: the oracle transpiler with no errors.
+    struct OracleBackend {
+        repo: SourceRepo,
+        calls: usize,
+    }
+
+    impl Backend for OracleBackend {
+        fn translate(&mut self, job: &FileJob) -> Result<BackendOutput, BackendError> {
+            self.calls += 1;
+            if job.kind.is_build_file() {
+                let sources: Vec<String> = self
+                    .repo
+                    .iter()
+                    .filter(|(p, _)| FileKind::of(p) == FileKind::Source)
+                    .map(|(p, _)| transpile::rename_for_target(p, job.pair.to))
+                    .collect();
+                let (p, c) = transpile::transpile_build_file(job.pair, &job.binary, &sources);
+                return Ok(BackendOutput {
+                    files: vec![(p, c)],
+                    summary: "translated build system".into(),
+                });
+            }
+            let r = transpile::transpile_file(&self.repo, &job.path, &job.contents, job.pair);
+            Ok(BackendOutput {
+                files: vec![(r.path, r.text)],
+                summary: format!("translated {}", job.path),
+            })
+        }
+
+        fn context_limit(&self) -> u64 {
+            1_000_000
+        }
+
+        fn count_tokens(&self, text: &str) -> u64 {
+            (text.len() as u64).div_ceil(4)
+        }
+    }
+
+    fn job<'a>(
+        app: &'a pareval_apps::Application,
+        pair: TranslationPair,
+    ) -> TranslationJob<'a> {
+        TranslationJob {
+            app_name: app.name,
+            binary: app.binary,
+            source_repo: app.repo(pair.from).unwrap(),
+            pair,
+            cli_spec: &app.cli_spec,
+            build_spec: &app.build_spec,
+        }
+    }
+
+    #[test]
+    fn non_agentic_translates_all_files() {
+        let app = pareval_apps::by_name("microXOR").unwrap();
+        let pair = TranslationPair::CUDA_TO_OMP_OFFLOAD;
+        let mut backend = OracleBackend {
+            repo: app.repo(pair.from).unwrap().clone(),
+            calls: 0,
+        };
+        let run = translate_with(Technique::NonAgentic, &job(&app, pair), &mut backend);
+        let repo = run.repo.expect("completes");
+        assert!(repo.contains("src/main.cpp"));
+        assert!(repo.contains("Makefile"));
+        // 3 code files + 1 Makefile.
+        assert_eq!(backend.calls, 4);
+    }
+
+    #[test]
+    fn top_down_orders_headers_first() {
+        let app = pareval_apps::by_name("microXOR").unwrap();
+        let pair = TranslationPair::CUDA_TO_OMP_OFFLOAD;
+        let order = dependency_order(app.repo(pair.from).unwrap());
+        let h = order.iter().position(|p| p == "src/kernel.h").unwrap();
+        let m = order.iter().position(|p| p == "src/main.cu").unwrap();
+        let k = order.iter().position(|p| p == "src/kernel.cu").unwrap();
+        let mk = order.iter().position(|p| p == "Makefile").unwrap();
+        assert!(h < m && h < k, "header before its includers: {order:?}");
+        assert!(mk > m && mk > k, "build file last: {order:?}");
+    }
+
+    #[test]
+    fn top_down_produces_working_repo_with_oracle_backend() {
+        let app = pareval_apps::by_name("nanoXOR").unwrap();
+        let pair = TranslationPair::CUDA_TO_OMP_OFFLOAD;
+        let mut backend = OracleBackend {
+            repo: app.repo(pair.from).unwrap().clone(),
+            calls: 0,
+        };
+        let run = translate_with(Technique::TopDownAgentic, &job(&app, pair), &mut backend);
+        let repo = run.repo.expect("completes");
+        let outcome =
+            minihpc_build::build_repo(&repo, &minihpc_build::BuildRequest::new(app.binary));
+        assert!(outcome.succeeded(), "{}", outcome.log.text());
+    }
+
+    #[test]
+    fn swe_agent_breaks_makefiles() {
+        let app = pareval_apps::by_name("nanoXOR").unwrap();
+        // SWE-agent is evaluated on CUDA→Kokkos in the paper, but the tab
+        // corruption applies to any Makefile it writes; test with offload
+        // where the oracle emits a Makefile.
+        let pair = TranslationPair::CUDA_TO_OMP_OFFLOAD;
+        let mut backend = OracleBackend {
+            repo: app.repo(pair.from).unwrap().clone(),
+            calls: 0,
+        };
+        let run = translate_with(Technique::SweAgent, &job(&app, pair), &mut backend);
+        let repo = run.repo.expect("completes");
+        let mk = repo.get("Makefile").unwrap();
+        assert!(!mk.contains('\t'), "tabs must be gone");
+        let outcome =
+            minihpc_build::build_repo(&repo, &minihpc_build::BuildRequest::new(app.binary));
+        assert!(!outcome.succeeded());
+        assert_eq!(
+            outcome.first_error_category(),
+            Some(minihpc_build::ErrorCategory::BuildFileSyntax)
+        );
+    }
+
+    #[test]
+    fn prompt_contains_file_tree_and_addenda() {
+        let app = pareval_apps::by_name("nanoXOR").unwrap();
+        let pair = TranslationPair::CUDA_TO_OMP_OFFLOAD;
+        let j = job(&app, pair);
+        let p = build_prompt(&PromptParts {
+            job: &j,
+            target_path: "src/main.cu",
+            full_repo_context: true,
+            context_summary: None,
+        });
+        assert!(p.contains("helpful coding assistant"));
+        assert!(p.contains("+-- src/") || p.contains("|-- src/"), "{p}");
+        assert!(p.contains("src/main.cu"));
+        assert!(p.contains(&app.cli_spec), "main file gets the CLI addendum");
+        let p2 = build_prompt(&PromptParts {
+            job: &j,
+            target_path: "Makefile",
+            full_repo_context: true,
+            context_summary: None,
+        });
+        assert!(p2.contains(&app.build_spec));
+    }
+
+    #[test]
+    fn chunking_splits_large_files() {
+        let big = "void f() {\nint x = 1;\n}\n".repeat(400);
+        let chunks = chunk_file(&big, 1000);
+        assert!(chunks.len() > 1);
+        let rejoined: String = chunks.concat();
+        assert_eq!(rejoined, big, "chunking must not lose text");
+    }
+}

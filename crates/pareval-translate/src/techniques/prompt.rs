@@ -1,0 +1,139 @@
+//! Prompt construction, following paper Listing 1.
+
+use super::TranslationJob;
+use minihpc_lang::repo::FileKind;
+
+/// Inputs to [`build_prompt`].
+pub struct PromptParts<'a> {
+    pub job: &'a TranslationJob<'a>,
+    pub target_path: &'a str,
+    /// Non-agentic: include the full text of every (untranslated) file.
+    pub full_repo_context: bool,
+    /// Top-down: the context agent's summaries of translated dependencies.
+    pub context_summary: Option<&'a str>,
+}
+
+/// Build the translation prompt for one file (paper Listing 1 structure:
+/// system role, file tree, file contents, instruction, plus the CLI /
+/// build-interface addenda for main and build files).
+pub fn build_prompt(parts: &PromptParts) -> String {
+    let job = parts.job;
+    let mut p = String::with_capacity(4096);
+    p.push_str(&format!(
+        "You are a helpful coding assistant. You are helping a software developer translate \
+         a codebase from the {} execution model to the {} execution model. Writing correct, \
+         fast code is important, so take some time to think before responding to any query, \
+         and ensure that the code you create is enclosed in triple backticks (```), as used \
+         in the query below.\n\n",
+        job.pair.from, job.pair.to
+    ));
+    p.push_str(&format!(
+        "Below is a codebase written in the {} execution model. We are translating it to \
+         the {} execution model. Here is the file tree of the entire repository:\n\n{}\n",
+        job.pair.from,
+        job.pair.to,
+        job.source_repo.file_tree()
+    ));
+    if parts.full_repo_context {
+        p.push_str("Here is the code for each file in the codebase:\n\n");
+        for (path, contents) in job.source_repo.iter() {
+            p.push_str(&format!("{path}\n```\n{contents}```\n\n"));
+        }
+    } else {
+        // Top-down: only the target file plus dependency summaries.
+        if let Some(contents) = job.source_repo.get(parts.target_path) {
+            p.push_str(&format!(
+                "Here is the file to translate:\n\n{}\n```\n{}```\n\n",
+                parts.target_path, contents
+            ));
+        }
+        if let Some(summary) = parts.context_summary {
+            if !summary.is_empty() {
+                p.push_str(&format!(
+                    "Summaries of changes already made to this file's dependencies:\n{summary}\n"
+                ));
+            }
+        }
+    }
+    p.push_str(&format!(
+        "Translate the {} file to the {} execution model. Output the translated files in one \
+         code block. Assume .cpp filenames whenever referring to other files as this will be \
+         a C++ code.\n",
+        parts.target_path, job.pair.to
+    ));
+    // Addenda (paper Sec. 3.1).
+    let kind = FileKind::of(parts.target_path);
+    let is_main = job
+        .source_repo
+        .get(parts.target_path)
+        .is_some_and(|c| c.contains("int main("));
+    if is_main {
+        p.push_str(&format!("\nCommand-line interface: {}\n", job.cli_spec));
+    }
+    if kind.is_build_file() {
+        p.push_str(&format!("\nBuild interface: {}\n", job.build_spec));
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minihpc_lang::model::TranslationPair;
+    use minihpc_lang::repo::SourceRepo;
+
+    #[test]
+    fn non_agentic_prompt_has_all_files() {
+        let repo = SourceRepo::new()
+            .with_file("Makefile", "app: main.cu\n\tnvcc -o app main.cu\n")
+            .with_file("main.cu", "int main() { return 0; }\n");
+        let job = TranslationJob {
+            app_name: "x",
+            binary: "app",
+            source_repo: &repo,
+            pair: TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            cli_spec: "no args",
+            build_spec: "produce app",
+        };
+        let p = build_prompt(&PromptParts {
+            job: &job,
+            target_path: "main.cu",
+            full_repo_context: true,
+            context_summary: None,
+        });
+        assert!(p.contains("Makefile\n```"));
+        assert!(p.contains("main.cu\n```"));
+        assert!(p.contains("CUDA execution model"));
+        assert!(p.contains("OpenMP Offload execution model"));
+        assert!(p.contains("Command-line interface"));
+    }
+
+    #[test]
+    fn top_down_prompt_is_smaller() {
+        let repo = SourceRepo::new()
+            .with_file("a.h", "void a(void);\n".repeat(50))
+            .with_file("main.cu", "#include \"a.h\"\nint main() { return 0; }\n");
+        let job = TranslationJob {
+            app_name: "x",
+            binary: "app",
+            source_repo: &repo,
+            pair: TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            cli_spec: "",
+            build_spec: "",
+        };
+        let full = build_prompt(&PromptParts {
+            job: &job,
+            target_path: "main.cu",
+            full_repo_context: true,
+            context_summary: None,
+        });
+        let narrow = build_prompt(&PromptParts {
+            job: &job,
+            target_path: "main.cu",
+            full_repo_context: false,
+            context_summary: Some("- a.h: translated\n"),
+        });
+        assert!(narrow.len() < full.len());
+        assert!(narrow.contains("Summaries of changes"));
+    }
+}

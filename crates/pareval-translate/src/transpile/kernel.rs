@@ -1,0 +1,251 @@
+//! CUDA kernel pattern extraction: recognises the canonical grid-stride-free
+//! kernel shape used throughout the suite —
+//!
+//! ```c
+//! int i = blockIdx.y * blockDim.y + threadIdx.y;
+//! int j = blockIdx.x * blockDim.x + threadIdx.x;
+//! if (i < N && j < N) { <body> }
+//! ```
+//!
+//! — and recovers the loop nest (variables, bounds, body) that the OpenMP
+//! offload and Kokkos emitters rebuild in their own idiom.
+
+use minihpc_lang::ast::*;
+
+/// A recovered kernel iteration space.
+#[derive(Debug, Clone)]
+pub struct KernelLoops {
+    /// Loop variables in declaration (outer → inner) order.
+    pub vars: Vec<String>,
+    /// Upper bound expression per variable (`var < bound`).
+    pub bounds: Vec<Expr>,
+    /// The guarded body (the `if`'s then-branch statements).
+    pub body: Vec<Stmt>,
+}
+
+/// Try to recover the iteration space of a `__global__` kernel.
+pub fn extract(f: &Function) -> Option<KernelLoops> {
+    let body = f.body.as_ref()?;
+    let mut vars: Vec<String> = Vec::new();
+    let mut rest_idx = None;
+    for (i, s) in body.stmts.iter().enumerate() {
+        match &s.kind {
+            StmtKind::Decl(d)
+                if init_is_thread_index(d).is_some() => {
+                    vars.push(d.name.clone());
+                }
+            _ => {
+                rest_idx = Some(i);
+                break;
+            }
+        }
+    }
+    if vars.is_empty() {
+        return None;
+    }
+    let rest = &body.stmts[rest_idx?..];
+    // Exactly one guarded if, nothing after it.
+    let [guard] = rest else { return None };
+    let StmtKind::If {
+        cond,
+        then,
+        els: None,
+    } = &guard.kind
+    else {
+        return None;
+    };
+    let mut bounds_by_var = std::collections::HashMap::new();
+    collect_bounds(cond, &mut bounds_by_var)?;
+    let mut bounds = Vec::with_capacity(vars.len());
+    for v in &vars {
+        bounds.push(bounds_by_var.remove(v.as_str())?.clone());
+    }
+    if !bounds_by_var.is_empty() {
+        return None; // extra conjuncts we do not understand
+    }
+    let body_stmts = match &then.kind {
+        StmtKind::Block(b) => b.stmts.clone(),
+        _ => vec![(**then).clone()],
+    };
+    Some(KernelLoops {
+        vars,
+        bounds,
+        body: body_stmts,
+    })
+}
+
+/// Does this declaration compute a CUDA thread index? Returns the axis.
+fn init_is_thread_index(d: &VarDecl) -> Option<char> {
+    let Some(Init::Expr(e)) = &d.init else {
+        return None;
+    };
+    // blockIdx.A * blockDim.A + threadIdx.A
+    let ExprKind::Binary {
+        op: BinOp::Add,
+        lhs,
+        rhs,
+    } = &e.kind
+    else {
+        return None;
+    };
+    let axis1 = {
+        let ExprKind::Binary {
+            op: BinOp::Mul,
+            lhs: bl,
+            rhs: bd,
+        } = &lhs.kind
+        else {
+            return None;
+        };
+        let a1 = builtin_member(bl, "blockIdx")?;
+        let a2 = builtin_member(bd, "blockDim")?;
+        if a1 != a2 {
+            return None;
+        }
+        a1
+    };
+    let axis2 = builtin_member(rhs, "threadIdx")?;
+    if axis1 != axis2 {
+        return None;
+    }
+    Some(axis1)
+}
+
+fn builtin_member(e: &Expr, base_name: &str) -> Option<char> {
+    let ExprKind::Member {
+        base,
+        member,
+        arrow: false,
+    } = &e.kind
+    else {
+        return None;
+    };
+    let ExprKind::Ident(n) = &base.kind else {
+        return None;
+    };
+    if n != base_name {
+        return None;
+    }
+    member.chars().next().filter(|c| matches!(c, 'x' | 'y' | 'z'))
+}
+
+/// Decompose a guard condition into `var < bound` conjuncts.
+fn collect_bounds<'e>(
+    cond: &'e Expr,
+    out: &mut std::collections::HashMap<&'e str, &'e Expr>,
+) -> Option<()> {
+    match &cond.kind {
+        ExprKind::Binary {
+            op: BinOp::And,
+            lhs,
+            rhs,
+        } => {
+            collect_bounds(lhs, out)?;
+            collect_bounds(rhs, out)
+        }
+        ExprKind::Binary {
+            op: BinOp::Lt,
+            lhs,
+            rhs,
+        } => {
+            let ExprKind::Ident(v) = &lhs.kind else {
+                return None;
+            };
+            out.insert(v.as_str(), rhs);
+            Some(())
+        }
+        ExprKind::Paren(inner) => collect_bounds(inner, out),
+        _ => None,
+    }
+}
+
+/// Build a canonical `for` nest over the recovered loops with `body` inside
+/// the innermost loop.
+pub fn build_for_nest(loops: &KernelLoops) -> Stmt {
+    let mut stmt = Stmt::synth(StmtKind::Block(Block::new(loops.body.clone())));
+    for (var, bound) in loops.vars.iter().zip(&loops.bounds).rev() {
+        stmt = Stmt::synth(StmtKind::For {
+            init: Some(Box::new(Stmt::synth(StmtKind::Decl(VarDecl {
+                name: var.clone(),
+                ty: Type::INT,
+                array_dims: vec![],
+                init: Some(Init::Expr(Expr::int(0))),
+                is_static: false,
+            })))),
+            cond: Some(Expr::binary(
+                BinOp::Lt,
+                Expr::ident(var.clone()),
+                bound.clone(),
+            )),
+            step: Some(Expr::synth(ExprKind::Unary {
+                op: UnaryOp::PostInc,
+                expr: Box::new(Expr::ident(var.clone())),
+            })),
+            body: Box::new(stmt),
+        });
+    }
+    stmt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minihpc_lang::parser::parse_file;
+
+    fn kernel(src: &str) -> Function {
+        parse_file(src)
+            .unwrap()
+            .functions()
+            .next()
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn extract_1d() {
+        let f = kernel(
+            "__global__ void k(int* a, int n) {\n    int i = blockIdx.x * blockDim.x + threadIdx.x;\n    if (i < n) { a[i] = i; }\n}",
+        );
+        let loops = extract(&f).unwrap();
+        assert_eq!(loops.vars, vec!["i"]);
+        assert_eq!(minihpc_lang::printer::print_expr(&loops.bounds[0]), "n");
+        assert_eq!(loops.body.len(), 1);
+    }
+
+    #[test]
+    fn extract_2d_axis_order() {
+        let f = kernel(
+            "__global__ void k(int* a, size_t N) {\n    int i = blockIdx.y * blockDim.y + threadIdx.y;\n    int j = blockIdx.x * blockDim.x + threadIdx.x;\n    if (i < N && j < N) { a[i * N + j] = 1; }\n}",
+        );
+        let loops = extract(&f).unwrap();
+        assert_eq!(loops.vars, vec!["i", "j"]);
+    }
+
+    #[test]
+    fn reject_mismatched_axes() {
+        let f = kernel(
+            "__global__ void k(int* a, int n) {\n    int i = blockIdx.x * blockDim.x + threadIdx.y;\n    if (i < n) { a[i] = i; }\n}",
+        );
+        assert!(extract(&f).is_none());
+    }
+
+    #[test]
+    fn reject_trailing_statements() {
+        let f = kernel(
+            "__global__ void k(int* a, int n) {\n    int i = blockIdx.x * blockDim.x + threadIdx.x;\n    if (i < n) { a[i] = i; }\n    a[0] = 9;\n}",
+        );
+        assert!(extract(&f).is_none());
+    }
+
+    #[test]
+    fn build_nest_roundtrip() {
+        let f = kernel(
+            "__global__ void k(int* a, size_t N) {\n    int i = blockIdx.y * blockDim.y + threadIdx.y;\n    int j = blockIdx.x * blockDim.x + threadIdx.x;\n    if (i < N && j < N) { a[i * N + j] = 1; }\n}",
+        );
+        let loops = extract(&f).unwrap();
+        let nest = build_for_nest(&loops);
+        let printed = minihpc_lang::printer::print_stmt(&nest);
+        assert!(printed.contains("for (int i = 0; i < N; i++)"), "{printed}");
+        assert!(printed.contains("for (int j = 0; j < N; j++)"), "{printed}");
+    }
+}

@@ -1,0 +1,1149 @@
+//! The reference ("oracle") transpilers between programming models.
+//!
+//! These implement the *correct* translations for the three pairs the paper
+//! evaluates. The simulated LLM backends (`pareval-llm`) start from this
+//! oracle output and inject model-specific mistakes; the harness also uses
+//! the oracle directly to verify that every translation task is solvable
+//! end-to-end in the MiniHPC world (modulo the cases that are unsolved in
+//! the paper as well, e.g. XSBench's pointer-arithmetic helpers under
+//! Kokkos).
+
+pub mod kernel;
+pub mod rw;
+
+use minihpc_lang::ast::*;
+use minihpc_lang::model::{ExecutionModel, TranslationPair};
+use minihpc_lang::parser;
+use minihpc_lang::pragma::*;
+use minihpc_lang::printer;
+use minihpc_lang::repo::{FileKind, SourceRepo};
+use rw::{call_name, map_exprs, map_exprs_stmt, map_type, rewrite_stmts};
+use std::collections::{BTreeMap, HashSet};
+
+/// Outcome of transpiling one source/header file.
+pub struct FileResult {
+    pub path: String,
+    pub text: String,
+    pub used_curand: bool,
+}
+
+/// Portable-RNG helpers emitted where cuRAND was used. The arithmetic is
+/// bit-for-bit the splitmix64 chain the simulated cuRAND implements, so
+/// translated programs reproduce the source model's random stream exactly.
+const RNG_HELPERS: &str = r#"long rng_mix(long x) {
+    x = x + 0x9E3779B97F4A7C15;
+    long z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EB;
+    return z ^ (z >> 31);
+}
+
+void rng_seed_into(long seed, long seq, long offset, long* state) {
+    state[0] = rng_mix(seed ^ seq * 0x9E3779B97F4A7C15 ^ offset);
+}
+
+float rng_uniform(long* state) {
+    state[0] = rng_mix(state[0]);
+    long y = state[0] >> 11;
+    return ((double)y + 1.0) / 9007199254740992.0;
+}
+"#;
+
+const RNG_PROTOS: &str = "long rng_mix(long x);\nvoid rng_seed_into(long seed, long seq, long offset, long* state);\nfloat rng_uniform(long* state);\n";
+
+/// Translate a whole repository to the pair's destination model, producing
+/// the translated sources *and* build system (the "Overall" configuration).
+pub fn transpile_repo(repo: &SourceRepo, pair: TranslationPair, binary: &str) -> SourceRepo {
+    let mut out = SourceRepo::new();
+    let mut translated_sources: Vec<String> = Vec::new();
+    let mut curand_files: Vec<String> = Vec::new();
+    let mut results: Vec<FileResult> = Vec::new();
+
+    for (path, text) in repo.iter() {
+        match FileKind::of(path) {
+            FileKind::Source | FileKind::Header => {
+                let r = transpile_file(repo, path, text, pair);
+                if r.used_curand {
+                    curand_files.push(r.path.clone());
+                }
+                if FileKind::of(&r.path) == FileKind::Source {
+                    translated_sources.push(r.path.clone());
+                }
+                results.push(r);
+            }
+            FileKind::Makefile | FileKind::CMakeLists => {} // regenerated below
+            FileKind::Other => out.add(path, text),
+        }
+    }
+
+    // Inject RNG helpers: definitions into the first using source file
+    // (deterministic order), prototypes into the others.
+    curand_files.sort();
+    let definer = curand_files
+        .iter()
+        .find(|p| FileKind::of(p) == FileKind::Source)
+        .cloned();
+    for mut r in results {
+        if r.used_curand && pair.to == ExecutionModel::OmpOffload {
+            if Some(&r.path) == definer.as_ref() {
+                r.text = format!("{RNG_HELPERS}\n{}", r.text);
+            } else {
+                r.text = format!("{RNG_PROTOS}\n{}", r.text);
+            }
+        }
+        out.add(r.path, r.text);
+    }
+
+    let (bpath, btext) = transpile_build_file(pair, binary, &translated_sources);
+    out.add(bpath, btext);
+    out
+}
+
+/// Translate one source or header file.
+pub fn transpile_file(
+    repo: &SourceRepo,
+    path: &str,
+    text: &str,
+    pair: TranslationPair,
+) -> FileResult {
+    let new_path = rename_for_target(path, pair.to);
+    let Ok(mut file) = parser::parse_file(text) else {
+        // Untranslatable input passes through (the build will fail there,
+        // as it would have in the source model).
+        return FileResult {
+            path: new_path,
+            text: text.to_string(),
+            used_curand: false,
+        };
+    };
+    let used_curand = file_uses_curand(&file);
+    match (pair.from, pair.to) {
+        (ExecutionModel::Cuda, ExecutionModel::OmpOffload) => cuda_to_offload(&mut file),
+        (ExecutionModel::Cuda, ExecutionModel::Kokkos) => cuda_to_kokkos(&mut file, repo),
+        (ExecutionModel::OmpThreads, ExecutionModel::OmpOffload) => threads_to_offload(&mut file),
+        _ => {}
+    }
+    FileResult {
+        path: new_path,
+        text: printer::print_file(&file),
+        used_curand,
+    }
+}
+
+/// Generate the destination build file.
+pub fn transpile_build_file(
+    pair: TranslationPair,
+    binary: &str,
+    sources: &[String],
+) -> (String, String) {
+    let srcs = sources.join(" ");
+    match pair.to {
+        ExecutionModel::Kokkos => (
+            "CMakeLists.txt".to_string(),
+            format!(
+                "cmake_minimum_required(VERSION 3.16)\nproject({binary} LANGUAGES CXX)\n\
+                 find_package(Kokkos REQUIRED)\nset(CMAKE_CXX_STANDARD 17)\n\
+                 add_executable({binary} {srcs})\n\
+                 target_link_libraries({binary} PRIVATE Kokkos::kokkos)\n\
+                 target_link_libraries({binary} PRIVATE m)\n"
+            ),
+        ),
+        ExecutionModel::OmpOffload => (
+            "Makefile".to_string(),
+            format!(
+                "CXX = clang++\nCXXFLAGS = -O2 -fopenmp -fopenmp-targets=nvptx64-nvidia-cuda -lm\n\
+                 SRCS = {srcs}\n\n{binary}: $(SRCS)\n\t$(CXX) $(CXXFLAGS) -o {binary} $(SRCS)\n\n\
+                 .PHONY: clean\nclean:\n\trm -f {binary}\n"
+            ),
+        ),
+        ExecutionModel::Cuda => (
+            "Makefile".to_string(),
+            format!(
+                "NVCC = nvcc\nNVCCFLAGS = -O2 -arch=sm_80\nSRCS = {srcs}\n\n\
+                 {binary}: $(SRCS)\n\t$(NVCC) $(NVCCFLAGS) -o {binary} $(SRCS)\n\n\
+                 .PHONY: clean\nclean:\n\trm -f {binary}\n"
+            ),
+        ),
+        ExecutionModel::OmpThreads => (
+            "Makefile".to_string(),
+            format!(
+                "CXX = g++\nCXXFLAGS = -O2 -fopenmp -lm\nSRCS = {srcs}\n\n\
+                 {binary}: $(SRCS)\n\t$(CXX) $(CXXFLAGS) -o {binary} $(SRCS)\n\n\
+                 .PHONY: clean\nclean:\n\trm -f {binary}\n"
+            ),
+        ),
+    }
+}
+
+/// `.cu` sources become `.cpp` when leaving CUDA.
+pub fn rename_for_target(path: &str, to: ExecutionModel) -> String {
+    if to != ExecutionModel::Cuda && path.ends_with(".cu") {
+        format!("{}.cpp", &path[..path.len() - 3])
+    } else {
+        path.to_string()
+    }
+}
+
+fn file_uses_curand(file: &SourceFile) -> bool {
+    let text = printer::print_file(file);
+    text.contains("curand")
+}
+
+// ===========================================================================
+// CUDA → OpenMP offload
+// ===========================================================================
+
+fn cuda_to_offload(file: &mut SourceFile) {
+    rewrite_includes(file, &[("omp.h", true)]);
+    rewrite_curand_types(file);
+    let var_types = collect_fn_types(file);
+    for item in &mut file.items {
+        let ItemKind::Function(f) = &mut item.kind else {
+            continue;
+        };
+        let was_kernel = f.quals.cuda_global;
+        f.quals.cuda_global = false;
+        f.quals.cuda_device = false;
+        f.quals.cuda_host = false;
+        if was_kernel {
+            if let Some(loops) = kernel::extract(f) {
+                let directive = offload_directive(&loops, &f.params);
+                let nest = kernel::build_for_nest(&loops);
+                f.body = Some(Block::new(vec![Stmt::synth(StmtKind::Omp {
+                    directive,
+                    body: Some(Box::new(nest)),
+                })]));
+            }
+        }
+        if let Some(body) = &mut f.body {
+            rewrite_cuda_host_stmts(body, &var_types, HostStyle::Offload);
+        }
+    }
+}
+
+fn offload_directive(loops: &kernel::KernelLoops, params: &[Param]) -> OmpDirective {
+    let mut d = OmpDirective::new(vec![
+        OmpConstruct::Target,
+        OmpConstruct::Teams,
+        OmpConstruct::Distribute,
+        OmpConstruct::Parallel,
+        OmpConstruct::For,
+    ]);
+    if loops.vars.len() > 1 {
+        d = d.with_clause(OmpClause::Collapse(loops.vars.len() as i64));
+    }
+    // Map every pointer parameter; const pointers only go to the device.
+    let mut to_vars = Vec::new();
+    let mut tofrom_vars = Vec::new();
+    for p in params {
+        if let Type::Ptr(inner) = p.ty.unqualified() {
+            if matches!(**inner, Type::Const(_)) {
+                to_vars.push(ArraySection::scalar(p.name.clone()));
+            } else {
+                tofrom_vars.push(ArraySection::scalar(p.name.clone()));
+            }
+        }
+    }
+    if !to_vars.is_empty() {
+        d = d.with_clause(OmpClause::Map {
+            kind: MapKind::To,
+            sections: to_vars,
+        });
+    }
+    if !tofrom_vars.is_empty() {
+        d = d.with_clause(OmpClause::Map {
+            kind: MapKind::ToFrom,
+            sections: tofrom_vars,
+        });
+    }
+    d
+}
+
+// ===========================================================================
+// CUDA → Kokkos
+// ===========================================================================
+
+fn cuda_to_kokkos(file: &mut SourceFile, repo: &SourceRepo) {
+    rewrite_includes(file, &[("Kokkos_Core.hpp", true)]);
+    rewrite_curand_types(file);
+    // Repo-wide analysis: which function parameters carry device data (and
+    // therefore become views)? Kernels seed the set; ordinary calls and
+    // kernel launches propagate it to wrappers like `runXOR`.
+    let view_param_map = view_params_map(repo);
+
+    let var_types = collect_fn_types(file);
+    for item in &mut file.items {
+        let ItemKind::Function(f) = &mut item.kind else {
+            continue;
+        };
+        let was_kernel = f.quals.cuda_global;
+        f.quals.cuda_global = false;
+        f.quals.cuda_device = false;
+        f.quals.cuda_host = false;
+
+        let mut view_params: HashSet<String> = HashSet::new();
+        if let Some(mask) = view_param_map.get(&f.name) {
+            for (p, is_view) in f.params.iter_mut().zip(mask) {
+                if !is_view {
+                    continue;
+                }
+                if let Some(elem) = scalar_pointee(&p.ty) {
+                    p.ty = Type::View { elem, rank: 1 };
+                    view_params.insert(p.name.clone());
+                }
+            }
+        }
+
+        if was_kernel {
+            if let Some(loops) = kernel::extract(f) {
+                let lambda_params: Vec<Param> = loops
+                    .vars
+                    .iter()
+                    .map(|v| Param::new(Type::INT, v.clone()))
+                    .collect();
+                let mut body = Block::new(loops.body.clone());
+                for s in &mut body.stmts {
+                    rewrite_index_to_view_call(s, &view_params);
+                }
+                let lambda = Expr::synth(ExprKind::Lambda {
+                    capture: CaptureMode::KokkosLambda,
+                    params: lambda_params,
+                    body,
+                });
+                let policy = if loops.vars.len() == 1 {
+                    loops.bounds[0].clone()
+                } else {
+                    Expr::call(
+                        Expr::path(&["Kokkos", "MDRangePolicy"]),
+                        vec![
+                            Expr::int(0),
+                            Expr::int(0),
+                            loops.bounds[0].clone(),
+                            loops.bounds[1].clone(),
+                        ],
+                    )
+                };
+                let call = Expr::call(Expr::path(&["Kokkos", "parallel_for"]), vec![policy, lambda]);
+                f.body = Some(Block::new(vec![Stmt::expr(call)]));
+            }
+        } else if !view_params.is_empty() {
+            // Device helper / wrapper: rewrite indexing of its view params.
+            if let Some(body) = &mut f.body {
+                for s in &mut body.stmts {
+                    rewrite_index_to_view_call(s, &view_params);
+                }
+            }
+        }
+
+        if let Some(body) = &mut f.body {
+            // Host-side CUDA API rewrites (views for device buffers).
+            let device_views = kokkos_rewrite_host(body, &var_types);
+            // Rewrite indexing of device views in host code (rare; deep_copy
+            // is the normal path).
+            for s in &mut body.stmts {
+                rewrite_index_to_view_call(s, &device_views);
+            }
+            if f.name == "main" {
+                wrap_main_with_kokkos(body);
+            }
+        }
+    }
+}
+
+/// Repo-wide analysis: per function, which parameters become Kokkos views.
+///
+/// Seeds: every scalar-pointer parameter of a `__global__` kernel and of any
+/// function transitively called from a kernel. Propagation: if function F
+/// passes its parameter `p` as argument `i` of a call (or kernel launch) to
+/// G whose parameter `i` is a view, then `p` is a view too — this is how
+/// host wrappers that forward device pointers (`runXOR`) get view types.
+fn view_params_map(repo: &SourceRepo) -> BTreeMap<String, Vec<bool>> {
+    struct FnInfo {
+        params: Vec<Param>,
+        is_kernel: bool,
+        /// (callee, arg index, param name of this function used as the arg)
+        forwards: Vec<(String, usize, String)>,
+        callees: HashSet<String>,
+    }
+    let mut fns: BTreeMap<String, FnInfo> = BTreeMap::new();
+    for (path, text) in repo.iter() {
+        if !FileKind::of(path).is_code() {
+            continue;
+        }
+        let Ok(file) = parser::parse_file(text) else {
+            continue;
+        };
+        for f in file.functions() {
+            let param_names: HashSet<&str> = f.params.iter().map(|p| p.name.as_str()).collect();
+            let mut forwards = Vec::new();
+            let mut callees = HashSet::new();
+            if let Some(body) = &f.body {
+                let mut b = Block::new(body.stmts.clone());
+                for s in &mut b.stmts {
+                    map_exprs_stmt(s, &mut |e| {
+                        let (callee, args) = match &e.kind {
+                            ExprKind::Call { callee, args } => match &callee.kind {
+                                ExprKind::Ident(n) => (n.clone(), args),
+                                _ => return,
+                            },
+                            ExprKind::KernelLaunch { kernel, args, .. } => (kernel.clone(), args),
+                            _ => return,
+                        };
+                        callees.insert(callee.clone());
+                        for (i, a) in args.iter().enumerate() {
+                            if let ExprKind::Ident(n) = &a.kind {
+                                if param_names.contains(n.as_str()) {
+                                    forwards.push((callee.clone(), i, n.clone()));
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+            let entry = fns.entry(f.name.clone()).or_insert(FnInfo {
+                params: f.params.clone(),
+                is_kernel: f.quals.cuda_global,
+                forwards: vec![],
+                callees: HashSet::new(),
+            });
+            entry.is_kernel |= f.quals.cuda_global;
+            if f.is_definition() {
+                entry.params = f.params.clone();
+                entry.forwards = forwards;
+                entry.callees = callees;
+            }
+        }
+    }
+
+    // Seed: kernels and transitive device callees.
+    let mut device: HashSet<String> = HashSet::new();
+    let mut stack: Vec<String> = fns
+        .iter()
+        .filter(|(_, i)| i.is_kernel)
+        .map(|(n, _)| n.clone())
+        .collect();
+    while let Some(name) = stack.pop() {
+        if !device.insert(name.clone()) {
+            continue;
+        }
+        if let Some(info) = fns.get(&name) {
+            for c in &info.callees {
+                if fns.contains_key(c) && !device.contains(c) {
+                    stack.push(c.clone());
+                }
+            }
+        }
+    }
+
+    let mut masks: BTreeMap<String, Vec<bool>> = BTreeMap::new();
+    for (name, info) in &fns {
+        let mask: Vec<bool> = info
+            .params
+            .iter()
+            .map(|p| device.contains(name) && scalar_pointee(&p.ty).is_some())
+            .collect();
+        masks.insert(name.clone(), mask);
+    }
+    // Propagate view-ness backwards through forwarding call sites.
+    loop {
+        let mut changed = false;
+        for (name, info) in &fns {
+            if name == "main" {
+                continue;
+            }
+            for (callee, arg_idx, param_name) in &info.forwards {
+                let callee_is_view = masks
+                    .get(callee)
+                    .and_then(|m| m.get(*arg_idx))
+                    .copied()
+                    .unwrap_or(false);
+                if !callee_is_view {
+                    continue;
+                }
+                if let Some(pi) = info.params.iter().position(|p| &p.name == param_name) {
+                    if scalar_pointee(&info.params[pi].ty).is_some() {
+                        let mask = masks.get_mut(name).unwrap();
+                        if !mask[pi] {
+                            mask[pi] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    masks
+}
+
+fn scalar_pointee(t: &Type) -> Option<ScalarType> {
+    match t.unqualified() {
+        Type::Ptr(inner) => match inner.unqualified() {
+            Type::Scalar(s) if *s != ScalarType::Void => Some(*s),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Host-side CUDA→Kokkos statement rewrites; returns the set of variables
+/// that became device views.
+fn kokkos_rewrite_host(
+    body: &mut Block,
+    var_types: &BTreeMap<String, Type>,
+) -> HashSet<String> {
+    // Pass 1: find device allocations `cudaMalloc(&p, n * sizeof(T))`.
+    let mut device_views: HashSet<String> = HashSet::new();
+    let mut view_info: BTreeMap<String, (ScalarType, Expr)> = BTreeMap::new();
+    collect_cuda_mallocs(body, var_types, &mut view_info);
+    for name in view_info.keys() {
+        device_views.insert(name.clone());
+    }
+    // Pointer aliases of device views (`int* tmp = d_in;` ping-pong swaps)
+    // become view handles too; iterate to a fixpoint.
+    let mut alias_elems: BTreeMap<String, ScalarType> = view_info
+        .iter()
+        .map(|(k, (e, _))| (k.clone(), *e))
+        .collect();
+    loop {
+        let before = device_views.len();
+        collect_view_aliases(body, &mut device_views, &mut alias_elems);
+        if device_views.len() == before {
+            break;
+        }
+    }
+
+    // Pass 2: rewrite statements.
+    rewrite_stmts(body, &mut |s| {
+        match &s.kind {
+            // Drop the plain pointer declaration of a future view.
+            StmtKind::Decl(d) if device_views.contains(&d.name) && d.init.is_none() => vec![],
+            StmtKind::Decl(d) if matches!(d.ty.unqualified(), Type::Dim3) => vec![],
+            // Alias declarations become view-handle declarations.
+            StmtKind::Decl(d)
+                if device_views.contains(&d.name)
+                    && matches!(&d.init, Some(Init::Expr(e))
+                        if matches!(&e.kind, ExprKind::Ident(v) if device_views.contains(v))) =>
+            {
+                let mut d = d.clone();
+                let elem = alias_elems.get(&d.name).copied().unwrap_or(ScalarType::Double);
+                d.ty = Type::View { elem, rank: 1 };
+                vec![Stmt::synth(StmtKind::Decl(d))]
+            }
+            StmtKind::Expr(e) => match call_name(e) {
+                Some("cudaMalloc") => {
+                    let ExprKind::Call { args, .. } = &e.kind else {
+                        return vec![s];
+                    };
+                    let Some(var) = malloc_target_var(&args[0]) else {
+                        return vec![s];
+                    };
+                    let Some((elem, len)) = view_info.get(&var) else {
+                        return vec![s];
+                    };
+                    vec![Stmt::synth(StmtKind::Decl(VarDecl {
+                        name: var.clone(),
+                        ty: Type::View {
+                            elem: *elem,
+                            rank: 1,
+                        },
+                        array_dims: vec![],
+                        init: Some(Init::Ctor(vec![
+                            Expr::synth(ExprKind::StrLit(var.clone())),
+                            len.clone(),
+                        ])),
+                        is_static: false,
+                    }))]
+                }
+                Some("cudaMemcpy") => {
+                    let ExprKind::Call { args, .. } = &e.kind else {
+                        return vec![s];
+                    };
+                    vec![Stmt::expr(Expr::call(
+                        Expr::path(&["Kokkos", "deep_copy"]),
+                        vec![args[0].clone(), args[1].clone()],
+                    ))]
+                }
+                Some("cudaFree") => vec![],
+                Some("cudaDeviceSynchronize") | Some("cudaGetLastError") => {
+                    vec![Stmt::expr(Expr::call(Expr::path(&["Kokkos", "fence"]), vec![]))]
+                }
+                _ => {
+                    let mut s = s;
+                    if let StmtKind::Expr(e) = &mut s.kind {
+                        launch_to_call(e);
+                    }
+                    vec![s]
+                }
+            },
+            _ => vec![s],
+        }
+    });
+    device_views
+}
+
+fn collect_cuda_mallocs(
+    block: &Block,
+    var_types: &BTreeMap<String, Type>,
+    out: &mut BTreeMap<String, (ScalarType, Expr)>,
+) {
+    for s in &block.stmts {
+        match &s.kind {
+            StmtKind::Expr(e)
+                if call_name(e) == Some("cudaMalloc") => {
+                    let ExprKind::Call { args, .. } = &e.kind else {
+                        continue;
+                    };
+                    let Some(var) = malloc_target_var(&args[0]) else {
+                        continue;
+                    };
+                    let elem = var_types
+                        .get(&var)
+                        .and_then(scalar_pointee)
+                        .unwrap_or(ScalarType::Double);
+                    let len = element_count_expr(&args[1]);
+                    out.insert(var, (elem, len));
+                }
+            StmtKind::Block(b) => collect_cuda_mallocs(b, var_types, out),
+            StmtKind::If { then, els, .. } => {
+                if let StmtKind::Block(b) = &then.kind {
+                    collect_cuda_mallocs(b, var_types, out);
+                }
+                if let Some(e) = els {
+                    if let StmtKind::Block(b) = &e.kind {
+                        collect_cuda_mallocs(b, var_types, out);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Find `T* alias = <view var>;` declarations and record them as views.
+fn collect_view_aliases(
+    block: &Block,
+    views: &mut HashSet<String>,
+    elems: &mut BTreeMap<String, ScalarType>,
+) {
+    for s in &block.stmts {
+        match &s.kind {
+            StmtKind::Decl(d) => {
+                if let Some(Init::Expr(e)) = &d.init {
+                    if let ExprKind::Ident(v) = &e.kind {
+                        if views.contains(v) && d.ty.is_pointer() {
+                            let elem = elems.get(v).copied().unwrap_or(ScalarType::Double);
+                            if views.insert(d.name.clone()) {
+                                elems.insert(d.name.clone(), elem);
+                            }
+                        }
+                    }
+                }
+            }
+            StmtKind::Block(b) => collect_view_aliases(b, views, elems),
+            StmtKind::If { then, els, .. } => {
+                if let StmtKind::Block(b) = &then.kind {
+                    collect_view_aliases(b, views, elems);
+                }
+                if let Some(e) = els {
+                    if let StmtKind::Block(b) = &e.kind {
+                        collect_view_aliases(b, views, elems);
+                    }
+                }
+            }
+            StmtKind::For { body, .. } | StmtKind::While { body, .. } => {
+                if let StmtKind::Block(b) = &body.kind {
+                    collect_view_aliases(b, views, elems);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `&p` (possibly cast) → `p`.
+fn malloc_target_var(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::Unary {
+            op: UnaryOp::AddrOf,
+            expr,
+        } => match &expr.kind {
+            ExprKind::Ident(n) => Some(n.clone()),
+            _ => None,
+        },
+        ExprKind::Cast { expr, .. } | ExprKind::Paren(expr) => malloc_target_var(expr),
+        _ => None,
+    }
+}
+
+/// Peel a trailing `* sizeof(T)` factor off a byte-size expression to get an
+/// element count; falls back to `bytes / sizeof(double)`.
+fn element_count_expr(bytes: &Expr) -> Expr {
+    if let ExprKind::Binary {
+        op: BinOp::Mul,
+        lhs,
+        rhs,
+    } = &bytes.kind
+    {
+        if matches!(
+            rhs.kind,
+            ExprKind::SizeOfType(_) | ExprKind::SizeOfExpr(_)
+        ) {
+            return (**lhs).clone();
+        }
+    }
+    Expr::binary(
+        BinOp::Div,
+        bytes.clone(),
+        Expr::synth(ExprKind::SizeOfType(Type::DOUBLE)),
+    )
+}
+
+fn launch_to_call(e: &mut Expr) {
+    map_exprs(e, &mut |e| {
+        if let ExprKind::KernelLaunch { kernel, args, .. } = &e.kind {
+            *e = Expr::call(Expr::ident(kernel.clone()), args.clone());
+        }
+    });
+}
+
+/// `p[expr]` → `p(expr)` for view variables.
+fn rewrite_index_to_view_call(s: &mut Stmt, views: &HashSet<String>) {
+    if views.is_empty() {
+        return;
+    }
+    map_exprs_stmt(s, &mut |e| {
+        if let ExprKind::Index { base, index } = &e.kind {
+            if let ExprKind::Ident(n) = &base.kind {
+                if views.contains(n) {
+                    *e = Expr::call(Expr::ident(n.clone()), vec![(**index).clone()]);
+                }
+            }
+        }
+    });
+}
+
+fn wrap_main_with_kokkos(body: &mut Block) {
+    // `Kokkos::finalize()` before every return; `initialize()` first.
+    rewrite_stmts(body, &mut |s| {
+        if matches!(s.kind, StmtKind::Return(_)) {
+            vec![
+                Stmt::expr(Expr::call(Expr::path(&["Kokkos", "finalize"]), vec![])),
+                s,
+            ]
+        } else {
+            vec![s]
+        }
+    });
+    body.stmts.insert(
+        0,
+        Stmt::expr(Expr::call(Expr::path(&["Kokkos", "initialize"]), vec![])),
+    );
+}
+
+// ===========================================================================
+// OpenMP threads → OpenMP offload
+// ===========================================================================
+
+fn threads_to_offload(file: &mut SourceFile) {
+    let fn_param_types: Vec<(String, Vec<Param>)> = file
+        .functions()
+        .map(|f| (f.name.clone(), f.params.clone()))
+        .collect();
+    let _ = fn_param_types;
+    for item in &mut file.items {
+        let ItemKind::Function(f) = &mut item.kind else {
+            continue;
+        };
+        let params = f.params.clone();
+        let Some(body) = &mut f.body else { continue };
+        upgrade_parallel_for(body, &params);
+    }
+}
+
+fn upgrade_parallel_for(block: &mut Block, params: &[Param]) {
+    // Track pointer-typed locals seen so far (for map clauses).
+    let mut pointer_vars: Vec<(String, bool)> = params
+        .iter()
+        .filter_map(|p| match p.ty.unqualified() {
+            Type::Ptr(inner) => Some((p.name.clone(), matches!(**inner, Type::Const(_)))),
+            _ => None,
+        })
+        .collect();
+    upgrade_in_block(block, &mut pointer_vars);
+}
+
+fn upgrade_in_block(block: &mut Block, pointer_vars: &mut Vec<(String, bool)>) {
+    for s in &mut block.stmts {
+        match &mut s.kind {
+            StmtKind::Decl(d) => {
+                if let Type::Ptr(inner) = d.ty.unqualified() {
+                    pointer_vars.push((d.name.clone(), matches!(**inner, Type::Const(_))));
+                }
+            }
+            StmtKind::Block(b) => upgrade_in_block(b, pointer_vars),
+            StmtKind::If { then, els, .. } => {
+                if let StmtKind::Block(b) = &mut then.kind {
+                    upgrade_in_block(b, pointer_vars);
+                }
+                if let Some(e) = els {
+                    if let StmtKind::Block(b) = &mut e.kind {
+                        upgrade_in_block(b, pointer_vars);
+                    }
+                }
+            }
+            StmtKind::For { body, .. } | StmtKind::While { body, .. } => {
+                if let StmtKind::Block(b) = &mut body.kind {
+                    upgrade_in_block(b, pointer_vars);
+                }
+            }
+            StmtKind::Omp { directive, body } => {
+                if directive.has(OmpConstruct::Parallel)
+                    && directive.has(OmpConstruct::For)
+                    && !directive.targets_device()
+                {
+                    let mut new = OmpDirective::new(vec![
+                        OmpConstruct::Target,
+                        OmpConstruct::Teams,
+                        OmpConstruct::Distribute,
+                        OmpConstruct::Parallel,
+                        OmpConstruct::For,
+                    ]);
+                    // Keep collapse/reduction/schedule-free clauses.
+                    for c in &directive.clauses {
+                        match c {
+                            OmpClause::Collapse(_) | OmpClause::Reduction { .. } => {
+                                new.clauses.push(c.clone());
+                            }
+                            _ => {}
+                        }
+                    }
+                    // Map the pointers referenced in the loop body.
+                    let referenced = referenced_idents(body.as_deref());
+                    let mut to_secs = Vec::new();
+                    let mut tofrom_secs = Vec::new();
+                    for (name, is_const) in pointer_vars.iter() {
+                        if referenced.contains(name) {
+                            if *is_const {
+                                to_secs.push(ArraySection::scalar(name.clone()));
+                            } else {
+                                tofrom_secs.push(ArraySection::scalar(name.clone()));
+                            }
+                        }
+                    }
+                    if !to_secs.is_empty() {
+                        new.clauses.push(OmpClause::Map {
+                            kind: MapKind::To,
+                            sections: to_secs,
+                        });
+                    }
+                    if !tofrom_secs.is_empty() {
+                        new.clauses.push(OmpClause::Map {
+                            kind: MapKind::ToFrom,
+                            sections: tofrom_secs,
+                        });
+                    }
+                    *directive = new;
+                }
+                if let Some(b) = body {
+                    if let StmtKind::Block(inner) = &mut b.kind {
+                        upgrade_in_block(inner, pointer_vars);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn referenced_idents(s: Option<&Stmt>) -> HashSet<String> {
+    let mut out = HashSet::new();
+    let Some(s) = s else { return out };
+    let mut cloned = s.clone();
+    map_exprs_stmt(&mut cloned, &mut |e| {
+        if let ExprKind::Ident(n) = &e.kind {
+            out.insert(n.clone());
+        }
+    });
+    out
+}
+
+// ===========================================================================
+// Shared rewrites
+// ===========================================================================
+
+#[derive(Clone, Copy, PartialEq)]
+enum HostStyle {
+    Offload,
+}
+
+/// Rewrite CUDA host API statements for the OpenMP-offload target: device
+/// buffers become plain host allocations and transfers become memcpy.
+fn rewrite_cuda_host_stmts(
+    body: &mut Block,
+    var_types: &BTreeMap<String, Type>,
+    _style: HostStyle,
+) {
+    rewrite_stmts(body, &mut |mut s| {
+        if let StmtKind::Decl(d) = &s.kind {
+            if matches!(d.ty.unqualified(), Type::Dim3) {
+                return vec![];
+            }
+        }
+        if let StmtKind::Expr(e) = &mut s.kind {
+            match call_name(e) {
+                Some("cudaDeviceSynchronize") | Some("cudaGetLastError") => return vec![],
+                Some("cudaMalloc") => {
+                    let ExprKind::Call { args, .. } = &e.kind else {
+                        return vec![s];
+                    };
+                    let Some(var) = malloc_target_var(&args[0]) else {
+                        return vec![s];
+                    };
+                    let ptr_ty = var_types
+                        .get(&var)
+                        .cloned()
+                        .unwrap_or(Type::ptr(Type::DOUBLE));
+                    let size = args[1].clone();
+                    *e = Expr::synth(ExprKind::Assign {
+                        op: None,
+                        lhs: Box::new(Expr::ident(var)),
+                        rhs: Box::new(Expr::synth(ExprKind::Cast {
+                            ty: strip_const_ptr(&ptr_ty),
+                            expr: Box::new(Expr::call(Expr::ident("malloc"), vec![size])),
+                        })),
+                    });
+                    return vec![s];
+                }
+                Some("cudaMemcpy") => {
+                    let ExprKind::Call { args, .. } = &e.kind else {
+                        return vec![s];
+                    };
+                    *e = Expr::call(
+                        Expr::ident("memcpy"),
+                        vec![args[0].clone(), args[1].clone(), args[2].clone()],
+                    );
+                    return vec![s];
+                }
+                Some("cudaFree") => {
+                    let ExprKind::Call { args, .. } = &e.kind else {
+                        return vec![s];
+                    };
+                    *e = Expr::call(Expr::ident("free"), vec![args[0].clone()]);
+                    return vec![s];
+                }
+                _ => {}
+            }
+            launch_to_call(e);
+            rewrite_curand_calls(e);
+        }
+        vec![s]
+    });
+}
+
+fn strip_const_ptr(t: &Type) -> Type {
+    match t.unqualified() {
+        Type::Ptr(inner) => Type::ptr(inner.unqualified().clone()),
+        other => other.clone(),
+    }
+}
+
+fn rewrite_curand_calls(e: &mut Expr) {
+    map_exprs(e, &mut |e| {
+        if let ExprKind::Call { callee, .. } = &mut e.kind {
+            if let ExprKind::Ident(n) = &mut callee.kind {
+                match n.as_str() {
+                    "curand_init" => *n = "rng_seed_into".into(),
+                    "curand_uniform" | "curand_uniform_double" => *n = "rng_uniform".into(),
+                    _ => {}
+                }
+            }
+        }
+    });
+}
+
+/// `curandState` → `long` throughout (types and sizeof).
+fn rewrite_curand_types(file: &mut SourceFile) {
+    let fix_type = |t: &mut Type| {
+        map_type(t, &mut |t| {
+            if matches!(t, Type::Named(n) if n == "curandState") {
+                *t = Type::Scalar(ScalarType::Long);
+            }
+        });
+    };
+    for item in &mut file.items {
+        match &mut item.kind {
+            ItemKind::Function(f) => {
+                fix_type(&mut f.ret);
+                for p in &mut f.params {
+                    fix_type(&mut p.ty);
+                }
+                if let Some(body) = &mut f.body {
+                    for s in &mut body.stmts {
+                        fix_types_in_stmt(s);
+                        map_exprs_stmt(s, &mut |e| {
+                            match &mut e.kind {
+                                ExprKind::SizeOfType(t) => fix_type_value(t),
+                                ExprKind::SizeOfExpr(inner) => {
+                                    if matches!(&inner.kind, ExprKind::Ident(n) if n == "curandState")
+                                    {
+                                        e.kind =
+                                            ExprKind::SizeOfType(Type::Scalar(ScalarType::Long));
+                                    }
+                                }
+                                ExprKind::Cast { ty, .. } => fix_type_value(ty),
+                                _ => {}
+                            }
+                            rewrite_curand_calls_inner(e);
+                        });
+                    }
+                }
+            }
+            ItemKind::Struct(sd) => {
+                for f in &mut sd.fields {
+                    fix_type(&mut f.ty);
+                }
+            }
+            ItemKind::Global(g) => fix_type(&mut g.ty),
+            _ => {}
+        }
+    }
+}
+
+fn fix_type_value(t: &mut Type) {
+    map_type(t, &mut |t| {
+        if matches!(t, Type::Named(n) if n == "curandState") {
+            *t = Type::Scalar(ScalarType::Long);
+        }
+    });
+}
+
+fn fix_types_in_stmt(s: &mut Stmt) {
+    match &mut s.kind {
+        StmtKind::Decl(d) => fix_type_value(&mut d.ty),
+        StmtKind::Block(b) => {
+            for s in &mut b.stmts {
+                fix_types_in_stmt(s);
+            }
+        }
+        StmtKind::If { then, els, .. } => {
+            fix_types_in_stmt(then);
+            if let Some(e) = els {
+                fix_types_in_stmt(e);
+            }
+        }
+        StmtKind::For { init, body, .. } => {
+            if let Some(i) = init {
+                fix_types_in_stmt(i);
+            }
+            fix_types_in_stmt(body);
+        }
+        StmtKind::While { body, .. } => fix_types_in_stmt(body),
+        StmtKind::Omp { body: Some(b), .. } => fix_types_in_stmt(b),
+        _ => {}
+    }
+}
+
+fn rewrite_curand_calls_inner(e: &mut Expr) {
+    if let ExprKind::Call { callee, .. } = &mut e.kind {
+        if let ExprKind::Ident(n) = &mut callee.kind {
+            match n.as_str() {
+                "curand_init" => *n = "rng_seed_into".into(),
+                "curand_uniform" | "curand_uniform_double" => *n = "rng_uniform".into(),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Replace CUDA system includes; ensure `adds` are present (once) if any
+/// CUDA include was removed or the file has code items.
+fn rewrite_includes(file: &mut SourceFile, adds: &[(&str, bool)]) {
+    let mut removed_any = false;
+    file.items.retain(|item| {
+        if let ItemKind::Include { path, system: true } = &item.kind {
+            if matches!(
+                path.as_str(),
+                "cuda_runtime.h" | "cuda.h" | "curand_kernel.h" | "curand.h"
+            ) {
+                removed_any = true;
+                return false;
+            }
+        }
+        true
+    });
+    if removed_any {
+        for (path, system) in adds.iter().rev() {
+            let already = file.items.iter().any(|i| {
+                matches!(&i.kind, ItemKind::Include { path: p, .. } if p == path)
+            });
+            if !already {
+                file.items.insert(
+                    0,
+                    Item::synth(ItemKind::Include {
+                        path: path.to_string(),
+                        system: *system,
+                    }),
+                );
+            }
+        }
+    }
+}
+
+/// Collect declared variable types (params + locals) for every function in
+/// the file, flattened into one map (names in our apps are unique enough;
+/// collisions resolve to the last declaration, which only affects allocation
+/// element-type inference).
+fn collect_fn_types(file: &SourceFile) -> BTreeMap<String, Type> {
+    let mut out = BTreeMap::new();
+    for f in file.functions() {
+        for p in &f.params {
+            out.insert(p.name.clone(), p.ty.clone());
+        }
+        if let Some(body) = &f.body {
+            collect_decl_types(body, &mut out);
+        }
+    }
+    out
+}
+
+fn collect_decl_types(b: &Block, out: &mut BTreeMap<String, Type>) {
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::Decl(d) => {
+                out.insert(d.name.clone(), d.ty.clone());
+            }
+            StmtKind::Block(inner) => collect_decl_types(inner, out),
+            StmtKind::If { then, els, .. } => {
+                if let StmtKind::Block(inner) = &then.kind {
+                    collect_decl_types(inner, out);
+                }
+                if let Some(e) = els {
+                    if let StmtKind::Block(inner) = &e.kind {
+                        collect_decl_types(inner, out);
+                    }
+                }
+            }
+            StmtKind::For { init, body, .. } => {
+                if let Some(i) = init {
+                    if let StmtKind::Decl(d) = &i.kind {
+                        out.insert(d.name.clone(), d.ty.clone());
+                    }
+                }
+                if let StmtKind::Block(inner) = &body.kind {
+                    collect_decl_types(inner, out);
+                }
+            }
+            StmtKind::Omp {
+                body: Some(body), ..
+            } => {
+                if let StmtKind::Block(inner) = &body.kind {
+                    collect_decl_types(inner, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Small AST-rewriting toolkit shared by the transpilers.
+
+use minihpc_lang::ast::*;
+
+/// Rewrite every expression in a statement tree bottom-up.
+pub fn map_exprs_stmt(s: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+    match &mut s.kind {
+        StmtKind::Decl(d) => {
+            for dim in &mut d.array_dims {
+                map_exprs(dim, f);
+            }
+            match &mut d.init {
+                Some(Init::Expr(e)) => map_exprs(e, f),
+                Some(Init::List(es)) | Some(Init::Ctor(es)) => {
+                    for e in es {
+                        map_exprs(e, f);
+                    }
+                }
+                None => {}
+            }
+        }
+        StmtKind::Expr(e) => map_exprs(e, f),
+        StmtKind::If { cond, then, els } => {
+            map_exprs(cond, f);
+            map_exprs_stmt(then, f);
+            if let Some(e) = els {
+                map_exprs_stmt(e, f);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            map_exprs(cond, f);
+            map_exprs_stmt(body, f);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(i) = init {
+                map_exprs_stmt(i, f);
+            }
+            if let Some(c) = cond {
+                map_exprs(c, f);
+            }
+            if let Some(st) = step {
+                map_exprs(st, f);
+            }
+            map_exprs_stmt(body, f);
+        }
+        StmtKind::Return(Some(e)) => map_exprs(e, f),
+        StmtKind::Block(b) => {
+            for s in &mut b.stmts {
+                map_exprs_stmt(s, f);
+            }
+        }
+        StmtKind::Omp { directive, body } => {
+            for clause in &mut directive.clauses {
+                use minihpc_lang::pragma::OmpClause;
+                match clause {
+                    OmpClause::NumThreads(e)
+                    | OmpClause::NumTeams(e)
+                    | OmpClause::ThreadLimit(e)
+                    | OmpClause::If(e)
+                    | OmpClause::Device(e) => map_exprs(e, f),
+                    OmpClause::Map { sections, .. } => {
+                        for s in sections {
+                            for (lo, len) in &mut s.ranges {
+                                map_exprs(lo, f);
+                                map_exprs(len, f);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(b) = body {
+                map_exprs_stmt(b, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Rewrite an expression tree bottom-up (children first, then the node).
+pub fn map_exprs(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    match &mut e.kind {
+        ExprKind::Unary { expr, .. } => map_exprs(expr, f),
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            map_exprs(lhs, f);
+            map_exprs(rhs, f);
+        }
+        ExprKind::Ternary { cond, then, els } => {
+            map_exprs(cond, f);
+            map_exprs(then, f);
+            map_exprs(els, f);
+        }
+        ExprKind::Call { callee, args } => {
+            map_exprs(callee, f);
+            for a in args {
+                map_exprs(a, f);
+            }
+        }
+        ExprKind::KernelLaunch {
+            grid, block, args, ..
+        } => {
+            map_exprs(grid, f);
+            map_exprs(block, f);
+            for a in args {
+                map_exprs(a, f);
+            }
+        }
+        ExprKind::Index { base, index } => {
+            map_exprs(base, f);
+            map_exprs(index, f);
+        }
+        ExprKind::Member { base, .. } => map_exprs(base, f),
+        ExprKind::Cast { expr, .. } => map_exprs(expr, f),
+        ExprKind::SizeOfExpr(inner) => map_exprs(inner, f),
+        ExprKind::Lambda { body, .. } => {
+            for s in &mut body.stmts {
+                map_exprs_stmt(s, f);
+            }
+        }
+        ExprKind::Paren(inner) => map_exprs(inner, f),
+        _ => {}
+    }
+    f(e);
+}
+
+/// Rewrite the statements of every (nested) block: the callback receives one
+/// statement and returns its replacement statements (empty = delete).
+pub fn rewrite_stmts(block: &mut Block, f: &mut impl FnMut(Stmt) -> Vec<Stmt>) {
+    let old = std::mem::take(&mut block.stmts);
+    let mut new = Vec::with_capacity(old.len());
+    for mut s in old {
+        // Recurse into nested bodies first.
+        match &mut s.kind {
+            StmtKind::Block(b) => rewrite_stmts(b, f),
+            StmtKind::If { then, els, .. } => {
+                rewrite_nested(then, f);
+                if let Some(e) = els {
+                    rewrite_nested(e, f);
+                }
+            }
+            StmtKind::While { body, .. } => rewrite_nested(body, f),
+            StmtKind::For { body, .. } => rewrite_nested(body, f),
+            StmtKind::Omp { body, .. } => {
+                if let Some(b) = body {
+                    rewrite_nested(b, f);
+                }
+            }
+            _ => {}
+        }
+        new.extend(f(s));
+    }
+    block.stmts = new;
+}
+
+fn rewrite_nested(s: &mut Stmt, f: &mut impl FnMut(Stmt) -> Vec<Stmt>) {
+    if let StmtKind::Block(b) = &mut s.kind {
+        rewrite_stmts(b, f);
+    } else {
+        // Single-statement body: apply the rewrite; wrap multi-statement
+        // replacements in a block.
+        let old = std::mem::replace(s, Stmt::synth(StmtKind::Empty));
+        let mut replaced = f(old);
+        *s = match replaced.len() {
+            0 => Stmt::synth(StmtKind::Empty),
+            1 => replaced.pop().unwrap(),
+            _ => Stmt::synth(StmtKind::Block(Block::new(replaced))),
+        };
+    }
+}
+
+/// Rewrite a type in place (recursively through pointers/const).
+pub fn map_type(t: &mut Type, f: &mut impl FnMut(&mut Type)) {
+    match t {
+        Type::Ptr(inner) | Type::Const(inner) => map_type(inner, f),
+        _ => {}
+    }
+    f(t);
+}
+
+/// Extract the callee name of a plain `name(args)` call expression.
+pub fn call_name(e: &Expr) -> Option<&str> {
+    match &e.kind {
+        ExprKind::Call { callee, .. } => match &callee.kind {
+            ExprKind::Ident(n) => Some(n),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minihpc_lang::parser::{parse_expr_str, parse_stmt_str};
+    use minihpc_lang::printer::{print_expr, print_stmt};
+
+    #[test]
+    fn map_exprs_renames_idents() {
+        let mut e = parse_expr_str("a + b * a").unwrap();
+        map_exprs(&mut e, &mut |e| {
+            if let ExprKind::Ident(n) = &mut e.kind {
+                if n == "a" {
+                    *n = "x".into();
+                }
+            }
+        });
+        assert_eq!(print_expr(&e), "x + b * x");
+    }
+
+    #[test]
+    fn rewrite_stmts_deletes_and_replaces() {
+        let mut s = parse_stmt_str("{ cudaFree(p); x = 1; }").unwrap();
+        let StmtKind::Block(ref mut b) = s.kind else {
+            panic!()
+        };
+        rewrite_stmts(b, &mut |s| {
+            if let StmtKind::Expr(e) = &s.kind {
+                if call_name(e) == Some("cudaFree") {
+                    return vec![];
+                }
+            }
+            vec![s]
+        });
+        let printed = print_stmt(&s);
+        assert!(!printed.contains("cudaFree"));
+        assert!(printed.contains("x = 1"));
+    }
+
+    #[test]
+    fn rewrite_single_stmt_bodies() {
+        let mut s = parse_stmt_str("if (x) cudaDeviceSynchronize();").unwrap();
+        let mut wrapper = Block::new(vec![s.clone()]);
+        rewrite_stmts(&mut wrapper, &mut |s| {
+            if let StmtKind::Expr(e) = &s.kind {
+                if call_name(e) == Some("cudaDeviceSynchronize") {
+                    return vec![];
+                }
+            }
+            vec![s]
+        });
+        s = wrapper.stmts[0].clone();
+        let printed = print_stmt(&s);
+        assert!(!printed.contains("cudaDeviceSynchronize"), "{printed}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Error-clustering walkthrough (paper Sec. 6.3 / Fig. 3): run a slice of
+//! the benchmark, collect the failed-build logs, embed them with the
+//! from-scratch word2vec, cluster with DBSCAN, and compare the recovered
+//! categories against the toolchain's ground truth.
+//!
+//! Run with: `cargo run --release --example error_clustering`
+
+use pareval_core::{report, run_experiment, ExperimentConfig};
+use pareval_errclust::{category_counts, cluster_logs, PipelineConfig};
+
+fn main() {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.samples = 6;
+    println!("Running a benchmark slice ({} samples per cell)...", cfg.samples);
+    let results = run_experiment(&cfg);
+
+    let tagged = results.error_logs_with_models();
+    println!("Collected {} failed-build logs.\n", tagged.len());
+    let logs: Vec<_> = tagged.into_iter().map(|(_, l)| l).collect();
+    if logs.is_empty() {
+        println!("No build failures in this slice — enlarge the experiment.");
+        return;
+    }
+
+    let clustering = cluster_logs(&logs, &PipelineConfig::default());
+    println!(
+        "DBSCAN produced {} labelled clusters (+{} noise) with purity {:.2}",
+        clustering.clusters.len(),
+        clustering.noise.len(),
+        clustering.purity
+    );
+    for cluster in &clustering.clusters {
+        println!("  {:<34} {:>4} logs", cluster.label.label(), cluster.members.len());
+    }
+
+    println!("\nPer-category counts recovered by the pipeline:");
+    for (category, count) in category_counts(&clustering) {
+        println!("  {:<34} {count}", category.label());
+    }
+
+    println!("\nGround-truth counts (toolchain categories) for comparison:");
+    println!("{}", report::fig3(&results));
+}

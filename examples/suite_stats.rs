@@ -1,0 +1,17 @@
+//! Suite statistics: regenerates paper Table 1 (SLoC, cyclomatic
+//! complexity, file counts, available programming models) from the MiniHPC
+//! application ports, and lists the sixteen translation tasks.
+//!
+//! Run with: `cargo run --example suite_stats`
+
+use pareval_core::all_tasks;
+use pareval_core::report;
+
+fn main() {
+    println!("{}", report::table1());
+    println!("Translation tasks (paper Sec. 5.2):");
+    for (i, task) in all_tasks().iter().enumerate() {
+        println!("  {:>2}. {:<18} {}", i + 1, task.app.name, task.pair);
+    }
+    println!("\nTotal: {} tasks (6 apps x 2 pairs + 4 apps x 1 pair)", all_tasks().len());
+}

@@ -1,0 +1,18 @@
+//! ParEval-Repo — a benchmark suite for evaluating LLM-based translation of
+//! entire HPC code repositories between parallel programming models.
+//!
+//! This is the workspace facade crate: it re-exports the public API of
+//! [`pareval_core`] and the substrate crates so that downstream users can
+//! depend on a single crate.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use minihpc_build as build;
+pub use minihpc_lang as lang;
+pub use minihpc_runtime as runtime;
+pub use pareval_apps as apps;
+pub use pareval_core as core;
+pub use pareval_errclust as errclust;
+pub use pareval_llm as llm;
+pub use pareval_metrics as metrics;
+pub use pareval_translate as translate;
