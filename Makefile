@@ -1,0 +1,32 @@
+# Development entry points mirroring the tier-1 verify
+# (`cargo build --release && cargo test -q`).
+
+.PHONY: all build test doc fmt fmt-fix clippy bench verify clean
+
+all: verify
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+fmt:
+	cargo fmt --all --check
+
+fmt-fix:
+	cargo fmt --all
+
+clippy:
+	cargo clippy --workspace --all-targets
+
+bench:
+	cargo bench
+
+verify: build test
+
+clean:
+	cargo clean

@@ -506,7 +506,8 @@ target_link_libraries(app PRIVATE Kokkos::kokkos)
 
     #[test]
     fn find_unknown_required_package_fails() {
-        let text = "project(a LANGUAGES CXX)\nfind_package(RAJA REQUIRED)\nadd_executable(a m.cpp)\n";
+        let text =
+            "project(a LANGUAGES CXX)\nfind_package(RAJA REQUIRED)\nadd_executable(a m.cpp)\n";
         let err = configure(text).unwrap_err();
         assert_eq!(err.category, ErrorCategory::CMakeConfig);
         assert!(err.message.contains("RAJA"));

@@ -232,8 +232,7 @@ mod tests {
         log.note("clang++ -fopenmp -o app main.cpp");
         assert!(!log.has_errors());
         log.diagnostic(
-            Diagnostic::warning(ErrorCategory::Other, "main.cpp", "unused variable `x`")
-                .at_line(3),
+            Diagnostic::warning(ErrorCategory::Other, "main.cpp", "unused variable `x`").at_line(3),
         );
         assert!(!log.has_errors());
         log.diagnostic(

@@ -121,10 +121,7 @@ fn build_with_make(
                     continue;
                 }
                 log.diagnostic(d);
-                log.note(format!(
-                    "make: *** [Makefile:{}] Error 1",
-                    cmd.line
-                ));
+                log.note(format!("make: *** [Makefile:{}] Error 1", cmd.line));
                 return BuildOutcome {
                     log,
                     executable: None,
@@ -437,7 +434,10 @@ int main() {
                  util.o: util.cpp\n\tg++ -c util.cpp -o util.o\n",
             )
             .with_file("util.h", "int util(int x);\n")
-            .with_file("util.cpp", "#include \"util.h\"\nint util(int x) { return x + 1; }\n")
+            .with_file(
+                "util.cpp",
+                "#include \"util.h\"\nint util(int x) { return x + 1; }\n",
+            )
             .with_file(
                 "main.cpp",
                 "#include \"util.h\"\nint main() { return util(41) - 42; }\n",
@@ -475,10 +475,7 @@ int main() {
     #[test]
     fn linker_failure_across_units() {
         let repo = SourceRepo::new()
-            .with_file(
-                "Makefile",
-                "app: main.cpp\n\tg++ -o app main.cpp\n",
-            )
+            .with_file("Makefile", "app: main.cpp\n\tg++ -o app main.cpp\n")
             .with_file(
                 "main.cpp",
                 "void helper(int);\nint main() { helper(1); return 0; }\n",

@@ -64,10 +64,7 @@ pub fn link(
                 diags.push(Diagnostic::error(
                     ErrorCategory::LinkerError,
                     output,
-                    format!(
-                        "{}: undefined reference to `{sym}'",
-                        obj.name
-                    ),
+                    format!("{}: undefined reference to `{sym}'", obj.name),
                 ));
             }
         }
@@ -116,7 +113,10 @@ mod tests {
         assert!(
             r.object.is_some(),
             "sema failed: {:?}",
-            r.diagnostics.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+            r.diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
         );
         r.object.unwrap()
     }
@@ -130,13 +130,7 @@ mod tests {
             f,
         );
         let helper_o = object_of("helper.cpp", "void helper(int x) { }", f);
-        let exe = link(
-            &[main_o, helper_o],
-            "app",
-            CompilerKind::Gcc,
-            &f,
-        )
-        .unwrap();
+        let exe = link(&[main_o, helper_o], "app", CompilerKind::Gcc, &f).unwrap();
         assert!(exe.main().is_some());
         assert!(exe.functions.contains_key("helper"));
     }
@@ -157,7 +151,11 @@ mod tests {
     #[test]
     fn duplicate_definition_reported() {
         let f = CompileFeatures::default();
-        let a = object_of("a.cpp", "int compute() { return 1; }\nint main() { return compute(); }", f);
+        let a = object_of(
+            "a.cpp",
+            "int compute() { return 1; }\nint main() { return compute(); }",
+            f,
+        );
         let b = object_of("b.cpp", "int compute() { return 2; }", f);
         let errs = link(&[a, b], "app", CompilerKind::Gcc, &f).unwrap_err();
         assert!(errs[0].message.contains("multiple definition"));
@@ -176,7 +174,7 @@ mod tests {
         let f = CompileFeatures::default();
         let src = "int main() { double x = sqrt(2.0); return (int)x; }";
         let a = object_of("a.cpp", src, f);
-        let errs = link(&[a.clone()], "app", CompilerKind::Gcc, &f).unwrap_err();
+        let errs = link(std::slice::from_ref(&a), "app", CompilerKind::Gcc, &f).unwrap_err();
         assert!(errs[0].message.contains("-lm"));
 
         // With -lm.
@@ -184,7 +182,7 @@ mod tests {
             libm: true,
             ..CompileFeatures::default()
         };
-        assert!(link(&[a.clone()], "app", CompilerKind::Gcc, &with_m).is_ok());
+        assert!(link(std::slice::from_ref(&a), "app", CompilerKind::Gcc, &with_m).is_ok());
 
         // nvcc links libm implicitly.
         assert!(link(&[a], "app", CompilerKind::Nvcc, &f).is_ok());
@@ -202,7 +200,13 @@ mod tests {
         };
         let a = object_of("a.cpp", "int main() { return 0; }", cuda);
         let b = object_of("b.cpp", "void side(void) { }", omp);
-        let exe = link(&[a, b], "app", CompilerKind::Nvcc, &CompileFeatures::default()).unwrap();
+        let exe = link(
+            &[a, b],
+            "app",
+            CompilerKind::Nvcc,
+            &CompileFeatures::default(),
+        )
+        .unwrap();
         assert!(exe.features.cuda);
         assert!(exe.features.openmp);
     }

@@ -84,7 +84,9 @@ pub fn parse(text: &str) -> Result<Makefile, Diagnostic> {
                     return Err(Diagnostic::error(
                         ErrorCategory::BuildFileSyntax,
                         "Makefile",
-                        format!("Makefile:{lineno}: *** recipe commences before first target.  Stop."),
+                        format!(
+                            "Makefile:{lineno}: *** recipe commences before first target.  Stop."
+                        ),
                     ))
                 }
             }
@@ -317,11 +319,7 @@ impl Makefile {
 
     /// Run `make [target]`: resolve the goal chain and return the commands
     /// to execute, in order.
-    pub fn make(
-        &self,
-        goal: Option<&str>,
-        repo: &SourceRepo,
-    ) -> Result<Vec<Command>, Diagnostic> {
+    pub fn make(&self, goal: Option<&str>, repo: &SourceRepo) -> Result<Vec<Command>, Diagnostic> {
         let this = self.expanded();
         let goal = match goal {
             Some(g) => g.to_string(),
@@ -340,7 +338,14 @@ impl Makefile {
         let mut commands = Vec::new();
         let mut done: HashSet<String> = HashSet::new();
         let mut in_progress: HashSet<String> = HashSet::new();
-        this.build_target(&goal, repo, &mut commands, &mut done, &mut in_progress, true)?;
+        this.build_target(
+            &goal,
+            repo,
+            &mut commands,
+            &mut done,
+            &mut in_progress,
+            true,
+        )?;
         Ok(commands)
     }
 
@@ -381,11 +386,7 @@ impl Makefile {
             ));
         };
         // Pattern-substituted prerequisites.
-        let prereqs: Vec<String> = rule
-            .prereqs
-            .iter()
-            .map(|p| p.replace('%', &stem))
-            .collect();
+        let prereqs: Vec<String> = rule.prereqs.iter().map(|p| p.replace('%', &stem)).collect();
         let recipe = rule.recipe.clone();
         let line = rule.line;
         for p in &prereqs {
@@ -546,7 +547,8 @@ clean:
 
     #[test]
     fn plus_equals_appends() {
-        let text = "FLAGS = -O2\nFLAGS += -fopenmp\napp: main.cpp\n\tg++ $(FLAGS) -o app main.cpp\n";
+        let text =
+            "FLAGS = -O2\nFLAGS += -fopenmp\napp: main.cpp\n\tg++ $(FLAGS) -o app main.cpp\n";
         let mf = parse(text).unwrap();
         let cmds = mf.make(None, &repo_with_sources()).unwrap();
         assert!(cmds[0].words.contains(&"-O2".to_string()));

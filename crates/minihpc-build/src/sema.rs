@@ -159,14 +159,23 @@ fn builtin_table() -> HashMap<&'static str, Builtin> {
         "cudaMemcpy",
         cuda(&[P::AnyPtr, P::AnyPtr, P::Num, P::Num], int.clone()),
     );
-    m.insert("cudaMemset", cuda(&[P::AnyPtr, P::Num, P::Num], int.clone()));
+    m.insert(
+        "cudaMemset",
+        cuda(&[P::AnyPtr, P::Num, P::Num], int.clone()),
+    );
     m.insert("cudaFree", cuda(&[P::AnyPtr], int.clone()));
     m.insert("cudaDeviceSynchronize", cuda(&[], int.clone()));
     m.insert("cudaGetLastError", cuda(&[], int.clone()));
-    m.insert("cudaGetErrorString", cuda(&[P::Num], Type::ptr(Type::Scalar(ScalarType::Char))));
+    m.insert(
+        "cudaGetErrorString",
+        cuda(&[P::Num], Type::ptr(Type::Scalar(ScalarType::Char))),
+    );
     m.insert("atomicAdd", cuda(&[P::AnyPtr, P::Num], dbl.clone()));
     // cuRAND device API
-    m.insert("curand_init", curand(&[P::Num, P::Num, P::Num, P::AnyPtr], Type::VOID));
+    m.insert(
+        "curand_init",
+        curand(&[P::Num, P::Num, P::Num, P::AnyPtr], Type::VOID),
+    );
     m.insert("curand", curand(&[P::AnyPtr], int.clone()));
     m.insert("curand_uniform", curand(&[P::AnyPtr], flt));
     m.insert("curand_uniform_double", curand(&[P::AnyPtr], dbl));
@@ -458,10 +467,8 @@ impl<'a> Checker<'a> {
                 self.check_stmt(body);
                 self.scopes.pop();
             }
-            StmtKind::Return(e) => {
-                if let Some(e) = e {
-                    self.infer(e);
-                }
+            StmtKind::Return(Some(e)) => {
+                self.infer(e);
             }
             StmtKind::Block(b) => {
                 self.scopes.push(HashMap::new());
@@ -643,10 +650,7 @@ impl<'a> Checker<'a> {
                 _ => {
                     self.error(
                         ErrorCategory::OmpInvalidDirective,
-                        format!(
-                            "statement after '#pragma {}' must be a for loop",
-                            d.text()
-                        ),
+                        format!("statement after '#pragma {}' must be a for loop", d.text()),
                     );
                 }
             }
@@ -765,7 +769,11 @@ impl<'a> Checker<'a> {
                 }
                 Some(Type::Scalar(ScalarType::SizeT))
             }
-            ExprKind::Lambda { capture, params, body } => {
+            ExprKind::Lambda {
+                capture,
+                params,
+                body,
+            } => {
                 if *capture == CaptureMode::KokkosLambda && !self.features.kokkos {
                     self.error(
                         ErrorCategory::UndeclaredIdentifier,
@@ -832,7 +840,9 @@ impl<'a> Checker<'a> {
     fn infer_call(&mut self, callee: &Expr, args: &[Expr]) -> Option<Type> {
         // View element access: `v(i)` / `v(i, j)`.
         if let ExprKind::Ident(name) = &callee.kind {
-            if let Some(Type::View { elem, rank }) = self.lookup_var(name).map(|t| t.unqualified().clone()) {
+            if let Some(Type::View { elem, rank }) =
+                self.lookup_var(name).map(|t| t.unqualified().clone())
+            {
                 if args.len() != rank as usize {
                     self.error(
                         ErrorCategory::ArgTypeMismatch,
@@ -1012,7 +1022,9 @@ impl<'a> Checker<'a> {
             }
             "create_mirror_view" => {
                 let t = args.first().and_then(|a| self.infer(a));
-                if args.len() != 1 || !matches!(t.as_ref().map(Type::unqualified), Some(Type::View { .. })) {
+                if args.len() != 1
+                    || !matches!(t.as_ref().map(Type::unqualified), Some(Type::View { .. }))
+                {
                     self.error(
                         ErrorCategory::ArgTypeMismatch,
                         "'Kokkos::create_mirror_view' expects a view argument",
@@ -1145,9 +1157,7 @@ impl<'a> Checker<'a> {
             let ok = match p {
                 P::Num => at.is_numeric(),
                 P::AnyPtr => at.is_pointer() || at.is_view(),
-                P::PtrPtr =>
-
-                    matches!(at.unqualified(), Type::Ptr(inner) if inner.is_pointer()),
+                P::PtrPtr => matches!(at.unqualified(), Type::Ptr(inner) if inner.is_pointer()),
                 P::Str => matches!(
                     at.unqualified(),
                     Type::Ptr(inner) if matches!(inner.unqualified(), Type::Scalar(ScalarType::Char))
@@ -1317,10 +1327,9 @@ fn types_compatible(lhs: &Type, rhs: &Type) -> bool {
                 || a.unqualified() == b.unqualified()
         }
         (Type::Dim3, t) if t.is_numeric() => true, // implicit dim3(int)
-        (
-            Type::View { elem: e1, rank: r1 },
-            Type::View { elem: e2, rank: r2 },
-        ) => e1 == e2 && r1 == r2,
+        (Type::View { elem: e1, rank: r1 }, Type::View { elem: e2, rank: r2 }) => {
+            e1 == e2 && r1 == r2
+        }
         (Type::Named(a), Type::Named(b)) => a == b,
         _ => false,
     }
@@ -1386,13 +1395,19 @@ int main() {
         assert!(
             r.object.is_some(),
             "diags: {:?}",
-            r.diagnostics.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+            r.diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
         );
     }
 
     #[test]
     fn undeclared_identifier() {
-        let r = check_src("int main() { x = 3; return 0; }", CompileFeatures::default());
+        let r = check_src(
+            "int main() { x = 3; return 0; }",
+            CompileFeatures::default(),
+        );
         assert!(r.object.is_none());
         let d = first_error(&r);
         assert_eq!(d.category, ErrorCategory::UndeclaredIdentifier);
@@ -1480,10 +1495,7 @@ void f(int* a, int n) {
 }
 "#;
         let r = check_src(src, omp_features());
-        assert_eq!(
-            first_error(&r).category,
-            ErrorCategory::OmpInvalidDirective
-        );
+        assert_eq!(first_error(&r).category, ErrorCategory::OmpInvalidDirective);
     }
 
     #[test]
@@ -1528,10 +1540,7 @@ void f(int* a, int n) {
 }
 "#;
         let r = check_src(src, omp_features());
-        assert_eq!(
-            first_error(&r).category,
-            ErrorCategory::OmpInvalidDirective
-        );
+        assert_eq!(first_error(&r).category, ErrorCategory::OmpInvalidDirective);
     }
 
     #[test]
@@ -1588,7 +1597,10 @@ int main() {
         assert!(
             r.object.is_some(),
             "{:?}",
-            r.diagnostics.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+            r.diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -1691,9 +1703,6 @@ void f(int* a, int n) {
 "#;
         let r = check_src(src, CompileFeatures::default());
         assert!(r.object.is_some());
-        assert!(r
-            .diagnostics
-            .iter()
-            .any(|d| d.message.contains("-fopenmp")));
+        assert!(r.diagnostics.iter().any(|d| d.message.contains("-fopenmp")));
     }
 }

@@ -306,8 +306,11 @@ mod tests {
 
     #[test]
     fn parse_nvcc_line() {
-        let inv = parse_invocation(&words("nvcc -O2 -arch=sm_80 -o app src/main.cu"), "Makefile")
-            .unwrap();
+        let inv = parse_invocation(
+            &words("nvcc -O2 -arch=sm_80 -o app src/main.cu"),
+            "Makefile",
+        )
+        .unwrap();
         assert_eq!(inv.compiler, CompilerKind::Nvcc);
         assert!(inv.features.cuda);
         assert!(inv.features.curand, "nvcc bundles the CUDA toolkit libs");
@@ -362,9 +365,11 @@ mod tests {
 
     #[test]
     fn unknown_flag_rejected() {
-        let err =
-            parse_invocation(&words("clang++ -fopenmp-offload=nvptx main.cpp"), "Makefile")
-                .unwrap_err();
+        let err = parse_invocation(
+            &words("clang++ -fopenmp-offload=nvptx main.cpp"),
+            "Makefile",
+        )
+        .unwrap_err();
         assert_eq!(err.category, ErrorCategory::InvalidCompilerFlag);
     }
 
@@ -389,9 +394,11 @@ mod tests {
 
     #[test]
     fn compile_only_and_includes() {
-        let inv =
-            parse_invocation(&words("g++ -c -Isrc -I include main.cpp -o main.o"), "Makefile")
-                .unwrap();
+        let inv = parse_invocation(
+            &words("g++ -c -Isrc -I include main.cpp -o main.o"),
+            "Makefile",
+        )
+        .unwrap();
         assert!(inv.compile_only);
         assert_eq!(inv.include_dirs, vec!["src", "include"]);
     }

@@ -29,7 +29,11 @@ impl ScalarType {
     pub fn is_integer(self) -> bool {
         matches!(
             self,
-            ScalarType::Bool | ScalarType::Char | ScalarType::Int | ScalarType::Long | ScalarType::SizeT
+            ScalarType::Bool
+                | ScalarType::Char
+                | ScalarType::Int
+                | ScalarType::Long
+                | ScalarType::SizeT
         )
     }
 
@@ -78,7 +82,10 @@ pub enum Type {
     /// CUDA `dim3`.
     Dim3,
     /// Kokkos `View<elem (*s)>`: element type plus rank (number of `*`s).
-    View { elem: ScalarType, rank: u8 },
+    View {
+        elem: ScalarType,
+        rank: u8,
+    },
 }
 
 impl Type {
@@ -511,9 +518,15 @@ impl Item {
 
 #[derive(Debug, Clone, PartialEq)]
 pub enum ItemKind {
-    Include { path: String, system: bool },
+    Include {
+        path: String,
+        system: bool,
+    },
     /// Preserved object-like macro: name and original body text.
-    Define { name: String, body_text: String },
+    Define {
+        name: String,
+        body_text: String,
+    },
     /// Preserved unknown preprocessor directive.
     OtherDirective(String),
     Struct(StructDef),
@@ -548,7 +561,10 @@ impl SourceFile {
         self.items
             .iter()
             .filter_map(|i| match &i.kind {
-                ItemKind::Include { path, system: false } => Some(path.as_str()),
+                ItemKind::Include {
+                    path,
+                    system: false,
+                } => Some(path.as_str()),
                 _ => None,
             })
             .collect()

@@ -92,9 +92,7 @@ fn stmt_decisions(s: &Stmt) -> usize {
     match &s.kind {
         StmtKind::Decl(d) => match &d.init {
             Some(Init::Expr(e)) => expr_decisions(e),
-            Some(Init::List(es)) | Some(Init::Ctor(es)) => {
-                es.iter().map(expr_decisions).sum()
-            }
+            Some(Init::List(es)) | Some(Init::Ctor(es)) => es.iter().map(expr_decisions).sum(),
             None => 0,
         },
         StmtKind::Expr(e) => expr_decisions(e),

@@ -292,8 +292,9 @@ impl<'a> Lexer<'a> {
         let c = match self.bump() {
             b'\\' => {
                 let esc = self.bump();
-                unescape(esc)
-                    .ok_or_else(|| self.error(start, format!("unknown escape `\\{}`", esc as char)))?
+                unescape(esc).ok_or_else(|| {
+                    self.error(start, format!("unknown escape `\\{}`", esc as char))
+                })?
             }
             b'\'' => return Err(self.error(start, "empty character literal")),
             other => other as char,
@@ -308,7 +309,7 @@ impl<'a> Lexer<'a> {
     /// and produce the corresponding structured token.
     fn lex_directive(&mut self, start: usize) -> Result<Token, LexError> {
         self.pos += 1; // '#'
-        // Directive name.
+                       // Directive name.
         while self.peek() == b' ' || self.peek() == b'\t' {
             self.pos += 1;
         }
@@ -370,7 +371,10 @@ impl<'a> Lexer<'a> {
                 {
                     // Function-like macros (`#define MIN(a,b) ...`) and other
                     // exotica are preserved verbatim but not expanded.
-                    return Ok(Token::new(TokenKind::OtherDirective(format!("define {rest_trimmed}")), span));
+                    return Ok(Token::new(
+                        TokenKind::OtherDirective(format!("define {rest_trimmed}")),
+                        span,
+                    ));
                 }
                 let body_text = parts.next().unwrap_or("").trim().to_string();
                 let body = lex_fragment(&body_text, span.start)?;
@@ -544,10 +548,7 @@ impl<'a> Lexer<'a> {
                 }
             }
             other => {
-                return Err(self.error(
-                    start,
-                    format!("unexpected character `{}`", other as char),
-                ))
+                return Err(self.error(start, format!("unexpected character `{}`", other as char)))
             }
         };
         Ok(Token::new(kind, self.span_from(start)))

@@ -190,7 +190,9 @@ impl ModelUsage {
     /// models must be absent.
     pub fn conforms_to(&self, model: ExecutionModel) -> bool {
         match model {
-            ExecutionModel::Cuda => self.uses_cuda() && !self.uses_kokkos() && !self.uses_omp_offload(),
+            ExecutionModel::Cuda => {
+                self.uses_cuda() && !self.uses_kokkos() && !self.uses_omp_offload()
+            }
             ExecutionModel::OmpOffload => {
                 self.uses_omp_offload() && !self.uses_cuda() && !self.uses_kokkos()
             }
@@ -219,10 +221,9 @@ pub fn detect_usage(file: &SourceFile) -> ModelUsage {
                     }
                 }
             }
-            ItemKind::Global(d)
-                if d.ty.is_view() => {
-                    u.kokkos_views += 1;
-                }
+            ItemKind::Global(d) if d.ty.is_view() => {
+                u.kokkos_views += 1;
+            }
             _ => {}
         }
     }
@@ -314,13 +315,12 @@ fn scan_expr(e: &Expr, u: &mut ModelUsage) {
                 ExprKind::Ident(name) if name.starts_with("cuda") || name.starts_with("curand") => {
                     u.cuda_api_calls += 1;
                 }
-                ExprKind::Path(segments) if segments.first().map(String::as_str) == Some("Kokkos")
-                    && segments
-                        .get(1)
-                        .is_some_and(|s| s.starts_with("parallel_"))
-                    => {
-                        u.kokkos_parallel_calls += 1;
-                    }
+                ExprKind::Path(segments)
+                    if segments.first().map(String::as_str) == Some("Kokkos")
+                        && segments.get(1).is_some_and(|s| s.starts_with("parallel_")) =>
+                {
+                    u.kokkos_parallel_calls += 1;
+                }
                 _ => {}
             }
             scan_expr(callee, u);
@@ -445,7 +445,10 @@ int main() { int* d; k<<<1, 32>>>(d); return 0; }
 
     #[test]
     fn build_system_conventions() {
-        assert_eq!(ExecutionModel::Kokkos.build_system(), BuildSystemKind::CMake);
+        assert_eq!(
+            ExecutionModel::Kokkos.build_system(),
+            BuildSystemKind::CMake
+        );
         assert_eq!(ExecutionModel::Cuda.build_system(), BuildSystemKind::Make);
         assert_eq!(BuildSystemKind::CMake.file_name(), "CMakeLists.txt");
     }

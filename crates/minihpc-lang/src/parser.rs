@@ -165,7 +165,11 @@ impl Parser {
             Ok(self.bump())
         } else {
             Err(ParseError::new(
-                format!("expected {}, found {}", kind.describe(), self.peek_kind().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek_kind().describe()
+                ),
                 self.span(),
             ))
         }
@@ -190,7 +194,10 @@ impl Parser {
             Ok(())
         } else {
             Err(ParseError::new(
-                format!("unexpected {} after end of construct", self.peek_kind().describe()),
+                format!(
+                    "unexpected {} after end of construct",
+                    self.peek_kind().describe()
+                ),
                 self.span(),
             ))
         }
@@ -244,7 +251,9 @@ impl Parser {
                 })
             }
             TokenKind::Ident(kw) if kw == "typedef" => self.parse_typedef_struct(),
-            TokenKind::Ident(kw) if kw == "struct" && matches!(self.peek_ahead(2), TokenKind::LBrace) => {
+            TokenKind::Ident(kw)
+                if kw == "struct" && matches!(self.peek_ahead(2), TokenKind::LBrace) =>
+            {
                 self.parse_struct_def(false)
             }
             _ => self.parse_function_or_global(),
@@ -511,10 +520,17 @@ impl Parser {
         }
         // Heuristic: a named (typedef'd struct) type. Reject obvious
         // non-types so expression-statement misparses surface clearly.
-        if name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+        if name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        {
             Ok(Type::Named(name))
         } else {
-            Err(ParseError::new(format!("expected type, found `{name}`"), sp))
+            Err(ParseError::new(
+                format!("expected type, found `{name}`"),
+                sp,
+            ))
         }
     }
 
@@ -706,10 +722,7 @@ impl Parser {
                 .map(|d| Stmt::new(StmtKind::Decl(d), start))
                 .collect();
             Ok(Stmt::new(
-                StmtKind::Block(Block {
-                    stmts,
-                    span: start,
-                }),
+                StmtKind::Block(Block { stmts, span: start }),
                 start,
             ))
         }
@@ -1024,7 +1037,10 @@ impl Parser {
                 // A named (typedef'd) type cast, `(State*)p`, is recognised
                 // only in pointer form — `(name)` alone is indistinguishable
                 // from a parenthesised expression.
-                let named = !kw && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+                let named = !kw
+                    && s.chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
                 (kw, named)
             }
             None => (false, false),
@@ -1092,10 +1108,7 @@ impl Parser {
                     // Kernel launch: callee must be a plain identifier.
                     let kernel = match &e.kind {
                         ExprKind::Ident(name) => name.clone(),
-                        _ => {
-                            return self
-                                .error("kernel launch `<<<...>>>` requires a kernel name")
-                        }
+                        _ => return self.error("kernel launch `<<<...>>>` requires a kernel name"),
                     };
                     self.bump();
                     let grid = self.parse_expr()?;
@@ -1353,10 +1366,7 @@ impl Parser {
 
     fn parse_omp_body(&mut self, span: Span) -> Result<OmpDirective, ParseError> {
         let mut constructs = Vec::new();
-        loop {
-            let Some(name) = self.ident_ahead(0).map(str::to_string) else {
-                break;
-            };
+        while let Some(name) = self.ident_ahead(0).map(str::to_string) {
             let construct = match name.as_str() {
                 "parallel" => OmpConstruct::Parallel,
                 "for" => OmpConstruct::For,
@@ -1834,7 +1844,9 @@ int main() {
     fn parse_for_loop_with_decl() {
         let s = parse_stmt_str("for (int i = 0; i < n; i++) { x += i; }").unwrap();
         match s.kind {
-            StmtKind::For { init, cond, step, .. } => {
+            StmtKind::For {
+                init, cond, step, ..
+            } => {
                 assert!(init.is_some());
                 assert!(cond.is_some());
                 assert!(step.is_some());

@@ -145,18 +145,30 @@ pub enum OmpClause {
     NumTeams(Expr),
     ThreadLimit(Expr),
     Collapse(i64),
-    Reduction { op: ReductionOp, vars: Vec<String> },
-    Map { kind: MapKind, sections: Vec<ArraySection> },
+    Reduction {
+        op: ReductionOp,
+        vars: Vec<String>,
+    },
+    Map {
+        kind: MapKind,
+        sections: Vec<ArraySection>,
+    },
     Private(Vec<String>),
     FirstPrivate(Vec<String>),
     Shared(Vec<String>),
-    Schedule { kind: String, chunk: Option<Expr> },
+    Schedule {
+        kind: String,
+        chunk: Option<Expr>,
+    },
     Default(String),
     If(Expr),
     Device(Expr),
     /// Clause we don't model; kept for faithful printing and lenient
     /// validation (real compilers warn on many of these).
-    Unknown { name: String, text: String },
+    Unknown {
+        name: String,
+        text: String,
+    },
 }
 
 impl OmpClause {

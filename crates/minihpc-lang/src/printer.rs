@@ -57,7 +57,11 @@ pub fn type_to_string(t: &Type) -> String {
         Type::Named(n) => n.clone(),
         Type::Dim3 => "dim3".to_string(),
         Type::View { elem, rank } => {
-            format!("Kokkos::View<{}{}>", elem.keyword(), "*".repeat(*rank as usize))
+            format!(
+                "Kokkos::View<{}{}>",
+                elem.keyword(),
+                "*".repeat(*rank as usize)
+            )
         }
     }
 }

@@ -37,11 +37,20 @@ pub enum TokenKind {
     Char(char),
 
     /// `#include "path"` (local) or `#include <path>` (system).
-    Include { path: String, system: bool },
+    Include {
+        path: String,
+        system: bool,
+    },
     /// `#pragma ...` — the raw text after `#pragma`, plus its sub-lexed tokens.
-    Pragma { text: String, tokens: Vec<Token> },
+    Pragma {
+        text: String,
+        tokens: Vec<Token>,
+    },
     /// `#define NAME tokens...` — a simple object-like macro.
-    Define { name: String, body: Vec<Token> },
+    Define {
+        name: String,
+        body: Vec<Token>,
+    },
     /// Any other `#...` preprocessor line we keep verbatim (`#ifdef` etc.).
     OtherDirective(String),
 
@@ -204,7 +213,10 @@ mod tests {
 
     #[test]
     fn describe_ident() {
-        assert_eq!(TokenKind::Ident("foo".into()).describe(), "identifier `foo`");
+        assert_eq!(
+            TokenKind::Ident("foo".into()).describe(),
+            "identifier `foo`"
+        );
     }
 
     #[test]

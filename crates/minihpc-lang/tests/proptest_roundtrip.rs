@@ -15,9 +15,8 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(a, b, op)| {
-                Expr::binary(op, a, b)
-            }),
+            (inner.clone(), inner.clone(), arb_binop())
+                .prop_map(|(a, b, op)| { Expr::binary(op, a, b) }),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::index(a, b)),
             (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::synth(
                 ExprKind::Ternary {
@@ -26,9 +25,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     els: Box::new(e),
                 }
             )),
-            (inner.clone(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(
-                |(_, args)| Expr::call(Expr::ident("f"), args)
-            ),
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(_, args)| Expr::call(Expr::ident("f"), args)),
             inner
                 .clone()
                 .prop_map(|e| Expr::synth(ExprKind::Paren(Box::new(e)))),

@@ -179,16 +179,31 @@ mod tests {
 
     #[test]
     fn precision_and_width() {
-        assert_eq!(printf("%.2f", &[Value::Float(3.14159)]), "3.14");
-        assert_eq!(printf("%8.2f", &[Value::Float(3.14159)]), "    3.14");
+        assert_eq!(
+            printf("%.2f", &[Value::Float(std::f64::consts::PI)]),
+            "3.14"
+        );
+        assert_eq!(
+            printf("%8.2f", &[Value::Float(std::f64::consts::PI)]),
+            "    3.14"
+        );
         assert_eq!(printf("%-8d|", &[Value::Int(42)]), "42      |");
         assert_eq!(printf("%06d", &[Value::Int(42)]), "000042");
-        assert_eq!(printf("%06d", &[Value::Int(-42)]), "-000042".replacen("0", "", 1));
+        assert_eq!(
+            printf("%06d", &[Value::Int(-42)]),
+            "-000042".replacen("0", "", 1)
+        );
     }
 
     #[test]
     fn long_and_size_t() {
-        assert_eq!(printf("%ld %lu %zu", &[Value::Int(1), Value::Int(2), Value::Int(3)]), "1 2 3");
+        assert_eq!(
+            printf(
+                "%ld %lu %zu",
+                &[Value::Int(1), Value::Int(2), Value::Int(3)]
+            ),
+            "1 2 3"
+        );
     }
 
     #[test]

@@ -63,10 +63,9 @@ impl<'e> Interp<'e> {
                             return Ok(Value::Int(d as i64));
                         }
                         other => {
-                            return Err(type_err(format!(
-                                "unsupported view method '{other}'"
-                            ))
-                            .into())
+                            return Err(
+                                type_err(format!("unsupported view method '{other}'")).into()
+                            )
                         }
                     }
                 }
@@ -114,9 +113,7 @@ impl<'e> Interp<'e> {
                 match arg(0) {
                     Value::Ptr(p) => self.mem.free(p.space, p.buffer).map_err(Interrupt::Rt)?,
                     Value::Null | Value::UntypedAlloc { .. } => {}
-                    other => {
-                        return Err(type_err(format!("free of {}", other.type_name())).into())
-                    }
+                    other => return Err(type_err(format!("free of {}", other.type_name())).into()),
                 }
                 Ok(Value::Void)
             }
@@ -126,7 +123,10 @@ impl<'e> Interp<'e> {
                 };
                 let byte = int(&arg(1));
                 let bytes = int(&arg(2)).max(0) as usize;
-                let elem = self.mem.elem_type(p.space, p.buffer).map_err(Interrupt::Rt)?;
+                let elem = self
+                    .mem
+                    .elem_type(p.space, p.buffer)
+                    .map_err(Interrupt::Rt)?;
                 let len = bytes / self.sizeof(&elem).max(1);
                 let fill = if byte == 0 {
                     self.zero_of(&elem)
@@ -150,10 +150,15 @@ impl<'e> Interp<'e> {
                     .into());
                 }
                 let bytes = int(&arg(2)).max(0) as usize;
-                let elem = self.mem.elem_type(s.space, s.buffer).map_err(Interrupt::Rt)?;
+                let elem = self
+                    .mem
+                    .elem_type(s.space, s.buffer)
+                    .map_err(Interrupt::Rt)?;
                 let len = bytes / self.sizeof(&elem).max(1);
                 self.mem
-                    .copy(d.space, d.buffer, d.offset, s.space, s.buffer, s.offset, len)
+                    .copy(
+                        d.space, d.buffer, d.offset, s.space, s.buffer, s.offset, len,
+                    )
                     .map_err(Interrupt::Rt)?;
                 Ok(arg(0))
             }
@@ -181,7 +186,9 @@ impl<'e> Interp<'e> {
             "max" => Ok(Value::Int(int(&arg(0)).max(int(&arg(1))))),
             "rand" => {
                 let mut s = self.rng.lock();
-                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 Ok(Value::Int(((*s >> 33) & 0x7FFF_FFFF) as i64))
             }
             "srand" => {
@@ -248,10 +255,15 @@ impl<'e> Interp<'e> {
                     ))
                     .into());
                 }
-                let elem = self.mem.elem_type(s.space, s.buffer).map_err(Interrupt::Rt)?;
+                let elem = self
+                    .mem
+                    .elem_type(s.space, s.buffer)
+                    .map_err(Interrupt::Rt)?;
                 let len = bytes / self.sizeof(&elem).max(1);
                 self.mem
-                    .copy(d.space, d.buffer, d.offset, s.space, s.buffer, s.offset, len)
+                    .copy(
+                        d.space, d.buffer, d.offset, s.space, s.buffer, s.offset, len,
+                    )
                     .map_err(Interrupt::Rt)?;
                 Ok(Value::Int(0))
             }
@@ -260,7 +272,10 @@ impl<'e> Interp<'e> {
                     return Err(type_err("cudaMemset requires a device pointer").into());
                 };
                 let bytes = int(&arg(2)).max(0) as usize;
-                let elem = self.mem.elem_type(p.space, p.buffer).map_err(Interrupt::Rt)?;
+                let elem = self
+                    .mem
+                    .elem_type(p.space, p.buffer)
+                    .map_err(Interrupt::Rt)?;
                 let len = bytes / self.sizeof(&elem).max(1);
                 let fill = self.zero_of(&elem);
                 // cudaMemset is issued from the host but writes device memory.
@@ -285,10 +300,9 @@ impl<'e> Interp<'e> {
                     .fetch_add(frame.space, p.space, p.buffer, p.offset, &arg(1))
                     .map_err(Interrupt::Rt)
             }
-            other => Err(type_err(format!(
-                "call to unknown function '{other}' at run time"
-            ))
-            .into()),
+            other => {
+                Err(type_err(format!("call to unknown function '{other}' at run time")).into())
+            }
         }
     }
 
@@ -302,7 +316,8 @@ impl<'e> Interp<'e> {
             .eval(frame, size)?
             .as_int()
             .filter(|n| *n >= 0)
-            .ok_or_else(|| type_err("cudaMalloc size must be a non-negative integer"))? as usize;
+            .ok_or_else(|| type_err("cudaMalloc size must be a non-negative integer"))?
+            as usize;
         // Destination must be `&var` or `&expr-place` holding a pointer.
         let inner = match &dst.kind {
             ExprKind::Unary {
@@ -314,9 +329,7 @@ impl<'e> Interp<'e> {
                     op: UnaryOp::AddrOf,
                     expr,
                 } => expr,
-                _ => {
-                    return Err(type_err("cudaMalloc first argument must be &pointer").into())
-                }
+                _ => return Err(type_err("cudaMalloc first argument must be &pointer").into()),
             },
             _ => return Err(type_err("cudaMalloc first argument must be &pointer").into()),
         };
@@ -519,9 +532,10 @@ impl<'e> Interp<'e> {
                 let v = interp.coerce(v, &p.ty)?;
                 kframe.declare(&p.name, v, Some(p.ty.clone()));
             }
-            let body = f.body.as_ref().ok_or_else(|| {
-                type_err(format!("kernel '{kernel}' has no definition"))
-            })?;
+            let body = f
+                .body
+                .as_ref()
+                .ok_or_else(|| type_err(format!("kernel '{kernel}' has no definition")))?;
             interp.exec_block(&mut kframe, body)?;
             Ok(())
         };
@@ -540,11 +554,7 @@ impl<'e> Interp<'e> {
 
     fn eval_kokkos(&self, frame: &mut Frame, segments: &[String], args: &[Expr]) -> IResult<Value> {
         if segments.first().map(String::as_str) != Some("Kokkos") {
-            return Err(type_err(format!(
-                "unknown namespace '{}'",
-                segments.join("::")
-            ))
-            .into());
+            return Err(type_err(format!("unknown namespace '{}'", segments.join("::"))).into());
         }
         let func = segments.get(1).map(String::as_str).unwrap_or("");
         let base = func.split('<').next().unwrap_or(func);
@@ -567,10 +577,7 @@ impl<'e> Interp<'e> {
                 // `MDRangePolicy<Rank<2>>({l0, l1}, {h0, h1})` is written in
                 // MiniHPC as MDRangePolicy(l0, l1, h0, h1).
                 if args.len() != 4 {
-                    return Err(type_err(
-                        "MiniHPC MDRangePolicy takes (lo0, lo1, hi0, hi1)",
-                    )
-                    .into());
+                    return Err(type_err("MiniHPC MDRangePolicy takes (lo0, lo1, hi0, hi1)").into());
                 }
                 let mut v = [0i64; 4];
                 for (i, a) in args.iter().enumerate() {
@@ -587,26 +594,34 @@ impl<'e> Interp<'e> {
                 // (host ptr, View), with the view's length.
                 let a = self.eval(frame, &args[0])?;
                 let b = self.eval(frame, &args[1])?;
-                let (dst_space, dst_buf, dst_off, src_space, src_buf, src_off, len) =
-                    match (&a, &b) {
-                        (Value::View(d), Value::View(s)) => {
-                            (d.space, d.buffer, 0, s.space, s.buffer, 0, d.len().min(s.len()))
-                        }
-                        (Value::View(d), Value::Ptr(p)) if p.space == Space::Host => {
-                            (d.space, d.buffer, 0, p.space, p.buffer, p.offset, d.len())
-                        }
-                        (Value::Ptr(p), Value::View(s)) if p.space == Space::Host => {
-                            (p.space, p.buffer, p.offset, s.space, s.buffer, 0, s.len())
-                        }
-                        _ => {
-                            return Err(type_err(
-                                "deep_copy requires views (or a view and a host pointer)",
-                            )
-                            .into())
-                        }
-                    };
+                let (dst_space, dst_buf, dst_off, src_space, src_buf, src_off, len) = match (&a, &b)
+                {
+                    (Value::View(d), Value::View(s)) => (
+                        d.space,
+                        d.buffer,
+                        0,
+                        s.space,
+                        s.buffer,
+                        0,
+                        d.len().min(s.len()),
+                    ),
+                    (Value::View(d), Value::Ptr(p)) if p.space == Space::Host => {
+                        (d.space, d.buffer, 0, p.space, p.buffer, p.offset, d.len())
+                    }
+                    (Value::Ptr(p), Value::View(s)) if p.space == Space::Host => {
+                        (p.space, p.buffer, p.offset, s.space, s.buffer, 0, s.len())
+                    }
+                    _ => {
+                        return Err(type_err(
+                            "deep_copy requires views (or a view and a host pointer)",
+                        )
+                        .into())
+                    }
+                };
                 self.mem
-                    .copy(dst_space, dst_buf, dst_off, src_space, src_buf, src_off, len)
+                    .copy(
+                        dst_space, dst_buf, dst_off, src_space, src_buf, src_off, len,
+                    )
                     .map_err(Interrupt::Rt)?;
                 Ok(Value::Void)
             }
@@ -621,9 +636,7 @@ impl<'e> Interp<'e> {
                     ..v
                 }))
             }
-            "parallel_for" | "parallel_reduce" => {
-                self.kokkos_parallel(frame, base, args)
-            }
+            "parallel_for" | "parallel_reduce" => self.kokkos_parallel(frame, base, args),
             other => Err(type_err(format!("unsupported Kokkos function '{other}'")).into()),
         }
     }
@@ -665,9 +678,7 @@ impl<'e> Interp<'e> {
                 let n1 = (hi[1] - lo[1]).max(0) as u64;
                 (
                     n0 * n1,
-                    Box::new(move |i| {
-                        vec![lo[0] + (i / n1) as i64, lo[1] + (i % n1) as i64]
-                    }),
+                    Box::new(move |i| vec![lo[0] + (i / n1) as i64, lo[1] + (i % n1) as i64]),
                 )
             }
         };
@@ -705,10 +716,9 @@ impl<'e> Interp<'e> {
         // parallel_reduce: the final lambda parameter is the accumulator;
         // the third argument receives the combined result.
         if closure.params.len() < 2 {
-            return Err(type_err(
-                "parallel_reduce lambda must take (index..., accumulator&)",
-            )
-            .into());
+            return Err(
+                type_err("parallel_reduce lambda must take (index..., accumulator&)").into(),
+            );
         }
         if rest.len() < 3 {
             return Err(type_err("parallel_reduce requires a result argument").into());

@@ -147,7 +147,10 @@ impl<'e> Interp<'e> {
             ExprKind::SizeOfExpr(inner) => {
                 // Prefer the declared type of a plain variable.
                 if let ExprKind::Ident(name) = &inner.kind {
-                    if let Some(ty) = frame.types.get(name).or_else(|| self.global_types.get(name))
+                    if let Some(ty) = frame
+                        .types
+                        .get(name)
+                        .or_else(|| self.global_types.get(name))
                     {
                         return Ok(Value::Int(self.sizeof(ty) as i64));
                     }
@@ -296,8 +299,10 @@ impl<'e> Interp<'e> {
                     Value::Ptr(p) => {
                         let off = p.offset as i64 + delta;
                         if off < 0 {
-                            return Err(RuntimeError::oob("pointer decremented below buffer start")
-                                .into());
+                            return Err(RuntimeError::oob(
+                                "pointer decremented below buffer start",
+                            )
+                            .into());
                         }
                         Value::Ptr(Pointer {
                             offset: off as usize,
@@ -329,11 +334,9 @@ impl<'e> Interp<'e> {
                 index: p.offset,
             }),
             Value::Null => Err(RuntimeError::illegal("null pointer dereference").into()),
-            other => Err(type_err(format!(
-                "cannot dereference {} value",
-                other.type_name()
-            ))
-            .into()),
+            other => {
+                Err(type_err(format!("cannot dereference {} value", other.type_name())).into())
+            }
         }
     }
 
@@ -367,9 +370,7 @@ impl<'e> Interp<'e> {
                             index: off as usize,
                         })
                     }
-                    Value::Null => {
-                        Err(RuntimeError::illegal("null pointer indexed").into())
-                    }
+                    Value::Null => Err(RuntimeError::illegal("null pointer indexed").into()),
                     other => Err(type_err(format!(
                         "subscripted value has type {}",
                         other.type_name()
@@ -467,12 +468,12 @@ impl<'e> Interp<'e> {
             Place::Field(base, idx) => {
                 let v = self.read_place(frame, base)?;
                 match v {
-                    Value::Struct(s) => s.fields.get(*idx).cloned().ok_or_else(|| {
-                        type_err(format!("field index {idx} out of range")).into()
-                    }),
-                    other => {
-                        Err(type_err(format!("field read on {}", other.type_name())).into())
+                    Value::Struct(s) => {
+                        s.fields.get(*idx).cloned().ok_or_else(|| {
+                            type_err(format!("field index {idx} out of range")).into()
+                        })
                     }
+                    other => Err(type_err(format!("field read on {}", other.type_name())).into()),
                 }
             }
         }
@@ -508,15 +509,14 @@ impl<'e> Interp<'e> {
                 let current = self.read_place(frame, base)?;
                 match current {
                     Value::Struct(mut s) => {
-                        let slot = s.fields.get_mut(*idx).ok_or_else(|| {
-                            type_err(format!("field index {idx} out of range"))
-                        })?;
+                        let slot = s
+                            .fields
+                            .get_mut(*idx)
+                            .ok_or_else(|| type_err(format!("field index {idx} out of range")))?;
                         *slot = value;
                         self.write_place(frame, base, Value::Struct(s))
                     }
-                    other => {
-                        Err(type_err(format!("field write on {}", other.type_name())).into())
-                    }
+                    other => Err(type_err(format!("field write on {}", other.type_name())).into()),
                 }
             }
         }
@@ -589,13 +589,19 @@ pub(super) fn apply_binop(op: BinOp, a: Value, b: Value) -> RtResult<Value> {
             Mul => Value::Int(x.wrapping_mul(y)),
             Div => {
                 if y == 0 {
-                    return Err(RuntimeError::new(RuntimeErrorKind::DivByZero, "integer division by zero"));
+                    return Err(RuntimeError::new(
+                        RuntimeErrorKind::DivByZero,
+                        "integer division by zero",
+                    ));
                 }
                 Value::Int(x.wrapping_div(y))
             }
             Rem => {
                 if y == 0 {
-                    return Err(RuntimeError::new(RuntimeErrorKind::DivByZero, "integer modulo by zero"));
+                    return Err(RuntimeError::new(
+                        RuntimeErrorKind::DivByZero,
+                        "integer modulo by zero",
+                    ));
                 }
                 Value::Int(x.wrapping_rem(y))
             }

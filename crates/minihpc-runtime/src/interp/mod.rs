@@ -263,9 +263,11 @@ pub fn run(exe: &Executable, config: RunConfig) -> RunResult {
         );
     }
     // The cuRAND state is an opaque one-field struct at run time.
-    layouts.entry("curandState".to_string()).or_insert(StructLayout {
-        fields: vec![("__state".to_string(), Type::Scalar(ScalarType::Long))],
-    });
+    layouts
+        .entry("curandState".to_string())
+        .or_insert(StructLayout {
+            fields: vec![("__state".to_string(), Type::Scalar(ScalarType::Long))],
+        });
 
     let detect = config.detect_races;
     let interp = Interp {
@@ -339,7 +341,12 @@ impl<'e> Interp<'e> {
             .ok_or_else(|| RuntimeError::new(RuntimeErrorKind::Unsupported, "no main function"))?;
         // Build argv.
         let mut argv_vals: Vec<Value> = vec![Value::Str(self.exe.name.as_str().into())];
-        argv_vals.extend(self.config.args.iter().map(|a| Value::Str(a.as_str().into())));
+        argv_vals.extend(
+            self.config
+                .args
+                .iter()
+                .map(|a| Value::Str(a.as_str().into())),
+        );
         let argc = argv_vals.len() as i64;
         let args = match main.params.len() {
             0 => vec![],
@@ -388,7 +395,10 @@ impl<'e> Interp<'e> {
         if n >= self.config.max_steps {
             return Err(Interrupt::Rt(RuntimeError::new(
                 RuntimeErrorKind::StepLimit,
-                format!("step limit of {} exceeded (runaway loop?)", self.config.max_steps),
+                format!(
+                    "step limit of {} exceeded (runaway loop?)",
+                    self.config.max_steps
+                ),
             )));
         }
         Ok(())
@@ -607,7 +617,11 @@ impl<'e> Interp<'e> {
                         .ok_or_else(|| type_err("view extent must be a non-negative integer"))?
                         as usize;
                 }
-                let len = if *rank == 1 { dims[0] } else { dims[0] * dims[1] };
+                let len = if *rank == 1 {
+                    dims[0]
+                } else {
+                    dims[0] * dims[1]
+                };
                 let buf = self.alloc_zeroed(Space::Device, Type::Scalar(*elem), len);
                 Ok(Value::View(ViewHandle {
                     space: Space::Device,
@@ -639,10 +653,9 @@ impl<'e> Interp<'e> {
                 let v = self.eval(frame, e)?;
                 self.coerce(v, &d.ty)
             }
-            (Some(Init::List(_)), _) => Err(type_err(
-                "initialiser lists are only supported on arrays",
-            )
-            .into()),
+            (Some(Init::List(_)), _) => {
+                Err(type_err("initialiser lists are only supported on arrays").into())
+            }
             (None, _) => Ok(self.zero_of(&d.ty)),
         }
     }

@@ -128,7 +128,11 @@ impl<'e> Interp<'e> {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
 
-        let exec_space = if is_target { Space::Device } else { frame.space };
+        let exec_space = if is_target {
+            Space::Device
+        } else {
+            frame.space
+        };
 
         match nest {
             Some(nest) => self.run_loop_nest(frame, d, &nest, exec_space),
@@ -254,10 +258,8 @@ impl<'e> Interp<'e> {
 
     fn enter_mappings(&self, frame: &mut Frame, d: &OmpDirective) -> IResult<Vec<Mapping>> {
         let mut mappings = Vec::new();
-        let clauses: Vec<(MapKind, Vec<ArraySection>)> = d
-            .map_clauses()
-            .map(|(k, s)| (*k, s.clone()))
-            .collect();
+        let clauses: Vec<(MapKind, Vec<ArraySection>)> =
+            d.map_clauses().map(|(k, s)| (*k, s.clone())).collect();
         for (kind, sections) in clauses {
             for section in sections {
                 let current = frame
@@ -414,8 +416,7 @@ impl<'e> Interp<'e> {
             let Some(cond) = cond else { return Ok(None) };
             let end = match &cond.kind {
                 ExprKind::Binary { op, lhs, rhs } => {
-                    let lhs_is_var =
-                        matches!(&lhs.kind, ExprKind::Ident(n) if *n == var);
+                    let lhs_is_var = matches!(&lhs.kind, ExprKind::Ident(n) if *n == var);
                     if !lhs_is_var {
                         return Ok(None);
                     }

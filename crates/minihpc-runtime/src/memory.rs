@@ -426,7 +426,9 @@ mod tests {
         let m = mem();
         let h = m.alloc(Space::Host, Type::INT, 4, Value::Int(0));
         let d = m.alloc(Space::Device, Type::INT, 2, Value::Int(0));
-        let err = m.copy(Space::Device, d, 0, Space::Host, h, 0, 4).unwrap_err();
+        let err = m
+            .copy(Space::Device, d, 0, Space::Host, h, 0, 4)
+            .unwrap_err();
         assert_eq!(err.kind, RuntimeErrorKind::OutOfBounds);
     }
 
@@ -470,9 +472,18 @@ mod tests {
         let b = m.alloc(Space::Host, Type::INT, 4, Value::Int(1));
         m.fill(Space::Host, Space::Host, b, 1, 2, Value::Int(9))
             .unwrap();
-        assert_eq!(m.load(Space::Host, Space::Host, b, 0).unwrap(), Value::Int(1));
-        assert_eq!(m.load(Space::Host, Space::Host, b, 1).unwrap(), Value::Int(9));
-        assert_eq!(m.load(Space::Host, Space::Host, b, 2).unwrap(), Value::Int(9));
+        assert_eq!(
+            m.load(Space::Host, Space::Host, b, 0).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            m.load(Space::Host, Space::Host, b, 1).unwrap(),
+            Value::Int(9)
+        );
+        assert_eq!(
+            m.load(Space::Host, Space::Host, b, 2).unwrap(),
+            Value::Int(9)
+        );
         assert!(m
             .fill(Space::Host, Space::Host, b, 3, 5, Value::Int(0))
             .is_err());

@@ -267,10 +267,7 @@ mod tests {
         assert_eq!(byte_size(&Type::INT, &no_structs), 4);
         assert_eq!(byte_size(&Type::DOUBLE, &no_structs), 8);
         assert_eq!(byte_size(&Type::ptr(Type::DOUBLE), &no_structs), 8);
-        assert_eq!(
-            byte_size(&Type::Scalar(ScalarType::SizeT), &no_structs),
-            8
-        );
+        assert_eq!(byte_size(&Type::Scalar(ScalarType::SizeT), &no_structs), 8);
     }
 
     #[test]

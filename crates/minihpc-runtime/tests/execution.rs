@@ -192,9 +192,8 @@ int main(int argc, char** argv) {{
 
 #[test]
 fn omp_offload_loop_runs_on_device() {
-    let repo = omp_offload_repo(
-        "#pragma omp target teams distribute parallel for map(tofrom: a[0:N])",
-    );
+    let repo =
+        omp_offload_repo("#pragma omp target teams distribute parallel for map(tofrom: a[0:N])");
     let r = build_and_run(&repo, &["100"]);
     assert!(r.error.is_none(), "{:?}", r.error);
     assert_eq!(r.stdout.trim(), format!("total {}", 100i64 * 99));
@@ -218,9 +217,7 @@ fn listing4_style_missing_target_runs_on_host() {
 
 #[test]
 fn missing_map_from_loses_results() {
-    let repo = omp_offload_repo(
-        "#pragma omp target teams distribute parallel for map(to: a[0:N])",
-    );
+    let repo = omp_offload_repo("#pragma omp target teams distribute parallel for map(to: a[0:N])");
     let r = build_and_run(&repo, &["100"]);
     assert!(r.error.is_none());
     assert_eq!(r.stdout.trim(), "total 0", "results must not copy back");
@@ -308,7 +305,10 @@ int main(int argc, char** argv) {
         );
     let r = build_and_run(&repo, &["100"]);
     assert!(r.error.is_none(), "{:?}", r.error);
-    assert_eq!(r.stdout.trim(), format!("total {:.1}", 2.0 * (99.0 * 100.0 / 2.0)));
+    assert_eq!(
+        r.stdout.trim(),
+        format!("total {:.1}", 2.0 * (99.0 * 100.0 / 2.0))
+    );
     assert!(r.telemetry.ran_on_device());
     assert!(r.telemetry.device_parallel());
 }
@@ -416,8 +416,10 @@ fn infinite_loop_hits_step_limit() {
         );
     let out = build_repo(&repo, &BuildRequest::new("app"));
     let exe = out.executable.unwrap();
-    let mut cfg = RunConfig::default();
-    cfg.max_steps = 10_000;
+    let cfg = RunConfig {
+        max_steps: 10_000,
+        ..RunConfig::default()
+    };
     let r = run(&exe, cfg);
     assert_eq!(r.error.unwrap().kind, RuntimeErrorKind::StepLimit);
 }

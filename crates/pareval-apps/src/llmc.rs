@@ -270,7 +270,10 @@ pub fn llmc() -> Application {
     let mut gt = BTreeMap::new();
     gt.insert(
         ExecutionModel::OmpOffload,
-        ("Makefile".to_string(), gt_make_omp_offload("llmc", &sources)),
+        (
+            "Makefile".to_string(),
+            gt_make_omp_offload("llmc", &sources),
+        ),
     );
     gt.insert(
         ExecutionModel::Kokkos,

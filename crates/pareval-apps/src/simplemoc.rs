@@ -136,7 +136,12 @@ pub fn simplemoc_kernel() -> Application {
             .with_file("src/init.cu", INIT_CU)
             .with_file("src/io.cu", IO_CU),
     );
-    let sources = ["src/main.cpp", "src/kernel.cpp", "src/init.cpp", "src/io.cpp"];
+    let sources = [
+        "src/main.cpp",
+        "src/kernel.cpp",
+        "src/init.cpp",
+        "src/io.cpp",
+    ];
     let mut gt = BTreeMap::new();
     gt.insert(
         ExecutionModel::OmpOffload,

@@ -181,10 +181,7 @@ fn xor_ground_truth(binary: &str, sources: &[&str]) -> BTreeMap<ExecutionModel, 
     let mut gt = BTreeMap::new();
     gt.insert(
         ExecutionModel::OmpOffload,
-        (
-            "Makefile".to_string(),
-            gt_make_omp_offload(binary, sources),
-        ),
+        ("Makefile".to_string(), gt_make_omp_offload(binary, sources)),
     );
     gt.insert(
         ExecutionModel::Kokkos,
@@ -335,7 +332,11 @@ mod tests {
     use minihpc_build::{build_repo, BuildRequest};
     use minihpc_runtime::{run, RunConfig};
 
-    fn run_model(app: &Application, model: ExecutionModel, args: &[&str]) -> minihpc_runtime::RunResult {
+    fn run_model(
+        app: &Application,
+        model: ExecutionModel,
+        args: &[&str],
+    ) -> minihpc_runtime::RunResult {
         let repo = app.repo(model).unwrap();
         let out = build_repo(repo, &BuildRequest::new(app.binary));
         assert!(
@@ -357,8 +358,16 @@ mod tests {
             let omp = run_model(&app, ExecutionModel::OmpThreads, &["16", "2"]);
             assert!(cuda.error.is_none(), "{}: {:?}", app.name, cuda.error);
             assert!(omp.error.is_none(), "{}: {:?}", app.name, omp.error);
-            assert_eq!(cuda.stdout, omp.stdout, "{} differs across models", app.name);
-            assert!(cuda.telemetry.ran_on_device(), "{} CUDA on device", app.name);
+            assert_eq!(
+                cuda.stdout, omp.stdout,
+                "{} differs across models",
+                app.name
+            );
+            assert!(
+                cuda.telemetry.ran_on_device(),
+                "{} CUDA on device",
+                app.name
+            );
             assert!(
                 !omp.telemetry.ran_on_device(),
                 "{} OpenMP threads stays on host",

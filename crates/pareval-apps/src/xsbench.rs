@@ -487,6 +487,9 @@ mod tests {
         let mut cfg = RunConfig::with_args(["500"]);
         cfg.parallel = true;
         let par = run(&exe, cfg);
-        assert_eq!(seq.stdout, par.stdout, "integer checksum is schedule-invariant");
+        assert_eq!(
+            seq.stdout, par.stdout,
+            "integer checksum is schedule-invariant"
+        );
     }
 }

@@ -225,14 +225,21 @@ pub fn table2(results: &ExperimentResults) -> String {
     let llama = models.iter().find(|m| m.name == "Llama-3.3-70B").unwrap();
     let apps = ["nanoXOR", "microXORh", "microXOR"];
     let mut out = String::new();
-    writeln!(out, "== Estimated cost per successful translation (Table 2) ==").unwrap();
+    writeln!(
+        out,
+        "== Estimated cost per successful translation (Table 2) =="
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<28} {:>10} {:>11} {:>10}",
         "", apps[0], apps[1], apps[2]
     )
     .unwrap();
-    for (label, model) in [("Non-agentic o4-mini", o4), ("Non-agentic Llama-3.3", llama)] {
+    for (label, model) in [
+        ("Non-agentic o4-mini", o4),
+        ("Non-agentic Llama-3.3", llama),
+    ] {
         write!(out, "{label:<28}").unwrap();
         for app in apps {
             let mut ek = Vec::new();

@@ -2,7 +2,7 @@
 //!
 //! The paper's semi-automated error-classification pipeline (Sec. 6.3),
 //! built from scratch: [`word2vec`] (skip-gram with negative sampling)
-//! embeds each build/run log into a vector, [`dbscan`] clusters the vectors,
+//! embeds each build/run log into a vector, [`dbscan()`] clusters the vectors,
 //! and [`pipeline`] performs the merge-and-label pass that produces the
 //! Fig. 3 category counts.
 

@@ -113,11 +113,10 @@ impl Word2Vec {
                 for (pos, &center) in ids.iter().enumerate() {
                     let lo = pos.saturating_sub(config.window);
                     let hi = (pos + config.window + 1).min(ids.len());
-                    for ctx_pos in lo..hi {
+                    for (ctx_pos, &context) in ids.iter().enumerate().take(hi).skip(lo) {
                         if ctx_pos == pos {
                             continue;
                         }
-                        let context = ids[ctx_pos];
                         // One positive + `negatives` negative updates.
                         let mut grad_center = vec![0.0; config.dim];
                         for neg in 0..=config.negatives {

@@ -139,10 +139,7 @@ impl SimulatedModel {
         let buildfile_error = if rng.gen::<f64>() < p_buildfile {
             None
         } else {
-            Some(Self::pick_weighted(
-                &profile.buildfile_error_weights,
-                rng,
-            ))
+            Some(Self::pick_weighted(&profile.buildfile_error_weights, rng))
         };
         AttemptPlan::Run {
             code,
@@ -173,7 +170,10 @@ impl SimulatedModel {
                 return *c;
             }
         }
-        weights.last().map(|(c, _)| *c).unwrap_or(ErrorCategory::CodeSyntax)
+        weights
+            .last()
+            .map(|(c, _)| *c)
+            .unwrap_or(ErrorCategory::CodeSyntax)
     }
 
     /// Is this translated file the one that should receive the code
@@ -223,8 +223,7 @@ impl Backend for SimulatedModel {
             let (path, mut text) =
                 transpile::transpile_build_file(self.pair, &job.binary, &sources);
             if let Some(category) = buildfile_error {
-                if let Some(mutated) =
-                    inject::inject_buildfile_error(&text, category, self.pair.to)
+                if let Some(mutated) = inject::inject_buildfile_error(&text, category, self.pair.to)
                 {
                     text = mutated;
                 } else if let Some(mutated) = inject::inject_buildfile_error(
@@ -387,9 +386,7 @@ mod tests {
                 &exe,
                 minihpc_runtime::RunConfig::with_args(case.args.iter().cloned()),
             );
-            let passed = r.error.is_none()
-                && r.stdout == expected
-                && r.telemetry.ran_on_device();
+            let passed = r.error.is_none() && r.stdout == expected && r.telemetry.ran_on_device();
             assert!(!passed, "sample {sample} unexpectedly passed");
         }
     }

@@ -352,7 +352,10 @@ mod tests {
                     for a in 0..N_APPS {
                         let c = paper_cell(pair, tech, m, a);
                         if let (Some(b), Some(p)) = (c.build_code, c.pass_code) {
-                            assert!(p <= b + 1e-9, "{pair} {tech} m{m} a{a}: pass {p} > build {b}");
+                            assert!(
+                                p <= b + 1e-9,
+                                "{pair} {tech} m{m} a{a}: pass {p} > build {b}"
+                            );
                         }
                         if let (Some(b), Some(p)) = (c.build_overall, c.pass_overall) {
                             assert!(p <= b + 1e-9, "{pair} {tech} m{m} a{a} overall");
@@ -382,23 +385,48 @@ mod tests {
         }
         // The Llama nanoXOR anomaly (Sec. 8.2): worse on nanoXOR than
         // microXORh for non-agentic CUDA→offload code-only pass.
-        let nano = paper_cell(TranslationPair::CUDA_TO_OMP_OFFLOAD, Technique::NonAgentic, 3, 0);
-        let microh = paper_cell(TranslationPair::CUDA_TO_OMP_OFFLOAD, Technique::NonAgentic, 3, 1);
+        let nano = paper_cell(
+            TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            Technique::NonAgentic,
+            3,
+            0,
+        );
+        let microh = paper_cell(
+            TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            Technique::NonAgentic,
+            3,
+            1,
+        );
         assert!(nano.pass_code.unwrap() < microh.pass_code.unwrap());
     }
 
     #[test]
     fn missing_cells_match_paper() {
         // Gemini XSBench CUDA→offload non-agentic was not runnable.
-        let c = paper_cell(TranslationPair::CUDA_TO_OMP_OFFLOAD, Technique::NonAgentic, 0, 4);
+        let c = paper_cell(
+            TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            Technique::NonAgentic,
+            0,
+            4,
+        );
         assert!(!c.was_run());
         // QwQ XSBench top-down (all pairs) exceeded the node-hour budget.
-        let c = paper_cell(TranslationPair::CUDA_TO_OMP_OFFLOAD, Technique::TopDownAgentic, 4, 4);
+        let c = paper_cell(
+            TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            Technique::TopDownAgentic,
+            4,
+            4,
+        );
         assert!(!c.was_run());
         // SWE-agent exists only for CUDA→Kokkos with GPT-4o-mini.
         let c = paper_cell(TranslationPair::CUDA_TO_KOKKOS, Technique::SweAgent, 1, 0);
         assert!(c.was_run());
-        let c = paper_cell(TranslationPair::CUDA_TO_OMP_OFFLOAD, Technique::SweAgent, 1, 0);
+        let c = paper_cell(
+            TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            Technique::SweAgent,
+            1,
+            0,
+        );
         assert!(!c.was_run());
     }
 

@@ -188,7 +188,10 @@ pub fn inject_functional_error(text: &str, kind: FunctionalError) -> Option<Stri
             // Remove the last deep_copy line.
             let pos = text.rfind("Kokkos::deep_copy(")?;
             let line_start = text[..pos].rfind('\n').map(|i| i + 1).unwrap_or(0);
-            let line_end = text[pos..].find('\n').map(|i| pos + i + 1).unwrap_or(text.len());
+            let line_end = text[pos..]
+                .find('\n')
+                .map(|i| pos + i + 1)
+                .unwrap_or(text.len());
             let mut out = text.to_string();
             out.replace_range(line_start..line_end, "");
             Some(out)
@@ -221,10 +224,7 @@ fn strip_map_clauses(text: &str) -> String {
 /// Pick the code file to mutate: prefer the one carrying the parallel
 /// construct, else the main file, else the first source.
 pub fn injection_target(repo: &SourceRepo) -> Option<String> {
-    let sources: Vec<&str> = repo
-        .paths()
-        .filter(|p| FileKind::of(p).is_code())
-        .collect();
+    let sources: Vec<&str> = repo.paths().filter(|p| FileKind::of(p).is_code()).collect();
     let has = |needle: &str| {
         sources
             .iter()
@@ -288,7 +288,11 @@ mod tests {
             let mutated = inject_code_error(repo.get(&target).unwrap(), category)
                 .unwrap_or_else(|| panic!("injector for {category} found no anchor"));
             repo.add(target, mutated);
-            let binary = if category == MissingHeader { "microxor" } else { "nanoxor" };
+            let binary = if category == MissingHeader {
+                "microxor"
+            } else {
+                "nanoxor"
+            };
             let out = build_repo(&repo, &BuildRequest::new(binary));
             assert!(!out.succeeded(), "{category} should break the build");
             assert_eq!(
@@ -305,8 +309,7 @@ mod tests {
         for category in [BuildFileSyntax, MakefileMissingTarget, InvalidCompilerFlag] {
             let mut repo = offload_repo();
             let mk = repo.get("Makefile").unwrap();
-            let mutated =
-                inject_buildfile_error(mk, category, ExecutionModel::OmpOffload).unwrap();
+            let mutated = inject_buildfile_error(mk, category, ExecutionModel::OmpOffload).unwrap();
             repo.add("Makefile", mutated);
             assert_eq!(build_category_of(&repo), Some(category), "{category}");
         }

@@ -289,11 +289,7 @@ fn top_down(job: &TranslationJob, backend: &mut dyn Backend) -> TranslationRun {
     }
 }
 
-fn context_for(
-    repo: &SourceRepo,
-    summaries: &[(String, String)],
-    backend: &dyn Backend,
-) -> String {
+fn context_for(repo: &SourceRepo, summaries: &[(String, String)], backend: &dyn Backend) -> String {
     if summaries.is_empty() {
         return String::new();
     }
@@ -443,10 +439,7 @@ mod tests {
         }
     }
 
-    fn job<'a>(
-        app: &'a pareval_apps::Application,
-        pair: TranslationPair,
-    ) -> TranslationJob<'a> {
+    fn job<'a>(app: &'a pareval_apps::Application, pair: TranslationPair) -> TranslationJob<'a> {
         TranslationJob {
             app_name: app.name,
             binary: app.binary,

@@ -30,10 +30,9 @@ pub fn extract(f: &Function) -> Option<KernelLoops> {
     let mut rest_idx = None;
     for (i, s) in body.stmts.iter().enumerate() {
         match &s.kind {
-            StmtKind::Decl(d)
-                if init_is_thread_index(d).is_some() => {
-                    vars.push(d.name.clone());
-                }
+            StmtKind::Decl(d) if init_is_thread_index(d).is_some() => {
+                vars.push(d.name.clone());
+            }
             _ => {
                 rest_idx = Some(i);
                 break;
@@ -126,7 +125,10 @@ fn builtin_member(e: &Expr, base_name: &str) -> Option<char> {
     if n != base_name {
         return None;
     }
-    member.chars().next().filter(|c| matches!(c, 'x' | 'y' | 'z'))
+    member
+        .chars()
+        .next()
+        .filter(|c| matches!(c, 'x' | 'y' | 'z'))
 }
 
 /// Decompose a guard condition into `var < bound` conjuncts.
@@ -193,12 +195,7 @@ mod tests {
     use minihpc_lang::parser::parse_file;
 
     fn kernel(src: &str) -> Function {
-        parse_file(src)
-            .unwrap()
-            .functions()
-            .next()
-            .unwrap()
-            .clone()
+        parse_file(src).unwrap().functions().next().unwrap().clone()
     }
 
     #[test]

@@ -323,7 +323,10 @@ fn cuda_to_kokkos(file: &mut SourceFile, repo: &SourceRepo) {
                         ],
                     )
                 };
-                let call = Expr::call(Expr::path(&["Kokkos", "parallel_for"]), vec![policy, lambda]);
+                let call = Expr::call(
+                    Expr::path(&["Kokkos", "parallel_for"]),
+                    vec![policy, lambda],
+                );
                 f.body = Some(Block::new(vec![Stmt::expr(call)]));
             }
         } else if !view_params.is_empty() {
@@ -490,10 +493,7 @@ fn scalar_pointee(t: &Type) -> Option<ScalarType> {
 
 /// Host-side CUDA→Kokkos statement rewrites; returns the set of variables
 /// that became device views.
-fn kokkos_rewrite_host(
-    body: &mut Block,
-    var_types: &BTreeMap<String, Type>,
-) -> HashSet<String> {
+fn kokkos_rewrite_host(body: &mut Block, var_types: &BTreeMap<String, Type>) -> HashSet<String> {
     // Pass 1: find device allocations `cudaMalloc(&p, n * sizeof(T))`.
     let mut device_views: HashSet<String> = HashSet::new();
     let mut view_info: BTreeMap<String, (ScalarType, Expr)> = BTreeMap::new();
@@ -528,7 +528,10 @@ fn kokkos_rewrite_host(
                         if matches!(&e.kind, ExprKind::Ident(v) if device_views.contains(v))) =>
             {
                 let mut d = d.clone();
-                let elem = alias_elems.get(&d.name).copied().unwrap_or(ScalarType::Double);
+                let elem = alias_elems
+                    .get(&d.name)
+                    .copied()
+                    .unwrap_or(ScalarType::Double);
                 d.ty = Type::View { elem, rank: 1 };
                 vec![Stmt::synth(StmtKind::Decl(d))]
             }
@@ -568,7 +571,10 @@ fn kokkos_rewrite_host(
                 }
                 Some("cudaFree") => vec![],
                 Some("cudaDeviceSynchronize") | Some("cudaGetLastError") => {
-                    vec![Stmt::expr(Expr::call(Expr::path(&["Kokkos", "fence"]), vec![]))]
+                    vec![Stmt::expr(Expr::call(
+                        Expr::path(&["Kokkos", "fence"]),
+                        vec![],
+                    ))]
                 }
                 _ => {
                     let mut s = s;
@@ -591,21 +597,20 @@ fn collect_cuda_mallocs(
 ) {
     for s in &block.stmts {
         match &s.kind {
-            StmtKind::Expr(e)
-                if call_name(e) == Some("cudaMalloc") => {
-                    let ExprKind::Call { args, .. } = &e.kind else {
-                        continue;
-                    };
-                    let Some(var) = malloc_target_var(&args[0]) else {
-                        continue;
-                    };
-                    let elem = var_types
-                        .get(&var)
-                        .and_then(scalar_pointee)
-                        .unwrap_or(ScalarType::Double);
-                    let len = element_count_expr(&args[1]);
-                    out.insert(var, (elem, len));
-                }
+            StmtKind::Expr(e) if call_name(e) == Some("cudaMalloc") => {
+                let ExprKind::Call { args, .. } = &e.kind else {
+                    continue;
+                };
+                let Some(var) = malloc_target_var(&args[0]) else {
+                    continue;
+                };
+                let elem = var_types
+                    .get(&var)
+                    .and_then(scalar_pointee)
+                    .unwrap_or(ScalarType::Double);
+                let len = element_count_expr(&args[1]);
+                out.insert(var, (elem, len));
+            }
             StmtKind::Block(b) => collect_cuda_mallocs(b, var_types, out),
             StmtKind::If { then, els, .. } => {
                 if let StmtKind::Block(b) = &then.kind {
@@ -687,10 +692,7 @@ fn element_count_expr(bytes: &Expr) -> Expr {
         rhs,
     } = &bytes.kind
     {
-        if matches!(
-            rhs.kind,
-            ExprKind::SizeOfType(_) | ExprKind::SizeOfExpr(_)
-        ) {
+        if matches!(rhs.kind, ExprKind::SizeOfType(_) | ExprKind::SizeOfExpr(_)) {
             return (**lhs).clone();
         }
     }
@@ -1076,9 +1078,10 @@ fn rewrite_includes(file: &mut SourceFile, adds: &[(&str, bool)]) {
     });
     if removed_any {
         for (path, system) in adds.iter().rev() {
-            let already = file.items.iter().any(|i| {
-                matches!(&i.kind, ItemKind::Include { path: p, .. } if p == path)
-            });
+            let already = file
+                .items
+                .iter()
+                .any(|i| matches!(&i.kind, ItemKind::Include { path: p, .. } if p == path));
             if !already {
                 file.items.insert(
                     0,

@@ -145,11 +145,7 @@ pub fn rewrite_stmts(block: &mut Block, f: &mut impl FnMut(Stmt) -> Vec<Stmt>) {
             }
             StmtKind::While { body, .. } => rewrite_nested(body, f),
             StmtKind::For { body, .. } => rewrite_nested(body, f),
-            StmtKind::Omp { body, .. } => {
-                if let Some(b) = body {
-                    rewrite_nested(b, f);
-                }
-            }
+            StmtKind::Omp { body: Some(b), .. } => rewrite_nested(b, f),
             _ => {}
         }
         new.extend(f(s));

@@ -1,0 +1,115 @@
+//! Offline stand-in for the subset of the `criterion` bench-harness API this
+//! workspace uses: [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros (both the positional and
+//! the `name = ...; config = ...; targets = ...` forms).
+//!
+//! Instead of criterion's statistical sampling, each benchmark runs
+//! `sample_size` iterations, reports min/mean wall-clock time per iteration,
+//! and honours the `--test` flag cargo passes during `cargo test` by
+//! collapsing to a single iteration so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.samples.reserve(self.iterations as usize);
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// The benchmark driver: registers and immediately runs benchmarks.
+pub struct Criterion {
+    sample_size: u64,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--test` during `cargo test`;
+        // a single iteration is enough to prove the bench still works.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark performs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs `f` with a [`Bencher`] and prints a one-line timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let iterations = if self.test_mode { 1 } else { self.sample_size };
+        let mut b = Bencher {
+            iterations,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{id}: no samples recorded");
+            return self;
+        }
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / b.samples.len() as u32;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{id}: {} iters, mean {:?}/iter, min {:?}/iter",
+            b.samples.len(),
+            mean,
+            min
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

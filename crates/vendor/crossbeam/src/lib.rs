@@ -1,0 +1,43 @@
+//! Offline stand-in for the subset of the `crossbeam` API this workspace
+//! uses: `crossbeam::thread::scope` with scoped `spawn`. Backed by
+//! `std::thread::scope` (stable since Rust 1.63), so borrowed captures work
+//! the same way.
+//!
+//! Divergence from real crossbeam: a panicking worker makes the enclosing
+//! `std::thread::scope` panic during join rather than surfacing as the `Err`
+//! arm, so the returned `Result` is always `Ok`. Callers here only `.expect`
+//! the result, which behaves identically either way.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Error type mirroring `std::thread::Result`'s payload.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle passed to the closure given to [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives a unit placeholder
+        /// where crossbeam passes a nested scope handle; every call site in
+        /// this workspace ignores it (`|_| ...`).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Creates a scope in which borrowed data can be shared with spawned
+    /// threads; all threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

@@ -1,0 +1,124 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses: the [`strategy::Strategy`] trait with `prop_map`/`prop_recursive`,
+//! clonable [`strategy::BoxedStrategy`] values, range/tuple/[`strategy::Just`]
+//! strategies, [`collection::vec`], and the [`proptest!`], [`prop_oneof!`],
+//! [`prop_assert!`], [`prop_assert_eq!`] macros.
+//!
+//! Divergences from real proptest, deliberate for an offline vendored stub:
+//! - **No shrinking.** A failing case reports its seed and value-free
+//!   context; the deterministic per-case seeding makes failures replayable
+//!   by rerunning the same test binary.
+//! - **Deterministic seeds.** Case `i` of test `t` always sees the same
+//!   random stream, so CI runs are reproducible by construction.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything a `use proptest::prelude::*;` test file expects in scope.
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares strategy-driven tests.
+///
+/// Supports the block form used in this workspace: an optional
+/// `#![proptest_config(...)]` header followed by `#[test] fn` items whose
+/// parameters are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $(#[$meta:meta])* fn $name:ident(
+        $($arg:pat in $strategy:expr),* $(,)?
+    ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let runner = $crate::test_runner::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "proptest case {}/{} of {} failed (seed {:#x}): {}",
+                        case + 1,
+                        runner.cases(),
+                        stringify!($name),
+                        runner.seed_for_case(case),
+                        err,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    (($config:expr);) => {};
+}
+
+/// Chooses uniformly between strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Fails the enclosing proptest case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the enclosing proptest case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}

@@ -1,0 +1,119 @@
+//! The per-test driver: configuration, the deterministic case RNG, and the
+//! error type `prop_assert!` returns.
+
+use std::fmt;
+
+/// How a proptest block is run. Only `cases` is configurable, mirroring the
+/// `ProptestConfig::with_cases` calls in this workspace's suites.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property within a test case (produced by `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Drives one `#[test]` function: owns the config and derives a
+/// deterministic seed per case from the fully-qualified test name.
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Builds a runner for the test named `name` (used to derive seeds, so
+    /// distinct tests explore distinct streams).
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the test path gives a stable per-test base seed.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            config,
+            base_seed: hash,
+        }
+    }
+
+    /// Number of cases this runner will generate.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The seed used for case `case` — printed on failure so a run can be
+    /// reproduced by inspection.
+    pub fn seed_for_case(&self, case: u32) -> u64 {
+        self.base_seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// A fresh RNG for case `case`.
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        TestRng::from_seed(self.seed_for_case(case))
+    }
+}
+
+/// The value-generation RNG handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds a generator from a raw seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `u64` in `[0, bound)`; `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "next_below requires a non-zero bound");
+        self.next_u64() % bound
+    }
+}

@@ -11,7 +11,10 @@ use pareval_errclust::{category_counts, cluster_logs, PipelineConfig};
 fn main() {
     let mut cfg = ExperimentConfig::quick();
     cfg.samples = 6;
-    println!("Running a benchmark slice ({} samples per cell)...", cfg.samples);
+    println!(
+        "Running a benchmark slice ({} samples per cell)...",
+        cfg.samples
+    );
     let results = run_experiment(&cfg);
 
     let tagged = results.error_logs_with_models();
@@ -30,7 +33,11 @@ fn main() {
         clustering.purity
     );
     for cluster in &clustering.clusters {
-        println!("  {:<34} {:>4} logs", cluster.label.label(), cluster.members.len());
+        println!(
+            "  {:<34} {:>4} logs",
+            cluster.label.label(),
+            cluster.members.len()
+        );
     }
 
     println!("\nPer-category counts recovered by the pipeline:");

@@ -13,5 +13,8 @@ fn main() {
     for (i, task) in all_tasks().iter().enumerate() {
         println!("  {:>2}. {:<18} {}", i + 1, task.app.name, task.pair);
     }
-    println!("\nTotal: {} tasks (6 apps x 2 pairs + 4 apps x 1 pair)", all_tasks().len());
+    println!(
+        "\nTotal: {} tasks (6 apps x 2 pairs + 4 apps x 1 pair)",
+        all_tasks().len()
+    );
 }

@@ -18,8 +18,7 @@ fn slice(samples: u32, models: &[&str], apps: &[&str]) -> pareval_core::Experime
         .filter(|m| models.contains(&m.name))
         .collect();
     cfg.apps = apps.iter().map(|a| a.to_string()).collect();
-    cfg
-        .pipe()
+    cfg.pipe()
 }
 
 trait Pipe {
@@ -76,7 +75,7 @@ fn o4_mini_outperforms_gemini_on_nanoxor_offload() {
 fn larger_apps_never_pass() {
     // Paper key finding: no pass@1 > 0 for apps larger than microXOR.
     let results = slice(4, &["o4-mini"], &["SimpleMOC-kernel"]);
-    for (_, cell) in &results.cells {
+    for cell in results.cells.values() {
         assert_eq!(cell.passes_code, 0);
         assert_eq!(cell.passes_overall, 0);
     }
@@ -84,7 +83,11 @@ fn larger_apps_never_pass() {
 
 #[test]
 fn failed_builds_cluster_into_categories() {
-    let results = slice(6, &["gemini-1.5-flash", "Llama-3.3-70B"], &["nanoXOR", "microXORh"]);
+    let results = slice(
+        6,
+        &["gemini-1.5-flash", "Llama-3.3-70B"],
+        &["nanoXOR", "microXORh"],
+    );
     let logs: Vec<_> = results
         .error_logs_with_models()
         .into_iter()
