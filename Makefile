@@ -1,5 +1,5 @@
-# Development entry points mirroring the tier-1 verify
-# (`cargo build --release && cargo test -q`).
+# Development entry points. `make verify` is the documented tier-1 gate:
+# release build, tests, clippy with warnings denied, and a format check.
 
 .PHONY: all build test doc fmt fmt-fix clippy bench verify clean
 
@@ -21,12 +21,12 @@ fmt-fix:
 	cargo fmt --all
 
 clippy:
-	cargo clippy --workspace --all-targets
+	cargo clippy --all-targets -- -D warnings
 
 bench:
 	cargo bench
 
-verify: build test
+verify: build test clippy fmt
 
 clean:
 	cargo clean

@@ -89,7 +89,9 @@ impl BuildSystemKind {
 }
 
 /// A translation pair: source model → destination model (paper Sec. 5.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// `Ord` follows the `(from, to)` field order so the pair can key an
+/// allocation-free cell index ([`ExecutionModel`] is already `Ord`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TranslationPair {
     pub from: ExecutionModel,
     pub to: ExecutionModel,

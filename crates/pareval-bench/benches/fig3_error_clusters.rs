@@ -4,18 +4,15 @@
 //! benchmarks the clustering step.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pareval_core::{report, run_experiment, ExperimentConfig};
+use pareval_core::{report, ExperimentPlan, ParallelRunner, Runner};
 use pareval_errclust::{cluster_logs, PipelineConfig};
 
 fn bench(c: &mut Criterion) {
-    let mut cfg = ExperimentConfig::full(4);
-    cfg.apps = vec![
-        "nanoXOR".into(),
-        "microXORh".into(),
-        "microXOR".into(),
-        "SimpleMOC-kernel".into(),
-    ];
-    let results = run_experiment(&cfg);
+    let plan = ExperimentPlan::builder()
+        .samples(4)
+        .apps(["nanoXOR", "microXORh", "microXOR", "SimpleMOC-kernel"])
+        .build();
+    let results = ParallelRunner::auto().run(&plan);
     println!("\n{}", report::fig3(&results));
 
     let logs: Vec<_> = results

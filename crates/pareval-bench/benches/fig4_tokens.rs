@@ -5,12 +5,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use minihpc_lang::model::TranslationPair;
-use pareval_core::{report, run_experiment, run_sample, EvalConfig, ExperimentConfig};
+use pareval_core::{report, run_sample, EvalConfig, ExperimentPlan, ParallelRunner, Runner};
 use pareval_llm::model_by_name;
 use pareval_translate::Technique;
 
 fn bench(c: &mut Criterion) {
-    let results = run_experiment(&ExperimentConfig::full(4));
+    let results = ParallelRunner::auto().run(&ExperimentPlan::full(4));
     println!("\n{}", report::fig4(&results));
 
     let task = pareval_core::all_tasks()

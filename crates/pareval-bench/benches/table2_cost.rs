@@ -5,14 +5,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use minihpc_lang::model::TranslationPair;
-use pareval_core::{report, run_experiment, ExperimentConfig};
+use pareval_core::{report, ExperimentPlan, ParallelRunner, Runner};
 use pareval_metrics::{dollar_cost, node_hours};
 
 fn bench(c: &mut Criterion) {
-    let mut cfg = ExperimentConfig::full(5);
-    cfg.pairs = TranslationPair::ALL.to_vec();
-    cfg.apps = vec!["nanoXOR".into(), "microXORh".into(), "microXOR".into()];
-    let results = run_experiment(&cfg);
+    let plan = ExperimentPlan::builder()
+        .samples(5)
+        .pairs(TranslationPair::ALL)
+        .apps(["nanoXOR", "microXORh", "microXOR"])
+        .build();
+    let results = ParallelRunner::auto().run(&plan);
     println!("\n{}", report::table2(&results));
 
     c.bench_function("table2/cost_model", |b| {

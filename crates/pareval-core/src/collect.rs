@@ -1,0 +1,351 @@
+//! The Collector layer: aggregation of raw [`SampleRecord`]s into
+//! [`ExperimentResults`].
+//!
+//! The collector retains every record, and every metric — build@k, pass@k,
+//! token means, error logs — is recomputed from them on demand, never
+//! cached. That preserves the harness invariant that two code paths cannot
+//! disagree about a metric, and it is what makes pass@k for k > 1 possible
+//! at all: an aggregate-counts design cannot answer "how many of C(n, k)
+//! draws contain a success" after the fact.
+//!
+//! Construction is atomic per cell: a cell is either infeasible with no
+//! records, or feasible with exactly its scheduled records. A
+//! partially-filled infeasible cell — the old runner's `break` left token
+//! and error-log accumulators populated when a cell went infeasible
+//! mid-loop — is unrepresentable.
+
+use crate::plan::{CellKey, CellQuery, ExperimentPlan};
+use crate::runner::SampleRecord;
+use crate::task::{EvalOutcome, Scoring};
+use minihpc_build::ErrorCategory;
+use minihpc_lang::model::TranslationPair;
+use pareval_errclust::LogEntry;
+use pareval_metrics::{pass_at_k, MeanAccumulator};
+use pareval_translate::Technique;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which success criterion a rate is computed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Metric {
+    /// The translation compiled.
+    Build,
+    /// The translation compiled, produced correct output, and executed on
+    /// the specified hardware.
+    Pass,
+}
+
+/// All retained samples of one cell.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellResult {
+    feasible: bool,
+    records: Vec<SampleRecord>,
+}
+
+impl CellResult {
+    fn infeasible() -> Self {
+        CellResult {
+            feasible: false,
+            records: Vec::new(),
+        }
+    }
+
+    /// Was this configuration runnable at all?
+    pub fn feasible(&self) -> bool {
+        self.feasible
+    }
+
+    pub fn samples(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// The raw per-sample records, ordered by sample index.
+    pub fn records(&self) -> &[SampleRecord] {
+        &self.records
+    }
+
+    fn outcome(record: &SampleRecord, scoring: Scoring) -> Option<&EvalOutcome> {
+        match scoring {
+            Scoring::CodeOnly => record.result.code_only.as_ref(),
+            Scoring::Overall => record.result.overall.as_ref(),
+        }
+    }
+
+    /// Successful samples under one metric and scoring.
+    pub fn successes(&self, metric: Metric, scoring: Scoring) -> u64 {
+        self.records
+            .iter()
+            .filter_map(|r| Self::outcome(r, scoring))
+            .filter(|o| match metric {
+                Metric::Build => o.built,
+                Metric::Pass => o.passed,
+            })
+            .count() as u64
+    }
+
+    /// The unbiased build@k / pass@k estimate (paper Eq. 1) for this cell,
+    /// recomputed from the retained records. Zero-sample cells score 0.
+    ///
+    /// The estimator needs `k <= samples()`; for larger k it saturates to
+    /// 1 when any sample succeeded and 0 otherwise (any k-draw from fewer
+    /// than k samples must repeat one), rather than extrapolating.
+    pub fn rate(&self, metric: Metric, scoring: Scoring, k: u32) -> f64 {
+        pass_at_k(
+            self.samples(),
+            self.successes(metric, scoring),
+            u64::from(k),
+        )
+    }
+
+    pub fn build_at_k(&self, scoring: Scoring, k: u32) -> f64 {
+        self.rate(Metric::Build, scoring, k)
+    }
+
+    pub fn pass_at_k(&self, scoring: Scoring, k: u32) -> f64 {
+        self.rate(Metric::Pass, scoring, k)
+    }
+
+    /// Mean total inference tokens per sample, accumulated in sample order.
+    pub fn tokens(&self) -> MeanAccumulator {
+        let mut acc = MeanAccumulator::default();
+        for r in &self.records {
+            acc.add(r.result.tokens.total() as f64);
+        }
+        acc
+    }
+
+    /// Failed-build logs with ground-truth categories (Fig. 3 input),
+    /// in sample order.
+    pub fn error_logs(&self) -> impl Iterator<Item = LogEntry> + '_ {
+        self.records.iter().filter_map(|r| {
+            let overall = r.result.overall.as_ref()?;
+            if overall.built {
+                return None;
+            }
+            let truth = overall.error_category?;
+            Some(LogEntry {
+                text: overall.build_log.clone(),
+                truth,
+            })
+        })
+    }
+}
+
+/// All cell results of one experiment run, keyed by [`CellKey`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExperimentResults {
+    pub cells: BTreeMap<CellKey, CellResult>,
+}
+
+impl ExperimentResults {
+    /// Collect runner output into per-cell results.
+    ///
+    /// Records are restored to canonical `(CellKey, sample_index)` order
+    /// first, so any execution order (serial, sharded, work-stolen) yields
+    /// identical results. Cell construction is atomic: a cell whose plan —
+    /// or any of whose records — says infeasible holds no records at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a record's [`CellKey`] does not appear in `plan` — every
+    /// record must come from executing that plan's own [`SampleSpec`]s
+    /// (replaying records against a narrower plan is a caller bug, not a
+    /// recoverable state).
+    ///
+    /// [`SampleSpec`]: crate::plan::SampleSpec
+    pub fn from_records(plan: &ExperimentPlan, mut records: Vec<SampleRecord>) -> Self {
+        records.sort_by_key(|r| (r.key, r.sample_index));
+        // All samples of a cell share the plan's feasibility; a single
+        // infeasible record marks its whole cell not-run, and none of the
+        // cell's records are retained.
+        let infeasible_keys: BTreeSet<CellKey> = records
+            .iter()
+            .filter(|r| !r.result.feasible)
+            .map(|r| r.key)
+            .collect();
+        let mut cells: BTreeMap<CellKey, CellResult> = plan
+            .cells()
+            .iter()
+            .map(|spec| {
+                // Feasibility comes from the plan (a feasible cell scheduled
+                // with zero samples is still feasible), demoted only by an
+                // infeasible record.
+                let cell = if spec.feasible && !infeasible_keys.contains(&spec.key) {
+                    CellResult {
+                        feasible: true,
+                        records: Vec::new(),
+                    }
+                } else {
+                    CellResult::infeasible()
+                };
+                (spec.key, cell)
+            })
+            .collect();
+        for record in records {
+            let cell = cells
+                .get_mut(&record.key)
+                .expect("runner produced a record for a cell not in the plan");
+            if cell.feasible {
+                cell.records.push(record);
+            }
+        }
+        ExperimentResults { cells }
+    }
+
+    pub fn cell(
+        &self,
+        pair: TranslationPair,
+        technique: Technique,
+        model: &str,
+        app: &str,
+    ) -> Option<&CellResult> {
+        self.cells
+            .get(&(pair, technique, model, app) as &dyn CellQuery)
+    }
+
+    /// Fig. 3 input: all failed-build logs across cells, tagged with model
+    /// names, in `(CellKey, sample_index)` order.
+    ///
+    /// Note: `CellKey` orders pairs and techniques by enum declaration,
+    /// where the pre-refactor string keys ordered them lexically by
+    /// `pair.id()` / `technique.name()`. On grids spanning several pairs or
+    /// techniques the log *sequence* therefore differs from the old API
+    /// (the per-category counts of [`Self::error_counts`] do not), which
+    /// can nudge the order-sensitive clustering pipeline downstream.
+    pub fn error_logs_with_models(&self) -> Vec<(String, LogEntry)> {
+        let mut out = Vec::new();
+        for (key, cell) in &self.cells {
+            for log in cell.error_logs() {
+                out.push((key.model.to_string(), log));
+            }
+        }
+        out
+    }
+
+    /// Per-(model, category) counts of build failures (the ground-truth
+    /// counterpart of Fig. 3).
+    pub fn error_counts(&self) -> BTreeMap<(String, ErrorCategory), usize> {
+        let mut out: BTreeMap<(String, ErrorCategory), usize> = BTreeMap::new();
+        for (key, cell) in &self.cells {
+            for record in cell.records() {
+                let failed_category = record
+                    .result
+                    .overall
+                    .as_ref()
+                    .filter(|o| !o.built)
+                    .and_then(|o| o.error_category);
+                if let Some(truth) = failed_category {
+                    *out.entry((key.model.to_string(), truth)).or_default() += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ExperimentPlan;
+    use crate::runner::{execute_spec, Runner, SerialRunner};
+    use minihpc_lang::model::TranslationPair;
+    use pareval_llm::all_models;
+    use pareval_translate::Technique;
+
+    fn one_cell_plan(samples: u32) -> ExperimentPlan {
+        ExperimentPlan::builder()
+            .samples(samples)
+            // Seed 42 gives this cell a mixed pass record (4/6), so the
+            // k > 1 estimates are strictly between pass@1 and 1.
+            .seed(42)
+            .pairs([TranslationPair::CUDA_TO_OMP_OFFLOAD])
+            .techniques([Technique::NonAgentic])
+            .models(all_models().into_iter().filter(|m| m.name == "o4-mini"))
+            .apps(["nanoXOR"])
+            .build()
+    }
+
+    #[test]
+    fn pass_at_k_grows_with_k() {
+        let plan = one_cell_plan(6);
+        let results = SerialRunner.run(&plan);
+        let cell = results
+            .cell(
+                TranslationPair::CUDA_TO_OMP_OFFLOAD,
+                Technique::NonAgentic,
+                "o4-mini",
+                "nanoXOR",
+            )
+            .unwrap();
+        assert_eq!(cell.samples(), 6);
+        let p1 = cell.pass_at_k(Scoring::CodeOnly, 1);
+        let p5 = cell.pass_at_k(Scoring::CodeOnly, 5);
+        // o4-mini passes this cell sometimes but not always, so a larger
+        // draw strictly helps.
+        assert!(p1 > 0.0, "p1 = {p1}");
+        assert!(p5 > p1, "p5 = {p5} <= p1 = {p1}");
+        assert!(p5 <= 1.0 + 1e-12);
+        // build@k dominates pass@k for every k.
+        for k in 1..=6 {
+            assert!(cell.build_at_k(Scoring::CodeOnly, k) >= cell.pass_at_k(Scoring::CodeOnly, k));
+        }
+    }
+
+    #[test]
+    fn rate_of_empty_cell_is_zero() {
+        let empty = CellResult::default();
+        for metric in [Metric::Build, Metric::Pass] {
+            for scoring in Scoring::ALL {
+                assert_eq!(empty.rate(metric, scoring, 1), 0.0);
+                assert_eq!(empty.rate(metric, scoring, 5), 0.0);
+            }
+        }
+        assert!(empty.tokens().mean().is_none());
+    }
+
+    #[test]
+    fn infeasible_cell_construction_is_atomic() {
+        // Run real samples, then forge an infeasible record into the middle
+        // of the batch: the whole cell must collapse to "not run" with no
+        // leftover token / error-log state.
+        let plan = one_cell_plan(3);
+        let mut records: Vec<_> = plan
+            .sample_specs()
+            .iter()
+            .map(|s| execute_spec(&plan, s))
+            .collect();
+        let mut forged = records[1].clone();
+        forged.result.feasible = false;
+        forged.result.code_only = None;
+        forged.result.overall = None;
+        records[1] = forged;
+        let results = ExperimentResults::from_records(&plan, records);
+        let cell = results
+            .cell(
+                TranslationPair::CUDA_TO_OMP_OFFLOAD,
+                Technique::NonAgentic,
+                "o4-mini",
+                "nanoXOR",
+            )
+            .unwrap();
+        assert!(!cell.feasible());
+        assert_eq!(cell.samples(), 0);
+        assert!(cell.tokens().mean().is_none());
+        assert_eq!(cell.error_logs().count(), 0);
+    }
+
+    #[test]
+    fn results_equal_regardless_of_record_order() {
+        let plan = one_cell_plan(4);
+        let records: Vec<_> = plan
+            .sample_specs()
+            .iter()
+            .map(|s| execute_spec(&plan, s))
+            .collect();
+        let mut shuffled = records.clone();
+        shuffled.reverse();
+        assert_eq!(
+            ExperimentResults::from_records(&plan, records),
+            ExperimentResults::from_records(&plan, shuffled)
+        );
+    }
+}

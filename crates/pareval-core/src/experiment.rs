@@ -1,60 +1,26 @@
-//! The experiment runner: N samples per (pair, technique, model, app) cell,
-//! aggregated into the measurements behind every table and figure.
+//! Deprecated compatibility shim over the Plan → Runner → Collector API.
+//!
+//! The monolithic `run_experiment(&ExperimentConfig)` entry point is kept
+//! for one release so downstream code migrates at its own pace. New code
+//! should build an [`ExperimentPlan`] and pick a [`Runner`]:
+//!
+//! ```no_run
+//! use pareval_core::{ExperimentPlan, ParallelRunner, Runner};
+//!
+//! let plan = ExperimentPlan::quick();
+//! let results = ParallelRunner::new(4).run(&plan);
+//! ```
 
-use crate::task::{all_tasks, run_sample, EvalConfig, Task};
-use minihpc_build::ErrorCategory;
+use crate::plan::ExperimentPlan;
+use crate::runner::{Runner, SerialRunner};
+use crate::task::EvalConfig;
+use crate::ExperimentResults;
 use minihpc_lang::model::TranslationPair;
-use pareval_errclust::LogEntry;
 use pareval_llm::{all_models, ModelProfile};
-use pareval_metrics::{build_at_k, pass_at_k, MeanAccumulator};
 use pareval_translate::Technique;
-use std::collections::BTreeMap;
 
-/// Aggregated counts for one cell.
-#[derive(Debug, Clone, Default)]
-pub struct CellResult {
-    pub samples: u64,
-    pub builds_code: u64,
-    pub passes_code: u64,
-    pub builds_overall: u64,
-    pub passes_overall: u64,
-    pub feasible: bool,
-    pub tokens: MeanAccumulator,
-    /// Failed-build logs with ground-truth categories (Fig. 3 input).
-    pub error_logs: Vec<LogEntry>,
-}
-
-impl CellResult {
-    pub fn build_at_1_code(&self) -> f64 {
-        if self.samples == 0 {
-            return 0.0;
-        }
-        build_at_k(self.samples, self.builds_code, 1)
-    }
-
-    pub fn pass_at_1_code(&self) -> f64 {
-        if self.samples == 0 {
-            return 0.0;
-        }
-        pass_at_k(self.samples, self.passes_code, 1)
-    }
-
-    pub fn build_at_1_overall(&self) -> f64 {
-        if self.samples == 0 {
-            return 0.0;
-        }
-        build_at_k(self.samples, self.builds_overall, 1)
-    }
-
-    pub fn pass_at_1_overall(&self) -> f64 {
-        if self.samples == 0 {
-            return 0.0;
-        }
-        pass_at_k(self.samples, self.passes_overall, 1)
-    }
-}
-
-/// Experiment configuration.
+/// Bag-of-vecs experiment configuration, superseded by
+/// [`ExperimentPlan::builder`].
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
     /// Samples (generations) per cell; the paper uses 25–50, the default
@@ -70,23 +36,17 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
-    /// The paper's full grid.
+    /// The paper's full grid (same defaults as
+    /// [`ExperimentPlan::builder`], stated once in the plan module).
     pub fn full(samples: u32) -> Self {
         ExperimentConfig {
             samples,
-            seed: 20250908, // ICPP'25 presentation date
+            seed: crate::plan::DEFAULT_SEED,
             pairs: TranslationPair::ALL.to_vec(),
-            techniques: vec![
-                Technique::NonAgentic,
-                Technique::TopDownAgentic,
-                Technique::SweAgent,
-            ],
+            techniques: Technique::ALL.to_vec(),
             models: all_models(),
             apps: vec![],
-            eval: EvalConfig {
-                max_cases: 1,
-                ..EvalConfig::default()
-            },
+            eval: crate::plan::default_eval(),
         }
     }
 
@@ -97,116 +57,35 @@ impl ExperimentConfig {
         cfg.apps = vec!["nanoXOR".into(), "microXORh".into(), "microXOR".into()];
         cfg
     }
-}
 
-/// All cell results of one experiment run.
-#[derive(Debug, Clone, Default)]
-pub struct ExperimentResults {
-    pub cells: BTreeMap<(String, String, String, String), CellResult>,
-}
-
-impl ExperimentResults {
-    pub fn cell(
-        &self,
-        pair: TranslationPair,
-        technique: Technique,
-        model: &str,
-        app: &str,
-    ) -> Option<&CellResult> {
-        self.cells.get(&(
-            pair.id(),
-            technique.name().to_string(),
-            model.to_string(),
-            app.to_string(),
-        ))
-    }
-
-    /// Fig. 3 input: all failed-build logs across cells for one pair (or
-    /// all pairs), tagged with model names.
-    pub fn error_logs_with_models(&self) -> Vec<(String, LogEntry)> {
-        let mut out = Vec::new();
-        for ((_, _, model, _), cell) in &self.cells {
-            for log in &cell.error_logs {
-                out.push((model.clone(), log.clone()));
-            }
-        }
-        out
-    }
-
-    /// Per-(model, category) counts of build failures (the ground-truth
-    /// counterpart of Fig. 3).
-    pub fn error_counts(&self) -> BTreeMap<(String, ErrorCategory), usize> {
-        let mut out: BTreeMap<(String, ErrorCategory), usize> = BTreeMap::new();
-        for ((_, _, model, _), cell) in &self.cells {
-            for log in &cell.error_logs {
-                *out.entry((model.clone(), log.truth)).or_default() += 1;
-            }
-        }
-        out
+    /// Enumerate this configuration as an [`ExperimentPlan`].
+    pub fn to_plan(&self) -> ExperimentPlan {
+        ExperimentPlan::builder()
+            .samples(self.samples)
+            .seed(self.seed)
+            .pairs(self.pairs.iter().copied())
+            .techniques(self.techniques.iter().copied())
+            .models(self.models.iter().cloned())
+            .apps(self.apps.iter().cloned())
+            .eval(self.eval.clone())
+            .build()
     }
 }
 
-/// Run the experiment grid.
+/// Run the experiment grid serially.
+#[deprecated(
+    since = "0.1.0",
+    note = "build an ExperimentPlan and run it with SerialRunner or ParallelRunner"
+)]
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResults {
-    let mut results = ExperimentResults::default();
-    let tasks: Vec<Task> = all_tasks()
-        .into_iter()
-        .filter(|t| cfg.pairs.contains(&t.pair))
-        .filter(|t| cfg.apps.is_empty() || cfg.apps.iter().any(|a| a == t.app.name))
-        .collect();
-    for task in &tasks {
-        for technique in &cfg.techniques {
-            for model in &cfg.models {
-                let mut cell = CellResult::default();
-                for sample in 0..cfg.samples {
-                    let r = run_sample(task, *technique, model, cfg.seed, sample, &cfg.eval);
-                    if !r.feasible {
-                        // Not-run configuration: skip the whole cell (all
-                        // samples share the plan's feasibility).
-                        cell.feasible = false;
-                        cell.samples = 0;
-                        break;
-                    }
-                    cell.feasible = true;
-                    cell.samples += 1;
-                    cell.tokens.add(r.tokens.total() as f64);
-                    if let Some(code) = &r.code_only {
-                        cell.builds_code += u64::from(code.built);
-                        cell.passes_code += u64::from(code.passed);
-                    }
-                    if let Some(overall) = &r.overall {
-                        cell.builds_overall += u64::from(overall.built);
-                        cell.passes_overall += u64::from(overall.passed);
-                        if !overall.built {
-                            if let Some(category) = overall.error_category {
-                                cell.error_logs.push(LogEntry {
-                                    text: overall.build_log.clone(),
-                                    truth: category,
-                                });
-                            }
-                        }
-                    }
-                }
-                // SWE-agent only applies where the paper ran it; cells the
-                // backend marks infeasible simply record zero samples.
-                results.cells.insert(
-                    (
-                        task.pair.id(),
-                        technique.name().to_string(),
-                        model.name.to_string(),
-                        task.app.name.to_string(),
-                    ),
-                    cell,
-                );
-            }
-        }
-    }
-    results
+    SerialRunner.run(&cfg.to_plan())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::task::Scoring;
+    use crate::Metric;
 
     #[test]
     fn quick_experiment_reproduces_cell_shapes() {
@@ -217,6 +96,7 @@ mod tests {
             .into_iter()
             .filter(|m| m.name == "o4-mini" || m.name == "gemini-1.5-flash")
             .collect();
+        #[allow(deprecated)]
         let results = run_experiment(&cfg);
         let o4 = results
             .cell(
@@ -226,13 +106,22 @@ mod tests {
                 "nanoXOR",
             )
             .unwrap();
-        assert!(o4.feasible);
-        assert_eq!(o4.samples, 4);
+        assert!(o4.feasible());
+        assert_eq!(o4.samples(), 4);
         // Code-only pass implies code-only build, per-sample and aggregate.
-        assert!(o4.passes_code <= o4.builds_code);
-        assert!(o4.passes_overall <= o4.builds_overall);
+        assert!(
+            o4.successes(Metric::Pass, Scoring::CodeOnly)
+                <= o4.successes(Metric::Build, Scoring::CodeOnly)
+        );
+        assert!(
+            o4.successes(Metric::Pass, Scoring::Overall)
+                <= o4.successes(Metric::Build, Scoring::Overall)
+        );
         // Overall never exceeds code-only builds (gt build file only helps).
-        assert!(o4.builds_overall <= o4.builds_code + 1);
+        assert!(
+            o4.successes(Metric::Build, Scoring::Overall)
+                <= o4.successes(Metric::Build, Scoring::CodeOnly) + 1
+        );
 
         let gem = results
             .cell(
@@ -243,7 +132,16 @@ mod tests {
             )
             .unwrap();
         // Gemini's pass@1 is 0 in the paper for this cell.
-        assert_eq!(gem.passes_code, 0);
-        assert_eq!(gem.passes_overall, 0);
+        assert_eq!(gem.successes(Metric::Pass, Scoring::CodeOnly), 0);
+        assert_eq!(gem.successes(Metric::Pass, Scoring::Overall), 0);
+    }
+
+    #[test]
+    fn shim_matches_layered_api() {
+        let cfg = ExperimentConfig::quick();
+        #[allow(deprecated)]
+        let via_shim = run_experiment(&cfg);
+        let via_plan = SerialRunner.run(&cfg.to_plan());
+        assert_eq!(via_shim, via_plan);
     }
 }

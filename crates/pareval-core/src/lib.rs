@@ -1,15 +1,29 @@
 //! # pareval-core
 //!
-//! The ParEval-Repo harness: the sixteen translation tasks, the experiment
-//! runner (N generations per task × technique × model cell, each evaluated
-//! through the real MiniHPC build + run pipeline under both the "Code-only"
-//! and "Overall" scorings), and plain-text emitters for every table and
-//! figure of the paper.
+//! The ParEval-Repo harness: the sixteen translation tasks, the layered
+//! experiment API (N generations per task × technique × model cell, each
+//! evaluated through the real MiniHPC build + run pipeline under both the
+//! "Code-only" and "Overall" scorings), and plain-text emitters for every
+//! table and figure of the paper.
+//!
+//! The experiment API has three layers:
+//!
+//! 1. **Plan** ([`plan`]) — [`ExperimentPlan::builder`] deterministically
+//!    enumerates typed cells ([`CellKey`], [`CellSpec`]) and per-sample work
+//!    units ([`SampleSpec`]), resolving feasibility up front.
+//! 2. **Runner** ([`runner`]) — a [`Runner`] executes the plan:
+//!    [`SerialRunner`] on one thread, [`ParallelRunner`] sharded across
+//!    scoped workers. Both stream [`SampleRecord`]s to a [`ProgressSink`]
+//!    and produce byte-identical results for the same plan.
+//! 3. **Collector** ([`collect`]) — [`ExperimentResults`] retains the raw
+//!    records and recomputes every metric on demand, including
+//!    [`CellResult::pass_at_k`] / [`CellResult::build_at_k`] for k > 1.
 //!
 //! ```no_run
-//! use pareval_core::{run_experiment, ExperimentConfig, report};
+//! use pareval_core::{report, ExperimentPlan, ParallelRunner, Runner};
 //!
-//! let results = run_experiment(&ExperimentConfig::quick());
+//! let plan = ExperimentPlan::quick();
+//! let results = ParallelRunner::new(4).run(&plan);
 //! println!("{}", report::fig2(
 //!     &results,
 //!     minihpc_lang::TranslationPair::CUDA_TO_OMP_OFFLOAD,
@@ -17,9 +31,23 @@
 //! ));
 //! ```
 
+pub mod collect;
 pub mod experiment;
+pub mod plan;
 pub mod report;
+pub mod runner;
 pub mod task;
 
-pub use experiment::{run_experiment, CellResult, ExperimentConfig, ExperimentResults};
-pub use task::{all_tasks, evaluate, run_sample, EvalConfig, EvalOutcome, SampleResult, Task};
+pub use collect::{CellResult, ExperimentResults, Metric};
+pub use experiment::ExperimentConfig;
+pub use plan::{CellKey, CellQuery, CellSpec, ExperimentPlan, ExperimentPlanBuilder, SampleSpec};
+pub use runner::{
+    execute_spec, CountingSink, NullSink, ParallelRunner, ProgressSink, Runner, SampleRecord,
+    SerialRunner,
+};
+pub use task::{
+    all_tasks, evaluate, run_sample, EvalConfig, EvalOutcome, SampleResult, Scoring, Task,
+};
+
+#[allow(deprecated)]
+pub use experiment::run_experiment;

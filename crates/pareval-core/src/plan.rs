@@ -1,0 +1,383 @@
+//! The Plan layer: deterministic enumeration of an experiment grid.
+//!
+//! An [`ExperimentPlan`] is built once (via [`ExperimentPlan::builder`]) and
+//! then handed to a [`crate::runner::Runner`]. Building the plan resolves
+//! everything that can be known without executing a single sample:
+//!
+//! - the typed [`CellKey`] of every (pair, technique, model, app) cell,
+//! - each cell's plan-time *feasibility* (configurations the paper could not
+//!   run — context windows, compute budget — are marked up front instead of
+//!   being discovered one failed sample at a time),
+//! - the flat list of [`SampleSpec`]s a runner executes, each independently
+//!   seeded so they can be sharded across workers in any order.
+
+use crate::task::{all_tasks, EvalConfig, Task};
+use minihpc_lang::model::TranslationPair;
+use pareval_llm::{all_models, cell_feasible, ModelProfile};
+use pareval_translate::Technique;
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+
+/// Typed key of one experiment cell.
+///
+/// Replaces the stringly `(String, String, String, String)` tuple: `Copy`,
+/// `Ord` (pair, technique, model, app — the aggregation order), and lookups
+/// never allocate. Model and app names are the `&'static str` interned in
+/// [`ModelProfile`] / [`pareval_apps::Application`]; map lookups by
+/// non-static `&str` go through [`CellQuery`] (see [`Borrow`] impl below).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellKey {
+    pub pair: TranslationPair,
+    pub technique: Technique,
+    pub model: &'static str,
+    pub app: &'static str,
+}
+
+/// Borrowed view of a [`CellKey`] for allocation-free map lookups with
+/// arbitrary `&str` model/app names.
+pub trait CellQuery {
+    fn fields(&self) -> (TranslationPair, Technique, &str, &str);
+}
+
+impl CellQuery for CellKey {
+    fn fields(&self) -> (TranslationPair, Technique, &str, &str) {
+        (self.pair, self.technique, self.model, self.app)
+    }
+}
+
+impl<'a> CellQuery for (TranslationPair, Technique, &'a str, &'a str) {
+    fn fields(&self) -> (TranslationPair, Technique, &str, &str) {
+        (self.0, self.1, self.2, self.3)
+    }
+}
+
+impl<'a> Borrow<dyn CellQuery + 'a> for CellKey {
+    fn borrow(&self) -> &(dyn CellQuery + 'a) {
+        self
+    }
+}
+
+impl PartialEq for dyn CellQuery + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields() == other.fields()
+    }
+}
+
+impl Eq for dyn CellQuery + '_ {}
+
+impl PartialOrd for dyn CellQuery + '_ {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for dyn CellQuery + '_ {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.fields().cmp(&other.fields())
+    }
+}
+
+/// One enumerated cell of the plan: its key, indices into the plan's task
+/// and model tables, and the sampling parameters resolved at plan time.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    pub key: CellKey,
+    /// Index into [`ExperimentPlan::tasks`].
+    pub task: usize,
+    /// Index into [`ExperimentPlan::models`].
+    pub model: usize,
+    /// Plan-time feasibility (paper-calibrated): infeasible cells get zero
+    /// [`SampleSpec`]s, so a partially-run infeasible cell cannot exist.
+    pub feasible: bool,
+    /// Samples scheduled for this cell (0 when infeasible).
+    pub samples: u32,
+}
+
+/// One schedulable unit of work: a single seeded generation of one cell.
+/// Samples are independent, so a runner may execute them in any order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Index into [`ExperimentPlan::cells`].
+    pub cell: usize,
+    pub sample_index: u32,
+}
+
+/// A fully enumerated experiment: the immutable input to a runner.
+#[derive(Debug, Clone)]
+pub struct ExperimentPlan {
+    seed: u64,
+    eval: EvalConfig,
+    tasks: Vec<Task>,
+    models: Vec<ModelProfile>,
+    cells: Vec<CellSpec>,
+}
+
+impl ExperimentPlan {
+    pub fn builder() -> ExperimentPlanBuilder {
+        ExperimentPlanBuilder::default()
+    }
+
+    /// The paper's full grid with N samples per cell.
+    pub fn full(samples: u32) -> Self {
+        Self::builder().samples(samples).build()
+    }
+
+    /// A small smoke-test slice (one pair, the three XOR apps).
+    pub fn quick() -> Self {
+        Self::builder()
+            .samples(3)
+            .pairs([TranslationPair::CUDA_TO_OMP_OFFLOAD])
+            .apps(["nanoXOR", "microXORh", "microXOR"])
+            .build()
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn eval(&self) -> &EvalConfig {
+        &self.eval
+    }
+
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    pub fn models(&self) -> &[ModelProfile] {
+        &self.models
+    }
+
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+
+    pub fn task_of(&self, cell: &CellSpec) -> &Task {
+        &self.tasks[cell.task]
+    }
+
+    pub fn model_of(&self, cell: &CellSpec) -> &ModelProfile {
+        &self.models[cell.model]
+    }
+
+    /// Total samples a runner will execute (infeasible cells contribute 0).
+    pub fn total_samples(&self) -> usize {
+        self.cells.iter().map(|c| c.samples as usize).sum()
+    }
+
+    /// The flat work list, in deterministic enumeration order.
+    pub fn sample_specs(&self) -> Vec<SampleSpec> {
+        let mut out = Vec::with_capacity(self.total_samples());
+        for (i, cell) in self.cells.iter().enumerate() {
+            for sample_index in 0..cell.samples {
+                out.push(SampleSpec {
+                    cell: i,
+                    sample_index,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Default experiment seed: the ICPP'25 presentation date.
+pub const DEFAULT_SEED: u64 = 20250908;
+
+/// The default evaluation knobs for grid runs (one developer test case per
+/// sample keeps the full grid tractable for an interpreter substrate).
+pub(crate) fn default_eval() -> EvalConfig {
+    EvalConfig {
+        max_cases: 1,
+        ..EvalConfig::default()
+    }
+}
+
+/// Builder for [`ExperimentPlan`]. Defaults reproduce the paper's full grid
+/// (all pairs, the three techniques, all five models, every app).
+#[derive(Debug, Clone)]
+pub struct ExperimentPlanBuilder {
+    samples: u32,
+    seed: u64,
+    pairs: Vec<TranslationPair>,
+    techniques: Vec<Technique>,
+    models: Vec<ModelProfile>,
+    apps: Vec<String>,
+    eval: EvalConfig,
+}
+
+impl Default for ExperimentPlanBuilder {
+    fn default() -> Self {
+        ExperimentPlanBuilder {
+            samples: 3,
+            seed: DEFAULT_SEED,
+            pairs: TranslationPair::ALL.to_vec(),
+            techniques: Technique::ALL.to_vec(),
+            models: all_models(),
+            apps: Vec::new(),
+            eval: default_eval(),
+        }
+    }
+}
+
+impl ExperimentPlanBuilder {
+    /// Samples (generations) per cell; the paper uses 25–50, the default
+    /// here keeps the full grid tractable for an interpreter substrate.
+    pub fn samples(mut self, samples: u32) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn pairs(mut self, pairs: impl IntoIterator<Item = TranslationPair>) -> Self {
+        self.pairs = pairs.into_iter().collect();
+        self
+    }
+
+    pub fn techniques(mut self, techniques: impl IntoIterator<Item = Technique>) -> Self {
+        self.techniques = techniques.into_iter().collect();
+        self
+    }
+
+    pub fn models(mut self, models: impl IntoIterator<Item = ModelProfile>) -> Self {
+        self.models = models.into_iter().collect();
+        self
+    }
+
+    /// Restrict to these apps (names); empty = all.
+    pub fn apps<I, S>(mut self, apps: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.apps = apps.into_iter().map(Into::into).collect();
+        self
+    }
+
+    pub fn eval(mut self, eval: EvalConfig) -> Self {
+        self.eval = eval;
+        self
+    }
+
+    /// Enumerate the grid. Cell order is the harness's canonical order —
+    /// tasks in `(pair, app)` order, then techniques, then models — and two
+    /// builds from the same inputs produce identical plans. Duplicate
+    /// technique or model entries enumerate each cell once (first wins), so
+    /// a sloppy input cannot double-schedule — and double-count — a cell.
+    pub fn build(self) -> ExperimentPlan {
+        let tasks: Vec<Task> = all_tasks()
+            .into_iter()
+            .filter(|t| self.pairs.contains(&t.pair))
+            .filter(|t| self.apps.is_empty() || self.apps.iter().any(|a| a == t.app.name))
+            .collect();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut cells = Vec::with_capacity(tasks.len() * self.techniques.len() * self.models.len());
+        for (ti, task) in tasks.iter().enumerate() {
+            for technique in &self.techniques {
+                for (mi, model) in self.models.iter().enumerate() {
+                    let key = CellKey {
+                        pair: task.pair,
+                        technique: *technique,
+                        model: model.name,
+                        app: task.app.name,
+                    };
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                    let feasible = cell_feasible(task.pair, *technique, model.name, task.app.name);
+                    cells.push(CellSpec {
+                        key,
+                        task: ti,
+                        model: mi,
+                        feasible,
+                        samples: if feasible { self.samples } else { 0 },
+                    });
+                }
+            }
+        }
+        ExperimentPlan {
+            seed: self.seed,
+            eval: self.eval,
+            tasks,
+            models: self.models,
+            cells,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_plan_enumerates_expected_cells() {
+        let plan = ExperimentPlan::quick();
+        // 3 apps × 1 pair × 3 techniques × 5 models.
+        assert_eq!(plan.cells().len(), 45);
+        // SWE-agent ran only CUDA→Kokkos/GPT-4o-mini: all 15 SWE cells of
+        // this CUDA→offload slice are infeasible, scheduled with 0 samples.
+        let swe: Vec<_> = plan
+            .cells()
+            .iter()
+            .filter(|c| c.key.technique == Technique::SweAgent)
+            .collect();
+        assert_eq!(swe.len(), 15);
+        assert!(swe.iter().all(|c| !c.feasible && c.samples == 0));
+        // Every feasible cell got the requested sample count.
+        assert!(plan
+            .cells()
+            .iter()
+            .filter(|c| c.feasible)
+            .all(|c| c.samples == 3));
+        assert_eq!(
+            plan.total_samples(),
+            plan.cells().iter().filter(|c| c.feasible).count() * 3
+        );
+    }
+
+    #[test]
+    fn duplicate_inputs_do_not_double_schedule() {
+        let base = ExperimentPlan::builder()
+            .samples(2)
+            .pairs([TranslationPair::CUDA_TO_OMP_OFFLOAD])
+            .techniques([Technique::NonAgentic])
+            .apps(["nanoXOR"]);
+        let clean = base.clone().build();
+        let doubled = base
+            .techniques([Technique::NonAgentic, Technique::NonAgentic])
+            .build();
+        assert_eq!(clean.cells().len(), doubled.cells().len());
+        assert_eq!(clean.total_samples(), doubled.total_samples());
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = ExperimentPlan::quick();
+        let b = ExperimentPlan::quick();
+        assert_eq!(a.cells().len(), b.cells().len());
+        for (x, y) in a.cells().iter().zip(b.cells()) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.samples, y.samples);
+        }
+        assert_eq!(a.sample_specs(), b.sample_specs());
+    }
+
+    #[test]
+    fn cell_key_ord_is_grid_order() {
+        let k1 = CellKey {
+            pair: TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            technique: Technique::NonAgentic,
+            model: "a",
+            app: "z",
+        };
+        let k2 = CellKey {
+            pair: TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            technique: Technique::NonAgentic,
+            model: "b",
+            app: "a",
+        };
+        assert!(k1 < k2, "model orders before app");
+    }
+}

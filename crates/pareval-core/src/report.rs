@@ -1,6 +1,7 @@
 //! Plain-text report emitters: one per table and figure of the paper.
 
-use crate::experiment::ExperimentResults;
+use crate::collect::{ExperimentResults, Metric};
+use crate::task::Scoring;
 use minihpc_build::ErrorCategory;
 use minihpc_lang::complexity;
 use minihpc_lang::model::TranslationPair;
@@ -72,10 +73,15 @@ pub fn table1() -> String {
 /// One Fig. 2 subfigure: build@1 or pass@1 heatmaps (code-only and overall)
 /// for one pair and the techniques that ran.
 pub fn fig2(results: &ExperimentResults, pair: TranslationPair, pass: bool) -> String {
-    let metric = if pass { "pass@1" } else { "build@1" };
+    let metric = if pass { Metric::Pass } else { Metric::Build };
     let mut out = String::new();
-    writeln!(out, "== {metric} for {pair} ==").unwrap();
-    for scoring in ["Code-only", "Overall"] {
+    writeln!(
+        out,
+        "== {metric_label}@1 for {pair} ==",
+        metric_label = if pass { "pass" } else { "build" }
+    )
+    .unwrap();
+    for scoring in Scoring::ALL {
         for technique in [
             Technique::NonAgentic,
             Technique::TopDownAgentic,
@@ -89,14 +95,8 @@ pub fn fig2(results: &ExperimentResults, pair: TranslationPair, pass: bool) -> S
                 for model in MODEL_ORDER {
                     let cell = results.cell(pair, technique, model, app);
                     match cell {
-                        Some(c) if c.feasible && c.samples > 0 => {
-                            let v = match (scoring, pass) {
-                                ("Code-only", false) => c.build_at_1_code(),
-                                ("Code-only", true) => c.pass_at_1_code(),
-                                ("Overall", false) => c.build_at_1_overall(),
-                                ("Overall", true) => c.pass_at_1_overall(),
-                                _ => unreachable!(),
-                            };
+                        Some(c) if c.feasible() && c.samples() > 0 => {
+                            let v = c.rate(metric, scoring, 1);
                             write!(row, " {v:>5.2}").unwrap();
                             row_any = true;
                         }
@@ -111,7 +111,12 @@ pub fn fig2(results: &ExperimentResults, pair: TranslationPair, pass: bool) -> S
                 grid.push('\n');
             }
             if any {
-                writeln!(out, "-- {scoring} / {technique} --").unwrap();
+                writeln!(
+                    out,
+                    "-- {scoring} / {technique} --",
+                    scoring = scoring.label()
+                )
+                .unwrap();
                 writeln!(
                     out,
                     "{:<18} {:>5} {:>5} {:>5} {:>5} {:>5}",
@@ -164,7 +169,7 @@ pub fn fig4(results: &ExperimentResults) -> String {
                 let mut n = 0.0;
                 for pair in TranslationPair::ALL {
                     if let Some(c) = results.cell(pair, technique, model, app) {
-                        if let Some(m) = c.tokens.mean() {
+                        if let Some(m) = c.tokens().mean() {
                             sum += m;
                             n += 1.0;
                         }
@@ -195,8 +200,8 @@ pub fn fig5(results: &ExperimentResults) -> String {
                 let mut acc = Vec::new();
                 for pair in TranslationPair::ALL {
                     if let Some(c) = results.cell(pair, technique, model, app) {
-                        let p = c.pass_at_1_overall();
-                        if let (true, Some(t)) = (p > 0.0, c.tokens.mean()) {
+                        let p = c.rate(Metric::Pass, Scoring::Overall, 1);
+                        if let (true, Some(t)) = (p > 0.0, c.tokens().mean()) {
                             if let Some(e) = expected_token_cost(p, t) {
                                 acc.push(e);
                             }
@@ -245,8 +250,8 @@ pub fn table2(results: &ExperimentResults) -> String {
             let mut ek = Vec::new();
             for pair in TranslationPair::ALL {
                 if let Some(c) = results.cell(pair, Technique::NonAgentic, model.name, app) {
-                    let p = c.pass_at_1_overall();
-                    if let (true, Some(t)) = (p > 0.0, c.tokens.mean()) {
+                    let p = c.rate(Metric::Pass, Scoring::Overall, 1);
+                    if let (true, Some(t)) = (p > 0.0, c.tokens().mean()) {
                         if let Some(e) = expected_token_cost(p, t) {
                             ek.push(e);
                         }

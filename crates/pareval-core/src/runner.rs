@@ -1,0 +1,222 @@
+//! The Runner layer: execution strategies over an [`ExperimentPlan`].
+//!
+//! A [`Runner`] turns a plan's [`SampleSpec`]s into [`SampleRecord`]s and
+//! hands them to the Collector ([`ExperimentResults::from_records`]).
+//! Because every sample is independently seeded, execution order is
+//! irrelevant to the result: the collector restores the canonical
+//! `(CellKey, sample_index)` order before aggregation, so
+//! [`ParallelRunner`] output is byte-identical to [`SerialRunner`] output
+//! for the same plan.
+//!
+//! Runners stream progress to a [`ProgressSink`] (observer) as samples
+//! complete — from worker threads, in completion order, which under the
+//! parallel runner is nondeterministic even though the final results are
+//! not.
+
+use crate::collect::ExperimentResults;
+use crate::plan::{CellKey, ExperimentPlan, SampleSpec};
+use crate::task::{run_sample, SampleResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One completed sample: the cell it belongs to, its index within the cell,
+/// and the raw evaluation result. Records are what the collector retains,
+/// so every metric can be recomputed (including pass@k for k > 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRecord {
+    pub key: CellKey,
+    pub sample_index: u32,
+    pub result: SampleResult,
+}
+
+/// Observer of experiment progress. Implementations must be [`Sync`]:
+/// [`ParallelRunner`] invokes `on_sample` concurrently from worker threads.
+pub trait ProgressSink: Sync {
+    /// Called once per completed sample, in completion order.
+    fn on_sample(&self, record: &SampleRecord);
+}
+
+/// Discards all progress events.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ProgressSink for NullSink {
+    fn on_sample(&self, _record: &SampleRecord) {}
+}
+
+/// Counts completed samples (a minimal progress meter usable from tests and
+/// long-running drivers alike).
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    completed: AtomicU64,
+}
+
+impl CountingSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+}
+
+impl ProgressSink for CountingSink {
+    fn on_sample(&self, _record: &SampleRecord) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// An execution strategy for a plan.
+pub trait Runner {
+    /// Execute every sample of `plan`, streaming records to `sink`.
+    fn run_with_sink(&self, plan: &ExperimentPlan, sink: &dyn ProgressSink) -> ExperimentResults;
+
+    /// Execute without observing progress.
+    fn run(&self, plan: &ExperimentPlan) -> ExperimentResults {
+        self.run_with_sink(plan, &NullSink)
+    }
+}
+
+/// Execute one sample spec of `plan`.
+pub fn execute_spec(plan: &ExperimentPlan, spec: &SampleSpec) -> SampleRecord {
+    let cell = &plan.cells()[spec.cell];
+    let result = run_sample(
+        plan.task_of(cell),
+        cell.key.technique,
+        plan.model_of(cell),
+        plan.seed(),
+        spec.sample_index,
+        plan.eval(),
+    );
+    SampleRecord {
+        key: cell.key,
+        sample_index: spec.sample_index,
+        result,
+    }
+}
+
+/// Runs every sample on the calling thread, in enumeration order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialRunner;
+
+impl Runner for SerialRunner {
+    fn run_with_sink(&self, plan: &ExperimentPlan, sink: &dyn ProgressSink) -> ExperimentResults {
+        let records: Vec<SampleRecord> = plan
+            .sample_specs()
+            .iter()
+            .map(|spec| {
+                let record = execute_spec(plan, spec);
+                sink.on_sample(&record);
+                record
+            })
+            .collect();
+        ExperimentResults::from_records(plan, records)
+    }
+}
+
+/// Shards the plan's samples round-robin across N scoped worker threads.
+///
+/// Workers emit records to the sink as they complete; the collector then
+/// restores `(CellKey, sample_index)` order, so the returned results are
+/// byte-identical to [`SerialRunner`]'s for the same plan.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelRunner {
+    workers: usize,
+}
+
+impl ParallelRunner {
+    /// `workers` is clamped to at least 1.
+    pub fn new(workers: usize) -> Self {
+        ParallelRunner {
+            workers: workers.max(1),
+        }
+    }
+
+    /// One worker per available CPU.
+    pub fn auto() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(n)
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl Runner for ParallelRunner {
+    fn run_with_sink(&self, plan: &ExperimentPlan, sink: &dyn ProgressSink) -> ExperimentResults {
+        let specs = plan.sample_specs();
+        let workers = self.workers.min(specs.len().max(1));
+        let mut records: Vec<SampleRecord> = Vec::with_capacity(specs.len());
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let specs = &specs;
+                    scope.spawn(move |_| {
+                        specs
+                            .iter()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|spec| {
+                                let record = execute_spec(plan, spec);
+                                sink.on_sample(&record);
+                                record
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                records.extend(handle.join().expect("experiment worker panicked"));
+            }
+        })
+        .expect("experiment thread scope failed");
+        ExperimentResults::from_records(plan, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ExperimentPlan;
+    use minihpc_lang::model::TranslationPair;
+    use pareval_llm::all_models;
+    use pareval_translate::Technique;
+
+    fn tiny_plan() -> ExperimentPlan {
+        ExperimentPlan::builder()
+            .samples(2)
+            .pairs([TranslationPair::CUDA_TO_OMP_OFFLOAD])
+            .techniques([Technique::NonAgentic])
+            .models(all_models().into_iter().filter(|m| m.name == "o4-mini"))
+            .apps(["nanoXOR"])
+            .build()
+    }
+
+    #[test]
+    fn sink_sees_every_sample() {
+        let plan = tiny_plan();
+        let sink = CountingSink::new();
+        SerialRunner.run_with_sink(&plan, &sink);
+        assert_eq!(sink.completed() as usize, plan.total_samples());
+
+        let sink = CountingSink::new();
+        ParallelRunner::new(3).run_with_sink(&plan, &sink);
+        assert_eq!(sink.completed() as usize, plan.total_samples());
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_tiny_plan() {
+        let plan = tiny_plan();
+        let serial = SerialRunner.run(&plan);
+        let parallel = ParallelRunner::new(2).run(&plan);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(ParallelRunner::new(0).workers(), 1);
+    }
+}

@@ -37,14 +37,26 @@ pub fn all_tasks() -> Vec<Task> {
 
 /// Scoring configuration (paper Sec. 8.2): "Overall" uses the LLM-translated
 /// build system; "Code-only" swaps in the authors' ground-truth build file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Scoring {
     CodeOnly,
     Overall,
 }
 
+impl Scoring {
+    pub const ALL: [Scoring; 2] = [Scoring::CodeOnly, Scoring::Overall];
+
+    /// The paper's label for this scoring, as printed in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scoring::CodeOnly => "Code-only",
+            Scoring::Overall => "Overall",
+        }
+    }
+}
+
 /// Outcome of evaluating one translated repository under one scoring.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalOutcome {
     pub built: bool,
     pub passed: bool,
@@ -53,7 +65,7 @@ pub struct EvalOutcome {
 }
 
 /// Outcome of one full sample (one generation).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampleResult {
     /// `None` when the configuration could not run (context/budget).
     pub feasible: bool,

@@ -340,6 +340,23 @@ pub fn paper_cell(
     }
 }
 
+/// Plan-time feasibility of one experiment cell, by model/app *name*.
+///
+/// This is the exact criterion [`crate::SimulatedModel`] samples its attempt
+/// plan with (including the index fallback for unknown names), exposed so a
+/// harness can mark cells infeasible when enumerating a plan instead of
+/// discovering it one failed sample at a time.
+pub fn cell_feasible(
+    pair: TranslationPair,
+    technique: Technique,
+    model_name: &str,
+    app_name: &str,
+) -> bool {
+    let midx = crate::profiles::model_index(model_name).unwrap_or(0);
+    let aidx = app_index(app_name).unwrap_or(0);
+    paper_cell(pair, technique, midx, aidx).was_run()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,5 +18,5 @@ pub mod inject;
 pub mod profiles;
 
 pub use backend::{SimulatedModel, TokenUsage};
-pub use calibration::{app_index, paper_cell, CellScores};
+pub use calibration::{app_index, cell_feasible, paper_cell, CellScores};
 pub use profiles::{all_models, model_by_name, model_index, ModelKind, ModelProfile, MODEL_ORDER};

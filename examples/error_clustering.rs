@@ -5,17 +5,18 @@
 //!
 //! Run with: `cargo run --release --example error_clustering`
 
-use pareval_core::{report, run_experiment, ExperimentConfig};
+use pareval_core::{report, ExperimentPlan, ParallelRunner, Runner};
 use pareval_errclust::{category_counts, cluster_logs, PipelineConfig};
 
 fn main() {
-    let mut cfg = ExperimentConfig::quick();
-    cfg.samples = 6;
-    println!(
-        "Running a benchmark slice ({} samples per cell)...",
-        cfg.samples
-    );
-    let results = run_experiment(&cfg);
+    let samples = 6;
+    let plan = ExperimentPlan::builder()
+        .samples(samples)
+        .pairs([minihpc_lang::model::TranslationPair::CUDA_TO_OMP_OFFLOAD])
+        .apps(["nanoXOR", "microXORh", "microXOR"])
+        .build();
+    println!("Running a benchmark slice ({samples} samples per cell)...");
+    let results = ParallelRunner::auto().run(&plan);
 
     let tagged = results.error_logs_with_models();
     println!("Collected {} failed-build logs.\n", tagged.len());

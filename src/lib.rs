@@ -8,6 +8,17 @@
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
 pub use minihpc_build as build;
+
+/// The most-used items for driving experiments: build an
+/// [`ExperimentPlan`](pareval_core::ExperimentPlan), pick a
+/// [`Runner`](pareval_core::Runner), query the collected results.
+pub mod prelude {
+    pub use pareval_core::{
+        report, CellKey, CellResult, CellSpec, EvalConfig, ExperimentPlan, ExperimentResults,
+        Metric, NullSink, ParallelRunner, ProgressSink, Runner, SampleRecord, SampleSpec, Scoring,
+        SerialRunner,
+    };
+}
 pub use minihpc_lang as lang;
 pub use minihpc_runtime as runtime;
 pub use pareval_apps as apps;
