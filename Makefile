@@ -1,7 +1,8 @@
 # Development entry points. `make verify` is the documented tier-1 gate:
-# release build, tests, clippy with warnings denied, and a format check.
+# release build, tests, clippy with warnings denied, a format check, docs
+# with warnings denied, and every example executed end to end.
 
-.PHONY: all build test doc fmt fmt-fix clippy bench verify clean
+.PHONY: all build test doc fmt fmt-fix clippy bench examples verify clean
 
 all: verify
 
@@ -26,7 +27,16 @@ clippy:
 bench:
 	cargo bench
 
-verify: build test clippy fmt
+# Every example must run to completion (exit 0); output is discarded.
+examples: build
+	cargo run --release --example quickstart > /dev/null
+	cargo run --release --example suite_stats > /dev/null
+	cargo run --release --example translate_xsbench > /dev/null
+	cargo run --release --example error_clustering > /dev/null
+	cargo run --release --example experiment_stream > /dev/null
+	cargo run --release --example oracle_upper_bound > /dev/null
+
+verify: build test clippy fmt doc examples
 
 clean:
 	cargo clean

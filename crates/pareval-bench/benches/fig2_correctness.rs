@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use minihpc_lang::model::TranslationPair;
-use pareval_core::{report, run_sample, EvalConfig, ExperimentPlan, ParallelRunner, Runner};
-use pareval_llm::model_by_name;
+use pareval_core::{report, EvalConfig, EvalPipeline, ExperimentPlan, ParallelRunner, Runner};
+use pareval_llm::{model_by_name, SimulatedBackend};
 use pareval_translate::Technique;
 
 fn bench(c: &mut Criterion) {
@@ -25,21 +25,23 @@ fn bench(c: &mut Criterion) {
         .find(|t| t.app.name == "nanoXOR" && t.pair == TranslationPair::CUDA_TO_OMP_OFFLOAD)
         .unwrap();
     let model = model_by_name("o4-mini").unwrap();
-    let eval = EvalConfig {
+    // Uncached: this bench measures the cold translate + build + test path.
+    let pipeline = EvalPipeline::new(EvalConfig {
         max_cases: 1,
+        build_cache: false,
         ..EvalConfig::default()
-    };
+    });
     let mut sample = 0u32;
     c.bench_function("fig2/one_translation_sample", |b| {
         b.iter(|| {
             sample = sample.wrapping_add(1);
-            std::hint::black_box(run_sample(
+            std::hint::black_box(pipeline.run_sample(
                 &task,
                 Technique::NonAgentic,
                 &model,
+                &SimulatedBackend,
                 99,
                 sample,
-                &eval,
             ))
         })
     });

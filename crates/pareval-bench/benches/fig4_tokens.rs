@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use minihpc_lang::model::TranslationPair;
-use pareval_core::{report, run_sample, EvalConfig, ExperimentPlan, ParallelRunner, Runner};
-use pareval_llm::model_by_name;
+use pareval_core::{report, EvalConfig, EvalPipeline, ExperimentPlan, ParallelRunner, Runner};
+use pareval_llm::{model_by_name, SimulatedBackend};
 use pareval_translate::Technique;
 
 fn bench(c: &mut Criterion) {
@@ -18,19 +18,22 @@ fn bench(c: &mut Criterion) {
         .find(|t| t.app.name == "microXOR" && t.pair == TranslationPair::CUDA_TO_OMP_OFFLOAD)
         .unwrap();
     let model = model_by_name("qwq-32b-q8_0").unwrap();
-    let eval = EvalConfig {
+    // Uncached: repeating one sample through the cache would time a lookup,
+    // not the token-accounting path under measurement.
+    let pipeline = EvalPipeline::new(EvalConfig {
         max_cases: 1,
+        build_cache: false,
         ..EvalConfig::default()
-    };
+    });
     c.bench_function("fig4/qwq_token_accounting", |b| {
         b.iter(|| {
-            std::hint::black_box(run_sample(
+            std::hint::black_box(pipeline.run_sample(
                 &task,
                 Technique::NonAgentic,
                 &model,
+                &SimulatedBackend,
                 123,
                 1,
-                &eval,
             ))
         })
     });

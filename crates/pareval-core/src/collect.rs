@@ -245,8 +245,9 @@ impl ExperimentResults {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::EvalPipeline;
     use crate::plan::ExperimentPlan;
-    use crate::runner::{execute_spec, Runner, SerialRunner};
+    use crate::runner::{Runner, SerialRunner};
     use minihpc_lang::model::TranslationPair;
     use pareval_llm::all_models;
     use pareval_translate::Technique;
@@ -308,10 +309,11 @@ mod tests {
         // of the batch: the whole cell must collapse to "not run" with no
         // leftover token / error-log state.
         let plan = one_cell_plan(3);
+        let pipeline = EvalPipeline::new(plan.eval().clone());
         let mut records: Vec<_> = plan
             .sample_specs()
             .iter()
-            .map(|s| execute_spec(&plan, s))
+            .map(|s| pipeline.execute(&plan, s))
             .collect();
         let mut forged = records[1].clone();
         forged.result.feasible = false;
@@ -336,10 +338,11 @@ mod tests {
     #[test]
     fn results_equal_regardless_of_record_order() {
         let plan = one_cell_plan(4);
+        let pipeline = EvalPipeline::new(plan.eval().clone());
         let records: Vec<_> = plan
             .sample_specs()
             .iter()
-            .map(|s| execute_spec(&plan, s))
+            .map(|s| pipeline.execute(&plan, s))
             .collect();
         let mut shuffled = records.clone();
         shuffled.reverse();

@@ -6,16 +6,23 @@
 //! "Code-only" and "Overall" scorings), and plain-text emitters for every
 //! table and figure of the paper.
 //!
-//! The experiment API has three layers:
+//! The experiment API has four layers:
 //!
 //! 1. **Plan** ([`plan`]) — [`ExperimentPlan::builder`] deterministically
 //!    enumerates typed cells ([`CellKey`], [`CellSpec`]) and per-sample work
-//!    units ([`SampleSpec`]), resolving feasibility up front.
-//! 2. **Runner** ([`runner`]) — a [`Runner`] executes the plan:
+//!    units ([`SampleSpec`]), resolving feasibility up front and binding
+//!    each cell to a [`pareval_llm::TranslationBackend`] (grids can mix
+//!    backends per cell).
+//! 2. **Pipeline** ([`eval`]) — an [`EvalPipeline`] turns one sample spec
+//!    into a [`SampleResult`]: backend attempt → technique → build → run →
+//!    score, through a content-addressed [`BuildCache`] shared by every
+//!    worker of a run.
+//! 3. **Runner** ([`runner`]) — a [`Runner`] executes the plan:
 //!    [`SerialRunner`] on one thread, [`ParallelRunner`] sharded across
 //!    scoped workers. Both stream [`SampleRecord`]s to a [`ProgressSink`]
-//!    and produce byte-identical results for the same plan.
-//! 3. **Collector** ([`collect`]) — [`ExperimentResults`] retains the raw
+//!    and produce byte-identical results for the same plan — cached or
+//!    not.
+//! 4. **Collector** ([`collect`]) — [`ExperimentResults`] retains the raw
 //!    records and recomputes every metric on demand, including
 //!    [`CellResult::pass_at_k`] / [`CellResult::build_at_k`] for k > 1.
 //!
@@ -30,24 +37,33 @@
 //!     true,
 //! ));
 //! ```
+//!
+//! Backends other than the default simulation plug in at the plan:
+//!
+//! ```no_run
+//! use pareval_core::{ExperimentPlan, SerialRunner, Runner};
+//! use pareval_llm::OracleBackend;
+//! use std::sync::Arc;
+//!
+//! let plan = ExperimentPlan::builder()
+//!     .backend(Arc::new(OracleBackend))
+//!     .build();
+//! let upper_bound = SerialRunner.run(&plan);
+//! ```
 
 pub mod collect;
-pub mod experiment;
+pub mod eval;
 pub mod plan;
 pub mod report;
 pub mod runner;
 pub mod task;
 
 pub use collect::{CellResult, ExperimentResults, Metric};
-pub use experiment::ExperimentConfig;
-pub use plan::{CellKey, CellQuery, CellSpec, ExperimentPlan, ExperimentPlanBuilder, SampleSpec};
+pub use eval::{BuildCache, CacheStats, EvalPipeline};
+pub use plan::{
+    CellFilter, CellKey, CellQuery, CellSpec, ExperimentPlan, ExperimentPlanBuilder, SampleSpec,
+};
 pub use runner::{
-    execute_spec, CountingSink, NullSink, ParallelRunner, ProgressSink, Runner, SampleRecord,
-    SerialRunner,
+    CountingSink, NullSink, ParallelRunner, ProgressSink, Runner, SampleRecord, SerialRunner,
 };
-pub use task::{
-    all_tasks, evaluate, run_sample, EvalConfig, EvalOutcome, SampleResult, Scoring, Task,
-};
-
-#[allow(deprecated)]
-pub use experiment::run_experiment;
+pub use task::{all_tasks, EvalConfig, EvalOutcome, SampleResult, Scoring, Task};

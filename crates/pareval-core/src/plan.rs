@@ -13,10 +13,11 @@
 
 use crate::task::{all_tasks, EvalConfig, Task};
 use minihpc_lang::model::TranslationPair;
-use pareval_llm::{all_models, cell_feasible, ModelProfile};
+use pareval_llm::{all_models, ModelProfile, SimulatedBackend, TranslationBackend};
 use pareval_translate::Technique;
 use std::borrow::Borrow;
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// Typed key of one experiment cell.
 ///
@@ -77,8 +78,9 @@ impl Ord for dyn CellQuery + '_ {
     }
 }
 
-/// One enumerated cell of the plan: its key, indices into the plan's task
-/// and model tables, and the sampling parameters resolved at plan time.
+/// One enumerated cell of the plan: its key, indices into the plan's task,
+/// model, and backend tables, and the sampling parameters resolved at plan
+/// time.
 #[derive(Debug, Clone)]
 pub struct CellSpec {
     pub key: CellKey,
@@ -86,11 +88,61 @@ pub struct CellSpec {
     pub task: usize,
     /// Index into [`ExperimentPlan::models`].
     pub model: usize,
-    /// Plan-time feasibility (paper-calibrated): infeasible cells get zero
-    /// [`SampleSpec`]s, so a partially-run infeasible cell cannot exist.
+    /// Index into [`ExperimentPlan::backends`] — the translation backend
+    /// this cell runs on (grids can mix backends per cell).
+    pub backend: usize,
+    /// Plan-time feasibility, as judged by the cell's backend (the default
+    /// [`SimulatedBackend`] uses the paper calibration): infeasible cells
+    /// get zero [`SampleSpec`]s, so a partially-run infeasible cell cannot
+    /// exist.
     pub feasible: bool,
     /// Samples scheduled for this cell (0 when infeasible).
     pub samples: u32,
+}
+
+/// A declarative cell predicate for [`ExperimentPlanBuilder::backend_for`]:
+/// `None` fields match anything. Plain data (not a closure) so plans and
+/// builders stay `Clone + Debug`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CellFilter {
+    pub pair: Option<TranslationPair>,
+    pub technique: Option<Technique>,
+    pub model: Option<String>,
+    pub app: Option<String>,
+}
+
+impl CellFilter {
+    /// Matches every cell.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    pub fn pair(mut self, pair: TranslationPair) -> Self {
+        self.pair = Some(pair);
+        self
+    }
+
+    pub fn technique(mut self, technique: Technique) -> Self {
+        self.technique = Some(technique);
+        self
+    }
+
+    pub fn model(mut self, model: impl Into<String>) -> Self {
+        self.model = Some(model.into());
+        self
+    }
+
+    pub fn app(mut self, app: impl Into<String>) -> Self {
+        self.app = Some(app.into());
+        self
+    }
+
+    pub fn matches(&self, key: &CellKey) -> bool {
+        self.pair.is_none_or(|p| p == key.pair)
+            && self.technique.is_none_or(|t| t == key.technique)
+            && self.model.as_deref().is_none_or(|m| m == key.model)
+            && self.app.as_deref().is_none_or(|a| a == key.app)
+    }
 }
 
 /// One schedulable unit of work: a single seeded generation of one cell.
@@ -109,6 +161,7 @@ pub struct ExperimentPlan {
     eval: EvalConfig,
     tasks: Vec<Task>,
     models: Vec<ModelProfile>,
+    backends: Vec<Arc<dyn TranslationBackend>>,
     cells: Vec<CellSpec>,
 }
 
@@ -151,12 +204,22 @@ impl ExperimentPlan {
         &self.cells
     }
 
+    /// The backend table: index 0 is the default, later entries were added
+    /// by [`ExperimentPlanBuilder::backend_for`] overrides.
+    pub fn backends(&self) -> &[Arc<dyn TranslationBackend>] {
+        &self.backends
+    }
+
     pub fn task_of(&self, cell: &CellSpec) -> &Task {
         &self.tasks[cell.task]
     }
 
     pub fn model_of(&self, cell: &CellSpec) -> &ModelProfile {
         &self.models[cell.model]
+    }
+
+    pub fn backend_of(&self, cell: &CellSpec) -> &dyn TranslationBackend {
+        &*self.backends[cell.backend]
     }
 
     /// Total samples a runner will execute (infeasible cells contribute 0).
@@ -202,6 +265,8 @@ pub struct ExperimentPlanBuilder {
     models: Vec<ModelProfile>,
     apps: Vec<String>,
     eval: EvalConfig,
+    backend: Arc<dyn TranslationBackend>,
+    backend_overrides: Vec<(CellFilter, Arc<dyn TranslationBackend>)>,
 }
 
 impl Default for ExperimentPlanBuilder {
@@ -214,6 +279,8 @@ impl Default for ExperimentPlanBuilder {
             models: all_models(),
             apps: Vec::new(),
             eval: default_eval(),
+            backend: Arc::new(SimulatedBackend),
+            backend_overrides: Vec::new(),
         }
     }
 }
@@ -261,6 +328,24 @@ impl ExperimentPlanBuilder {
         self
     }
 
+    /// The default [`TranslationBackend`] for every cell
+    /// ([`SimulatedBackend`] unless set). `Arc<ConcreteBackend>` coerces,
+    /// so `.backend(Arc::new(OracleBackend))` just works; pass a clone of
+    /// an existing handle to share stateful backends (e.g. a recorder)
+    /// with the caller.
+    pub fn backend(mut self, backend: Arc<dyn TranslationBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Route the cells matching `filter` to a different backend — a grid
+    /// can mix backends per cell (e.g. oracle upper-bounds for one model
+    /// column, replay for the rest). Later overrides win on overlap.
+    pub fn backend_for(mut self, filter: CellFilter, backend: Arc<dyn TranslationBackend>) -> Self {
+        self.backend_overrides.push((filter, backend));
+        self
+    }
+
     /// Enumerate the grid. Cell order is the harness's canonical order —
     /// tasks in `(pair, app)` order, then techniques, then models — and two
     /// builds from the same inputs produce identical plans. Duplicate
@@ -272,6 +357,8 @@ impl ExperimentPlanBuilder {
             .filter(|t| self.pairs.contains(&t.pair))
             .filter(|t| self.apps.is_empty() || self.apps.iter().any(|a| a == t.app.name))
             .collect();
+        let mut backends: Vec<Arc<dyn TranslationBackend>> = vec![self.backend];
+        backends.extend(self.backend_overrides.iter().map(|(_, b)| Arc::clone(b)));
         let mut seen = std::collections::BTreeSet::new();
         let mut cells = Vec::with_capacity(tasks.len() * self.techniques.len() * self.models.len());
         for (ti, task) in tasks.iter().enumerate() {
@@ -286,11 +373,24 @@ impl ExperimentPlanBuilder {
                     if !seen.insert(key) {
                         continue;
                     }
-                    let feasible = cell_feasible(task.pair, *technique, model.name, task.app.name);
+                    // Backend table slot: the last matching override, else
+                    // the default at index 0.
+                    let backend = self
+                        .backend_overrides
+                        .iter()
+                        .rposition(|(f, _)| f.matches(&key))
+                        .map_or(0, |i| i + 1);
+                    let feasible = backends[backend].cell_feasible(
+                        task.pair,
+                        *technique,
+                        model.name,
+                        task.app.name,
+                    );
                     cells.push(CellSpec {
                         key,
                         task: ti,
                         model: mi,
+                        backend,
                         feasible,
                         samples: if feasible { self.samples } else { 0 },
                     });
@@ -302,6 +402,7 @@ impl ExperimentPlanBuilder {
             eval: self.eval,
             tasks,
             models: self.models,
+            backends,
             cells,
         }
     }
@@ -362,6 +463,54 @@ mod tests {
             assert_eq!(x.samples, y.samples);
         }
         assert_eq!(a.sample_specs(), b.sample_specs());
+    }
+
+    #[test]
+    fn backend_overrides_route_cells_and_feasibility() {
+        use pareval_llm::OracleBackend;
+
+        // One override: gemini cells run on the oracle, the rest on the
+        // default simulation.
+        let plan = ExperimentPlan::builder()
+            .samples(2)
+            .pairs([TranslationPair::CUDA_TO_OMP_OFFLOAD])
+            .techniques([Technique::NonAgentic])
+            .apps(["XSBench"])
+            .backend_for(
+                CellFilter::any().model("gemini-1.5-flash"),
+                Arc::new(OracleBackend),
+            )
+            .build();
+        assert_eq!(plan.backends().len(), 2);
+        for cell in plan.cells() {
+            if cell.key.model == "gemini-1.5-flash" {
+                assert_eq!(cell.backend, 1);
+                assert_eq!(plan.backend_of(cell).name(), "oracle");
+                // The paper could not run this cell (context window); the
+                // oracle can, so it is feasible and scheduled.
+                assert!(cell.feasible && cell.samples == 2);
+            } else {
+                assert_eq!(cell.backend, 0);
+                assert_eq!(plan.backend_of(cell).name(), "simulated");
+            }
+        }
+    }
+
+    #[test]
+    fn later_backend_overrides_win() {
+        use pareval_llm::{OracleBackend, SimulatedBackend};
+
+        let plan = ExperimentPlan::builder()
+            .samples(1)
+            .pairs([TranslationPair::CUDA_TO_OMP_OFFLOAD])
+            .techniques([Technique::NonAgentic])
+            .apps(["nanoXOR"])
+            .backend_for(CellFilter::any(), Arc::new(OracleBackend))
+            .backend_for(CellFilter::any().app("nanoXOR"), Arc::new(SimulatedBackend))
+            .build();
+        for cell in plan.cells() {
+            assert_eq!(plan.backend_of(cell).name(), "simulated");
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The Runner layer: execution strategies over an [`ExperimentPlan`].
 //!
-//! A [`Runner`] turns a plan's [`SampleSpec`]s into [`SampleRecord`]s and
-//! hands them to the Collector ([`ExperimentResults::from_records`]).
+//! A [`Runner`] turns a plan's [`SampleSpec`](crate::plan::SampleSpec)s
+//! into [`SampleRecord`]s (via a shared [`EvalPipeline`]) and hands them to
+//! the Collector ([`ExperimentResults::from_records`]).
 //! Because every sample is independently seeded, execution order is
 //! irrelevant to the result: the collector restores the canonical
 //! `(CellKey, sample_index)` order before aggregation, so
@@ -14,8 +15,9 @@
 //! not.
 
 use crate::collect::ExperimentResults;
-use crate::plan::{CellKey, ExperimentPlan, SampleSpec};
-use crate::task::{run_sample, SampleResult};
+use crate::eval::EvalPipeline;
+use crate::plan::{CellKey, ExperimentPlan};
+use crate::task::SampleResult;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One completed sample: the cell it belongs to, its index within the cell,
@@ -68,30 +70,26 @@ impl ProgressSink for CountingSink {
 
 /// An execution strategy for a plan.
 pub trait Runner {
-    /// Execute every sample of `plan`, streaming records to `sink`.
-    fn run_with_sink(&self, plan: &ExperimentPlan, sink: &dyn ProgressSink) -> ExperimentResults;
+    /// Execute every sample of `plan` through `pipeline`, streaming records
+    /// to `sink`. The pipeline (and with it the build cache) is shared by
+    /// every worker of this run; pass one in explicitly to inspect
+    /// [`EvalPipeline::cache_stats`] afterwards.
+    fn run_with(
+        &self,
+        plan: &ExperimentPlan,
+        pipeline: &EvalPipeline,
+        sink: &dyn ProgressSink,
+    ) -> ExperimentResults;
+
+    /// Execute with a fresh pipeline built from the plan's
+    /// [`EvalConfig`](crate::task::EvalConfig).
+    fn run_with_sink(&self, plan: &ExperimentPlan, sink: &dyn ProgressSink) -> ExperimentResults {
+        self.run_with(plan, &EvalPipeline::new(plan.eval().clone()), sink)
+    }
 
     /// Execute without observing progress.
     fn run(&self, plan: &ExperimentPlan) -> ExperimentResults {
         self.run_with_sink(plan, &NullSink)
-    }
-}
-
-/// Execute one sample spec of `plan`.
-pub fn execute_spec(plan: &ExperimentPlan, spec: &SampleSpec) -> SampleRecord {
-    let cell = &plan.cells()[spec.cell];
-    let result = run_sample(
-        plan.task_of(cell),
-        cell.key.technique,
-        plan.model_of(cell),
-        plan.seed(),
-        spec.sample_index,
-        plan.eval(),
-    );
-    SampleRecord {
-        key: cell.key,
-        sample_index: spec.sample_index,
-        result,
     }
 }
 
@@ -100,12 +98,17 @@ pub fn execute_spec(plan: &ExperimentPlan, spec: &SampleSpec) -> SampleRecord {
 pub struct SerialRunner;
 
 impl Runner for SerialRunner {
-    fn run_with_sink(&self, plan: &ExperimentPlan, sink: &dyn ProgressSink) -> ExperimentResults {
+    fn run_with(
+        &self,
+        plan: &ExperimentPlan,
+        pipeline: &EvalPipeline,
+        sink: &dyn ProgressSink,
+    ) -> ExperimentResults {
         let records: Vec<SampleRecord> = plan
             .sample_specs()
             .iter()
             .map(|spec| {
-                let record = execute_spec(plan, spec);
+                let record = pipeline.execute(plan, spec);
                 sink.on_sample(&record);
                 record
             })
@@ -118,7 +121,9 @@ impl Runner for SerialRunner {
 ///
 /// Workers emit records to the sink as they complete; the collector then
 /// restores `(CellKey, sample_index)` order, so the returned results are
-/// byte-identical to [`SerialRunner`]'s for the same plan.
+/// byte-identical to [`SerialRunner`]'s for the same plan. All workers
+/// share one [`EvalPipeline`], so a build-cache entry populated by one
+/// shard serves hits to every other.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelRunner {
     workers: usize,
@@ -146,7 +151,12 @@ impl ParallelRunner {
 }
 
 impl Runner for ParallelRunner {
-    fn run_with_sink(&self, plan: &ExperimentPlan, sink: &dyn ProgressSink) -> ExperimentResults {
+    fn run_with(
+        &self,
+        plan: &ExperimentPlan,
+        pipeline: &EvalPipeline,
+        sink: &dyn ProgressSink,
+    ) -> ExperimentResults {
         let specs = plan.sample_specs();
         let workers = self.workers.min(specs.len().max(1));
         let mut records: Vec<SampleRecord> = Vec::with_capacity(specs.len());
@@ -160,7 +170,7 @@ impl Runner for ParallelRunner {
                             .skip(w)
                             .step_by(workers)
                             .map(|spec| {
-                                let record = execute_spec(plan, spec);
+                                let record = pipeline.execute(plan, spec);
                                 sink.on_sample(&record);
                                 record
                             })
@@ -218,5 +228,87 @@ mod tests {
     #[test]
     fn zero_workers_clamps_to_one() {
         assert_eq!(ParallelRunner::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn parallel_workers_share_the_build_cache() {
+        // Same plan, one shared pipeline: identical translated repos recur
+        // across samples (correct translations and same-kind injections are
+        // content-identical), so sharded workers serve each other hits —
+        // and the results still match an uncached serial run byte for byte.
+        let plan = ExperimentPlan::builder()
+            .samples(6)
+            .pairs([TranslationPair::CUDA_TO_OMP_OFFLOAD])
+            .techniques([Technique::NonAgentic])
+            .models(all_models().into_iter().filter(|m| m.name == "o4-mini"))
+            .apps(["nanoXOR"])
+            .build();
+        let pipeline = EvalPipeline::new(plan.eval().clone());
+        let cached = ParallelRunner::new(3).run_with(&plan, &pipeline, &NullSink);
+        let stats = pipeline.cache_stats();
+        assert!(stats.hits > 0, "expected shared hits, got {stats:?}");
+
+        let mut uncached_eval = plan.eval().clone();
+        uncached_eval.build_cache = false;
+        let uncached_pipeline = EvalPipeline::new(uncached_eval);
+        let uncached = SerialRunner.run_with(&plan, &uncached_pipeline, &NullSink);
+        assert_eq!(uncached_pipeline.cache_stats().misses, 0);
+        assert_eq!(cached, uncached);
+        assert_eq!(format!("{cached:?}"), format!("{uncached:?}"));
+    }
+
+    #[test]
+    fn quick_grid_reproduces_cell_shapes() {
+        use crate::task::Scoring;
+        use crate::Metric;
+
+        let plan = ExperimentPlan::builder()
+            .samples(4)
+            .pairs([TranslationPair::CUDA_TO_OMP_OFFLOAD])
+            .techniques([Technique::NonAgentic])
+            .models(
+                all_models()
+                    .into_iter()
+                    .filter(|m| m.name == "o4-mini" || m.name == "gemini-1.5-flash"),
+            )
+            .apps(["nanoXOR", "microXORh", "microXOR"])
+            .build();
+        let results = SerialRunner.run(&plan);
+        let o4 = results
+            .cell(
+                TranslationPair::CUDA_TO_OMP_OFFLOAD,
+                Technique::NonAgentic,
+                "o4-mini",
+                "nanoXOR",
+            )
+            .unwrap();
+        assert!(o4.feasible());
+        assert_eq!(o4.samples(), 4);
+        // Code-only pass implies code-only build, per-sample and aggregate.
+        assert!(
+            o4.successes(Metric::Pass, Scoring::CodeOnly)
+                <= o4.successes(Metric::Build, Scoring::CodeOnly)
+        );
+        assert!(
+            o4.successes(Metric::Pass, Scoring::Overall)
+                <= o4.successes(Metric::Build, Scoring::Overall)
+        );
+        // Overall never exceeds code-only builds (gt build file only helps).
+        assert!(
+            o4.successes(Metric::Build, Scoring::Overall)
+                <= o4.successes(Metric::Build, Scoring::CodeOnly) + 1
+        );
+
+        let gem = results
+            .cell(
+                TranslationPair::CUDA_TO_OMP_OFFLOAD,
+                Technique::NonAgentic,
+                "gemini-1.5-flash",
+                "nanoXOR",
+            )
+            .unwrap();
+        // Gemini's pass@1 is 0 in the paper for this cell.
+        assert_eq!(gem.successes(Metric::Pass, Scoring::CodeOnly), 0);
+        assert_eq!(gem.successes(Metric::Pass, Scoring::Overall), 0);
     }
 }

@@ -1,13 +1,12 @@
-//! Translation tasks and single-sample evaluation.
+//! Translation tasks and the per-sample result/config types.
+//!
+//! Sample *execution* lives in [`crate::eval::EvalPipeline`]; this module
+//! defines what a task is and what evaluating one sample produces.
 
-use minihpc_build::{build_repo, BuildRequest, ErrorCategory};
+use minihpc_build::ErrorCategory;
 use minihpc_lang::model::TranslationPair;
-use minihpc_lang::repo::{FileKind, SourceRepo};
-use minihpc_runtime::{run, RunConfig};
 use pareval_apps::Application;
-use pareval_llm::{ModelProfile, SimulatedModel, TokenUsage};
-use pareval_translate::techniques::{translate_with, TranslationJob};
-use pareval_translate::Technique;
+use pareval_llm::TokenUsage;
 
 /// One of the sixteen translation tasks (paper Sec. 5.2).
 #[derive(Debug, Clone)]
@@ -82,6 +81,10 @@ pub struct EvalConfig {
     /// the default; benches shrink this for wall-clock).
     pub max_cases: usize,
     pub max_steps: u64,
+    /// Memoize build + run outcomes by repository content hash (see
+    /// [`crate::eval::BuildCache`]). On by default; results are
+    /// byte-identical either way, this is purely a wall-clock knob.
+    pub build_cache: bool,
 }
 
 impl Default for EvalConfig {
@@ -89,174 +92,17 @@ impl Default for EvalConfig {
         EvalConfig {
             max_cases: usize::MAX,
             max_steps: 200_000_000,
+            build_cache: true,
         }
-    }
-}
-
-/// Run one sample: translate with the simulated model, then evaluate both
-/// scorings through the real build + run pipeline.
-pub fn run_sample(
-    task: &Task,
-    technique: Technique,
-    model: &ModelProfile,
-    seed: u64,
-    sample: u32,
-    eval: &EvalConfig,
-) -> SampleResult {
-    let source_repo = task
-        .app
-        .repo(task.pair.from)
-        .expect("task implies source repo")
-        .clone();
-    let mut backend = SimulatedModel::new(
-        model.clone(),
-        technique,
-        task.pair,
-        task.app.name,
-        source_repo.clone(),
-        seed,
-        sample,
-    );
-    let job = TranslationJob {
-        app_name: task.app.name,
-        binary: task.app.binary,
-        source_repo: &source_repo,
-        pair: task.pair,
-        cli_spec: &task.app.cli_spec,
-        build_spec: &task.app.build_spec,
-    };
-    let run_result = translate_with(technique, &job, &mut backend);
-    let tokens = backend.usage();
-    let Some(translated) = run_result.repo else {
-        return SampleResult {
-            feasible: false,
-            failure_reason: run_result.failure,
-            code_only: None,
-            overall: None,
-            tokens,
-        };
-    };
-
-    let overall = evaluate(task, &translated, eval);
-    // Code-only: swap in the ground-truth build file.
-    let code_only = match task.app.ground_truth_build.get(&task.pair.to) {
-        Some((gt_path, gt_text)) => {
-            let mut repo = SourceRepo::new();
-            for (p, c) in translated.iter() {
-                if !FileKind::of(p).is_build_file() {
-                    repo.add(p, c);
-                }
-            }
-            repo.add(gt_path.clone(), gt_text.clone());
-            evaluate(task, &repo, eval)
-        }
-        None => overall.clone(),
-    };
-
-    SampleResult {
-        feasible: true,
-        failure_reason: None,
-        code_only: Some(code_only),
-        overall: Some(overall),
-        tokens,
-    }
-}
-
-/// Build + run the app's tests + enforce the paper's correctness criteria
-/// (right answers, requested model, executes on the specified hardware).
-pub fn evaluate(task: &Task, repo: &SourceRepo, eval: &EvalConfig) -> EvalOutcome {
-    let outcome = build_repo(repo, &BuildRequest::new(task.app.binary));
-    let build_log = outcome.log.text();
-    let Some(exe) = outcome.executable else {
-        return EvalOutcome {
-            built: false,
-            passed: false,
-            error_category: outcome.log.first_error_category(),
-            build_log,
-        };
-    };
-    // Target-model check: the translation must actually use the requested
-    // programming model.
-    if !exe.usage.conforms_to(task.pair.to) {
-        return EvalOutcome {
-            built: true,
-            passed: false,
-            error_category: None,
-            build_log,
-        };
-    }
-    let mut passed = true;
-    for case in task.app.tests.iter().take(eval.max_cases) {
-        let expected = task.app.expected_output(case);
-        let mut cfg = RunConfig::with_args(case.args.iter().cloned());
-        cfg.max_steps = eval.max_steps;
-        let r = run(&exe, cfg);
-        let ok = r.error.is_none()
-            && r.exit_code == 0
-            && r.stdout == expected
-            && (!task.pair.to.is_gpu() || r.telemetry.ran_on_device());
-        if !ok {
-            passed = false;
-            break;
-        }
-    }
-    EvalOutcome {
-        built: true,
-        passed,
-        error_category: None,
-        build_log,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pareval_llm::model_by_name;
 
     #[test]
     fn sixteen_tasks() {
         assert_eq!(all_tasks().len(), 16);
-    }
-
-    #[test]
-    fn o4_mini_sample_round_trips() {
-        let task = all_tasks()
-            .into_iter()
-            .find(|t| t.app.name == "nanoXOR" && t.pair == TranslationPair::CUDA_TO_OMP_OFFLOAD)
-            .unwrap();
-        let eval = EvalConfig {
-            max_cases: 1,
-            ..EvalConfig::default()
-        };
-        let model = model_by_name("o4-mini").unwrap();
-        let mut any_pass = false;
-        for s in 0..6 {
-            let r = run_sample(&task, Technique::NonAgentic, &model, 7, s, &eval);
-            assert!(r.feasible);
-            let code = r.code_only.unwrap();
-            // Code-only pass implies code-only build.
-            assert!(!code.passed || code.built);
-            any_pass |= code.passed;
-        }
-        assert!(any_pass, "o4-mini should pass nanoXOR sometimes (0.84)");
-    }
-
-    #[test]
-    fn infeasible_cell_reports_reason() {
-        let task = all_tasks()
-            .into_iter()
-            .find(|t| t.app.name == "XSBench" && t.pair == TranslationPair::CUDA_TO_OMP_OFFLOAD)
-            .unwrap();
-        let model = model_by_name("gemini-1.5-flash").unwrap();
-        let r = run_sample(
-            &task,
-            Technique::NonAgentic,
-            &model,
-            7,
-            0,
-            &EvalConfig::default(),
-        );
-        assert!(!r.feasible);
-        assert!(r.failure_reason.unwrap().contains("context"));
     }
 }

@@ -1,0 +1,120 @@
+//! The pluggable translation-backend layer.
+//!
+//! A [`TranslationBackend`] is an object-safe *factory of attempts*: the
+//! experiment harness threads one through an
+//! `ExperimentPlan`, and for every scheduled sample calls
+//! [`TranslationBackend::start_attempt`] to obtain a fresh [`Attempt`] —
+//! the stateful, single-use object that performs the per-file translations
+//! of that sample. `Attempt` is a [`pareval_translate::Backend`] (the
+//! techniques drive it file by file) extended with the attempt-level
+//! reporting the harness needs: feasibility and token usage.
+//!
+//! Four backends ship with the crate:
+//!
+//! | backend | purpose |
+//! |---|---|
+//! | [`SimulatedBackend`](crate::SimulatedBackend) | paper-calibrated simulation (the default; wraps [`SimulatedModel`](crate::SimulatedModel)) |
+//! | [`OracleBackend`](crate::OracleBackend) | always-correct translations — a pass@1 = 1.0 upper bound |
+//! | [`RecordingBackend`](crate::RecordingBackend) | transparent proxy that serializes every attempt to a [`ReplayStore`](crate::ReplayStore) |
+//! | [`ReplayBackend`](crate::ReplayBackend) | replays a store verbatim for deterministic offline re-evaluation |
+
+use crate::backend::TokenUsage;
+use crate::profiles::ModelProfile;
+use minihpc_lang::model::TranslationPair;
+use minihpc_lang::repo::SourceRepo;
+use pareval_translate::techniques::{Backend, BackendError, BackendOutput, FileJob};
+use pareval_translate::Technique;
+use std::fmt;
+use std::sync::Arc;
+
+/// Everything a backend needs to start one translation attempt (one sample
+/// of one task with one model under one technique).
+///
+/// The source repository is shared by `Arc`, never cloned per attempt: the
+/// harness clones the app's repo once into the `Arc`, and the spec, the
+/// technique's `TranslationJob`, and the attempt all borrow the same
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct AttemptSpec<'a> {
+    pub model: &'a ModelProfile,
+    pub technique: Technique,
+    pub pair: TranslationPair,
+    pub app_name: &'a str,
+    pub source_repo: Arc<SourceRepo>,
+    /// Experiment seed; together with `sample` it fully determines a
+    /// deterministic backend's output.
+    pub seed: u64,
+    /// Index of this generation within its cell (pass@k needs N
+    /// independent samples).
+    pub sample: u32,
+}
+
+/// One in-flight translation attempt: the per-file [`Backend`] a technique
+/// drives, plus the attempt-level reporting the harness reads afterwards.
+pub trait Attempt: Backend {
+    /// Was this configuration runnable at all? (Infeasible attempts return
+    /// an error from every `translate` call.)
+    fn feasible(&self) -> bool;
+
+    /// Token usage accumulated so far over this attempt.
+    fn usage(&self) -> TokenUsage;
+}
+
+// `translate_with` takes `&mut dyn Backend`; delegating through the box
+// lets `&mut Box<dyn Attempt>` coerce to it without dyn upcasting (which
+// would raise the workspace MSRV).
+impl Backend for Box<dyn Attempt + '_> {
+    fn translate(&mut self, job: &FileJob) -> Result<BackendOutput, BackendError> {
+        (**self).translate(job)
+    }
+
+    fn context_limit(&self) -> u64 {
+        (**self).context_limit()
+    }
+
+    fn count_tokens(&self, text: &str) -> u64 {
+        (**self).count_tokens(text)
+    }
+
+    fn verbose_context(&self) -> bool {
+        (**self).verbose_context()
+    }
+}
+
+/// An object-safe family of translation attempts.
+///
+/// Implementations must be `Send + Sync`: a plan holds its backends behind
+/// `Arc` and parallel runners start attempts from many worker threads at
+/// once. Backends with mutable state (e.g. the recording store) use
+/// interior locking.
+pub trait TranslationBackend: Send + Sync {
+    /// Short stable identifier, used in `Debug` output and reports.
+    fn name(&self) -> &'static str;
+
+    /// Start one translation attempt. Called once per scheduled sample;
+    /// every call must return a fresh, independent attempt.
+    fn start_attempt(&self, spec: &AttemptSpec<'_>) -> Box<dyn Attempt>;
+
+    /// Plan-time feasibility of a cell under this backend.
+    ///
+    /// The default is the paper calibration
+    /// ([`crate::calibration::cell_feasible`]): configurations the paper
+    /// could not run (context windows, compute budget) are infeasible.
+    /// Backends with different reach override this — the oracle, for
+    /// example, is limited only by what its transpiler can solve.
+    fn cell_feasible(
+        &self,
+        pair: TranslationPair,
+        technique: Technique,
+        model: &str,
+        app: &str,
+    ) -> bool {
+        crate::calibration::cell_feasible(pair, technique, model, app)
+    }
+}
+
+impl fmt::Debug for dyn TranslationBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TranslationBackend({})", self.name())
+    }
+}

@@ -7,6 +7,7 @@
 //! probabilities; during translation it produces oracle output, applies the
 //! planned mutation to the designated file, and accounts tokens.
 
+use crate::attempt::{Attempt, AttemptSpec, TranslationBackend};
 use crate::calibration::{app_index, paper_cell, CellScores};
 use crate::inject;
 use crate::profiles::{model_index, ModelKind, ModelProfile};
@@ -17,6 +18,7 @@ use pareval_translate::techniques::{Backend, BackendError, BackendOutput, FileJo
 use pareval_translate::{transpile, Technique};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Token usage accumulated over one translation attempt.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,7 +61,7 @@ pub struct SimulatedModel {
     profile: ModelProfile,
     technique: Technique,
     pair: TranslationPair,
-    source_repo: SourceRepo,
+    source_repo: Arc<SourceRepo>,
     plan: AttemptPlan,
     /// Which translated file receives the code mutation (resolved lazily).
     mutation_done: bool,
@@ -69,13 +71,15 @@ pub struct SimulatedModel {
 
 impl SimulatedModel {
     /// Create the attempt. `sample` distinguishes repeated generations of
-    /// the same task (pass@k needs N independent samples).
+    /// the same task (pass@k needs N independent samples). The source repo
+    /// is shared, not cloned — every attempt on the same task borrows the
+    /// same allocation.
     pub fn new(
         profile: ModelProfile,
         technique: Technique,
         pair: TranslationPair,
         app_name: &str,
-        source_repo: SourceRepo,
+        source_repo: Arc<SourceRepo>,
         seed: u64,
         sample: u32,
     ) -> Self {
@@ -199,6 +203,40 @@ impl SimulatedModel {
     }
 }
 
+impl Attempt for SimulatedModel {
+    fn feasible(&self) -> bool {
+        SimulatedModel::feasible(self)
+    }
+
+    fn usage(&self) -> TokenUsage {
+        SimulatedModel::usage(self)
+    }
+}
+
+/// The default [`TranslationBackend`]: paper-calibrated simulation. Each
+/// attempt is a fresh [`SimulatedModel`], so grids run through this backend
+/// are byte-identical to the pre-trait harness for the same seeds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimulatedBackend;
+
+impl TranslationBackend for SimulatedBackend {
+    fn name(&self) -> &'static str {
+        "simulated"
+    }
+
+    fn start_attempt(&self, spec: &AttemptSpec<'_>) -> Box<dyn Attempt> {
+        Box::new(SimulatedModel::new(
+            spec.model.clone(),
+            spec.technique,
+            spec.pair,
+            spec.app_name,
+            Arc::clone(&spec.source_repo),
+            spec.seed,
+            spec.sample,
+        ))
+    }
+}
+
 impl Backend for SimulatedModel {
     fn translate(&mut self, job: &FileJob) -> Result<BackendOutput, BackendError> {
         let AttemptPlan::Run {
@@ -319,13 +357,13 @@ mod tests {
         sample: u32,
     ) -> (pareval_translate::TranslationRun, TokenUsage) {
         let app = pareval_apps::by_name(app_name).unwrap();
-        let repo = app.repo(pair.from).unwrap().clone();
+        let repo = Arc::new(app.repo(pair.from).unwrap().clone());
         let mut backend = SimulatedModel::new(
             model_by_name(model).unwrap(),
             technique,
             pair,
             app_name,
-            repo.clone(),
+            Arc::clone(&repo),
             20240612,
             sample,
         );

@@ -11,12 +11,26 @@
 //! - [`backend`]: [`SimulatedModel`], a [`pareval_translate::Backend`] that
 //!   combines the oracle transpiler with calibrated injection and token
 //!   accounting.
+//! - [`attempt`]: the pluggable backend layer — the object-safe
+//!   [`TranslationBackend`] factory trait and the per-sample [`Attempt`]
+//!   interface the experiment harness drives.
+//! - [`oracle`]: [`OracleBackend`], always-correct translations (a
+//!   pass@1 = 1.0 upper bound the paper cannot measure).
+//! - [`replay`]: [`RecordingBackend`] / [`ReplayBackend`], which serialize
+//!   attempts to an in-memory [`ReplayStore`] for deterministic offline
+//!   re-evaluation.
 
+pub mod attempt;
 pub mod backend;
 pub mod calibration;
 pub mod inject;
+pub mod oracle;
 pub mod profiles;
+pub mod replay;
 
-pub use backend::{SimulatedModel, TokenUsage};
+pub use attempt::{Attempt, AttemptSpec, TranslationBackend};
+pub use backend::{SimulatedBackend, SimulatedModel, TokenUsage};
 pub use calibration::{app_index, cell_feasible, paper_cell, CellScores};
+pub use oracle::OracleBackend;
 pub use profiles::{all_models, model_by_name, model_index, ModelKind, ModelProfile, MODEL_ORDER};
+pub use replay::{AttemptKey, RecordingBackend, ReplayBackend, ReplayStore};

@@ -1,0 +1,406 @@
+//! Record / replay backends: serialize translation attempts to an
+//! in-memory store and play them back verbatim.
+//!
+//! [`RecordingBackend`] is a transparent proxy over any inner
+//! [`TranslationBackend`]: results are identical to the inner backend's,
+//! and every attempt's per-file outputs (and errors, usage, and the two
+//! knobs a technique branches on — context limit and context verbosity)
+//! are committed to a shared [`ReplayStore`] when the attempt finishes.
+//! [`ReplayBackend`] then reproduces those attempts without the inner
+//! backend at all — deterministic offline re-evaluation of a recorded
+//! grid, e.g. to re-score with different eval knobs or to debug error
+//! clusters against frozen translations.
+//!
+//! The store is keyed by [`AttemptKey`] (cell identity plus seed and
+//! sample), so a replayed plan must request the same cells, seed, and
+//! sample counts as the recorded one; replaying an attempt that was never
+//! recorded panics with the missing key.
+
+use crate::attempt::{Attempt, AttemptSpec, TranslationBackend};
+use crate::backend::TokenUsage;
+use minihpc_lang::model::TranslationPair;
+use pareval_translate::techniques::{Backend, BackendError, BackendOutput, FileJob};
+use pareval_translate::Technique;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Identity of one recorded attempt: the cell plus the sampling parameters.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AttemptKey {
+    pub pair: TranslationPair,
+    pub technique: Technique,
+    pub model: String,
+    pub app: String,
+    pub seed: u64,
+    pub sample: u32,
+}
+
+impl AttemptKey {
+    fn of(spec: &AttemptSpec<'_>) -> Self {
+        AttemptKey {
+            pair: spec.pair,
+            technique: spec.technique,
+            model: spec.model.name.to_string(),
+            app: spec.app_name.to_string(),
+            seed: spec.seed,
+            sample: spec.sample,
+        }
+    }
+}
+
+/// Everything needed to replay one attempt byte-for-byte.
+#[derive(Debug, Clone)]
+struct RecordedAttempt {
+    feasible: bool,
+    /// Techniques branch on these two backend properties (chunking and
+    /// top-down context assembly), so replay must report the recorded
+    /// values for the per-file call sequence to line up.
+    context_limit: u64,
+    verbose_context: bool,
+    /// Per-file results in call order.
+    steps: Vec<Result<BackendOutput, BackendError>>,
+    usage: TokenUsage,
+}
+
+/// Shared in-memory store of recorded attempts. Cloning the handle shares
+/// the underlying store (it is an `Arc` internally).
+#[derive(Debug, Clone, Default)]
+pub struct ReplayStore {
+    inner: Arc<Mutex<BTreeMap<AttemptKey, RecordedAttempt>>>,
+}
+
+impl ReplayStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded attempts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Has any feasible attempt of this cell been recorded?
+    pub fn cell_recorded(
+        &self,
+        pair: TranslationPair,
+        technique: Technique,
+        model: &str,
+        app: &str,
+    ) -> bool {
+        self.inner.lock().iter().any(|(k, a)| {
+            a.feasible
+                && k.pair == pair
+                && k.technique == technique
+                && k.model == model
+                && k.app == app
+        })
+    }
+
+    fn commit(&self, key: AttemptKey, attempt: RecordedAttempt) {
+        self.inner.lock().insert(key, attempt);
+    }
+
+    fn get(&self, key: &AttemptKey) -> Option<RecordedAttempt> {
+        self.inner.lock().get(key).cloned()
+    }
+}
+
+/// A transparent proxy that records every attempt of an inner backend.
+pub struct RecordingBackend {
+    inner: Arc<dyn TranslationBackend>,
+    store: ReplayStore,
+}
+
+impl RecordingBackend {
+    pub fn new(inner: impl TranslationBackend + 'static) -> Self {
+        RecordingBackend {
+            inner: Arc::new(inner),
+            store: ReplayStore::new(),
+        }
+    }
+
+    /// A handle to the shared store (keep one before moving the backend
+    /// into a plan; every recorded attempt shows up in it).
+    pub fn store(&self) -> ReplayStore {
+        self.store.clone()
+    }
+
+    /// A replay backend over everything recorded so far (and later —
+    /// the store is shared, not snapshotted).
+    pub fn replay(&self) -> ReplayBackend {
+        ReplayBackend::new(self.store())
+    }
+}
+
+impl TranslationBackend for RecordingBackend {
+    fn name(&self) -> &'static str {
+        "recording"
+    }
+
+    fn start_attempt(&self, spec: &AttemptSpec<'_>) -> Box<dyn Attempt> {
+        Box::new(RecordingAttempt {
+            key: Some(AttemptKey::of(spec)),
+            inner: self.inner.start_attempt(spec),
+            store: self.store.clone(),
+            steps: Vec::new(),
+        })
+    }
+
+    fn cell_feasible(
+        &self,
+        pair: TranslationPair,
+        technique: Technique,
+        model: &str,
+        app: &str,
+    ) -> bool {
+        self.inner.cell_feasible(pair, technique, model, app)
+    }
+}
+
+/// Wraps an inner attempt; commits the transcript to the store on drop
+/// (i.e. when the harness finishes the sample).
+struct RecordingAttempt {
+    key: Option<AttemptKey>,
+    inner: Box<dyn Attempt>,
+    store: ReplayStore,
+    steps: Vec<Result<BackendOutput, BackendError>>,
+}
+
+impl Backend for RecordingAttempt {
+    fn translate(&mut self, job: &FileJob) -> Result<BackendOutput, BackendError> {
+        let result = self.inner.translate(job);
+        self.steps.push(result.clone());
+        result
+    }
+
+    fn context_limit(&self) -> u64 {
+        self.inner.context_limit()
+    }
+
+    fn count_tokens(&self, text: &str) -> u64 {
+        self.inner.count_tokens(text)
+    }
+
+    fn verbose_context(&self) -> bool {
+        self.inner.verbose_context()
+    }
+}
+
+impl Attempt for RecordingAttempt {
+    fn feasible(&self) -> bool {
+        self.inner.feasible()
+    }
+
+    fn usage(&self) -> TokenUsage {
+        self.inner.usage()
+    }
+}
+
+impl Drop for RecordingAttempt {
+    fn drop(&mut self) {
+        let key = self.key.take().expect("recording attempt dropped twice");
+        self.store.commit(
+            key,
+            RecordedAttempt {
+                feasible: self.inner.feasible(),
+                context_limit: self.inner.context_limit(),
+                verbose_context: self.inner.verbose_context(),
+                steps: std::mem::take(&mut self.steps),
+                usage: self.inner.usage(),
+            },
+        );
+    }
+}
+
+/// Replays a [`ReplayStore`] verbatim: per-file outputs, errors, and token
+/// usage all come from the recording, never from a live model.
+pub struct ReplayBackend {
+    store: ReplayStore,
+}
+
+impl ReplayBackend {
+    pub fn new(store: ReplayStore) -> Self {
+        ReplayBackend { store }
+    }
+}
+
+impl TranslationBackend for ReplayBackend {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    /// # Panics
+    ///
+    /// Panics when no attempt was recorded for this spec — a replayed plan
+    /// must match the recorded one in cells, seed, and sample counts.
+    fn start_attempt(&self, spec: &AttemptSpec<'_>) -> Box<dyn Attempt> {
+        let key = AttemptKey::of(spec);
+        let record = self
+            .store
+            .get(&key)
+            .unwrap_or_else(|| panic!("replay: no recorded attempt for {key:?}"));
+        Box::new(ReplayAttempt { record, cursor: 0 })
+    }
+
+    /// A cell is feasible iff a feasible attempt of it was recorded.
+    fn cell_feasible(
+        &self,
+        pair: TranslationPair,
+        technique: Technique,
+        model: &str,
+        app: &str,
+    ) -> bool {
+        self.store.cell_recorded(pair, technique, model, app)
+    }
+}
+
+struct ReplayAttempt {
+    record: RecordedAttempt,
+    cursor: usize,
+}
+
+impl Backend for ReplayAttempt {
+    fn translate(&mut self, job: &FileJob) -> Result<BackendOutput, BackendError> {
+        let step = self.record.steps.get(self.cursor).unwrap_or_else(|| {
+            panic!(
+                "replay: attempt exhausted after {} recorded steps (next request: {})",
+                self.record.steps.len(),
+                job.path
+            )
+        });
+        self.cursor += 1;
+        step.clone()
+    }
+
+    fn context_limit(&self) -> u64 {
+        self.record.context_limit
+    }
+
+    fn count_tokens(&self, text: &str) -> u64 {
+        // Not recorded: techniques never branch on token counts, only on
+        // the context limit and verbosity above.
+        (text.len() as u64).div_ceil(4)
+    }
+
+    fn verbose_context(&self) -> bool {
+        self.record.verbose_context
+    }
+}
+
+impl Attempt for ReplayAttempt {
+    fn feasible(&self) -> bool {
+        self.record.feasible
+    }
+
+    fn usage(&self) -> TokenUsage {
+        self.record.usage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimulatedBackend;
+    use crate::profiles::model_by_name;
+    use pareval_translate::techniques::{translate_with, TranslationJob};
+
+    fn spec_for<'a>(
+        model: &'a crate::ModelProfile,
+        repo: &Arc<minihpc_lang::repo::SourceRepo>,
+        app_name: &'a str,
+        sample: u32,
+    ) -> AttemptSpec<'a> {
+        AttemptSpec {
+            model,
+            technique: Technique::NonAgentic,
+            pair: TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            app_name,
+            source_repo: Arc::clone(repo),
+            seed: 7,
+            sample,
+        }
+    }
+
+    fn translate(
+        backend: &dyn TranslationBackend,
+        spec: &AttemptSpec<'_>,
+    ) -> (pareval_translate::TranslationRun, TokenUsage) {
+        let app = pareval_apps::by_name(spec.app_name).unwrap();
+        let job = TranslationJob {
+            app_name: app.name,
+            binary: app.binary,
+            source_repo: &spec.source_repo,
+            pair: spec.pair,
+            cli_spec: &app.cli_spec,
+            build_spec: &app.build_spec,
+        };
+        let mut attempt = backend.start_attempt(spec);
+        let run = translate_with(spec.technique, &job, &mut attempt);
+        (run, attempt.usage())
+    }
+
+    #[test]
+    fn replay_reproduces_the_recording_byte_for_byte() {
+        let app = pareval_apps::by_name("nanoXOR").unwrap();
+        let repo = Arc::new(
+            app.repo(TranslationPair::CUDA_TO_OMP_OFFLOAD.from)
+                .unwrap()
+                .clone(),
+        );
+        let model = model_by_name("gpt-4o-mini").unwrap();
+        let recording = RecordingBackend::new(SimulatedBackend);
+        let replay = recording.replay();
+
+        for sample in 0..4 {
+            let spec = spec_for(&model, &repo, "nanoXOR", sample);
+            let (recorded, recorded_usage) = translate(&recording, &spec);
+            let (replayed, replayed_usage) = translate(&replay, &spec);
+            assert_eq!(recorded.repo, replayed.repo, "sample {sample}");
+            assert_eq!(recorded.failure, replayed.failure);
+            assert_eq!(recorded_usage, replayed_usage);
+        }
+        assert_eq!(replay.store.len(), 4);
+    }
+
+    #[test]
+    fn recording_is_transparent() {
+        let app = pareval_apps::by_name("microXOR").unwrap();
+        let repo = Arc::new(
+            app.repo(TranslationPair::CUDA_TO_OMP_OFFLOAD.from)
+                .unwrap()
+                .clone(),
+        );
+        let model = model_by_name("o4-mini").unwrap();
+        let recording = RecordingBackend::new(SimulatedBackend);
+        let spec = spec_for(&model, &repo, "microXOR", 2);
+        let (via_recording, usage_rec) = translate(&recording, &spec);
+        let (direct, usage_direct) = translate(&SimulatedBackend, &spec);
+        assert_eq!(via_recording.repo, direct.repo);
+        assert_eq!(usage_rec, usage_direct);
+    }
+
+    #[test]
+    fn replay_marks_unrecorded_cells_infeasible() {
+        let replay = ReplayBackend::new(ReplayStore::new());
+        assert!(!replay.cell_feasible(
+            TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            Technique::NonAgentic,
+            "o4-mini",
+            "nanoXOR"
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "no recorded attempt")]
+    fn replaying_an_unrecorded_attempt_panics() {
+        let model = model_by_name("o4-mini").unwrap();
+        let repo = Arc::new(minihpc_lang::repo::SourceRepo::new());
+        let spec = spec_for(&model, &repo, "nanoXOR", 0);
+        ReplayBackend::new(ReplayStore::new()).start_attempt(&spec);
+    }
+}

@@ -1,0 +1,74 @@
+//! The oracle upper bound: what would a *perfect* translator score on this
+//! harness?
+//!
+//! The paper can only measure real models; the harness can do better. This
+//! example runs the same grid slice twice — once on the default
+//! [`SimulatedBackend`] (paper-calibrated pass rates) and once on
+//! [`OracleBackend`] (always-correct translations) — and prints the
+//! headroom between them per cell. It also shows the [`EvalPipeline`]
+//! build cache at work: oracle output is sample-independent, so after the
+//! first sample of each cell every build + test evaluation is a cache hit.
+//!
+//! Run with: `cargo run --release --example oracle_upper_bound`
+
+use minihpc_lang::model::TranslationPair;
+use pareval_core::{
+    EvalPipeline, ExperimentPlan, ExperimentPlanBuilder, NullSink, ParallelRunner, Runner, Scoring,
+};
+use pareval_llm::{all_models, OracleBackend};
+use std::sync::Arc;
+
+fn slice() -> ExperimentPlanBuilder {
+    ExperimentPlan::builder()
+        .samples(3)
+        .pairs([TranslationPair::CUDA_TO_OMP_OFFLOAD])
+        .models(
+            all_models()
+                .into_iter()
+                .filter(|m| m.name == "o4-mini" || m.name == "gemini-1.5-flash"),
+        )
+        .apps(["nanoXOR", "microXORh", "microXOR"])
+}
+
+fn main() {
+    let runner = ParallelRunner::new(4);
+    let simulated = runner.run(&slice().build());
+
+    // Same grid, oracle backend; keep the pipeline to read cache stats.
+    let oracle_plan = slice().backend(Arc::new(OracleBackend)).build();
+    let pipeline = EvalPipeline::new(oracle_plan.eval().clone());
+    let oracle = runner.run_with(&oracle_plan, &pipeline, &NullSink);
+
+    println!("pass@1, code-only: simulated vs oracle upper bound\n");
+    println!(
+        "{:<18} {:<16} {:<18} {:>9} {:>7} {:>9}",
+        "App", "Model", "Technique", "simulated", "oracle", "headroom"
+    );
+    for (key, cell) in &oracle.cells {
+        if cell.samples() == 0 {
+            continue;
+        }
+        let upper = cell.pass_at_k(Scoring::CodeOnly, 1);
+        let sim = simulated
+            .cell(key.pair, key.technique, key.model, key.app)
+            .filter(|c| c.samples() > 0)
+            .map(|c| c.pass_at_k(Scoring::CodeOnly, 1));
+        let sim_text = sim.map_or_else(|| "  not run".into(), |p| format!("{p:>9.2}"));
+        println!(
+            "{:<18} {:<16} {:<18} {sim_text} {upper:>7.2} {:>9.2}",
+            key.app,
+            key.model,
+            key.technique.name(),
+            upper - sim.unwrap_or(0.0),
+        );
+    }
+
+    let stats = pipeline.cache_stats();
+    println!(
+        "\nbuild cache: {} hits / {} misses ({:.0}% served from cache) — \
+         oracle repos repeat, so only the first sample of a cell builds.",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+}

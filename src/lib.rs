@@ -11,12 +11,16 @@ pub use minihpc_build as build;
 
 /// The most-used items for driving experiments: build an
 /// [`ExperimentPlan`](pareval_core::ExperimentPlan), pick a
+/// [`TranslationBackend`](pareval_llm::TranslationBackend) and a
 /// [`Runner`](pareval_core::Runner), query the collected results.
 pub mod prelude {
     pub use pareval_core::{
-        report, CellKey, CellResult, CellSpec, EvalConfig, ExperimentPlan, ExperimentResults,
-        Metric, NullSink, ParallelRunner, ProgressSink, Runner, SampleRecord, SampleSpec, Scoring,
-        SerialRunner,
+        report, CellFilter, CellKey, CellResult, CellSpec, EvalConfig, EvalPipeline,
+        ExperimentPlan, ExperimentResults, Metric, NullSink, ParallelRunner, ProgressSink, Runner,
+        SampleRecord, SampleSpec, Scoring, SerialRunner,
+    };
+    pub use pareval_llm::{
+        OracleBackend, RecordingBackend, ReplayBackend, SimulatedBackend, TranslationBackend,
     };
 }
 pub use minihpc_lang as lang;
