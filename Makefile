@@ -2,7 +2,7 @@
 # release build, tests, clippy with warnings denied, a format check, docs
 # with warnings denied, and every example executed end to end.
 
-.PHONY: all build test doc fmt fmt-fix clippy bench examples verify clean
+.PHONY: all build test doc fmt fmt-fix clippy bench bench-smoke examples verify clean
 
 all: verify
 
@@ -27,6 +27,15 @@ clippy:
 bench:
 	cargo bench
 
+# Quick-mode figure benches for CI-style smoke runs: small sample counts,
+# and the repair bench drops BENCH_repair.json at the repo root — the
+# machine-readable budget-0-vs-3 wall-time + pass@1 trajectory future PRs
+# compare against.
+bench-smoke:
+	PAREVAL_SAMPLES=2 cargo bench --bench fig2_correctness
+	PAREVAL_SAMPLES=2 PAREVAL_BENCH_JSON=$(CURDIR)/BENCH_repair.json \
+		cargo bench --bench repair_loop
+
 # Every example must run to completion (exit 0); output is discarded.
 examples: build
 	cargo run --release --example quickstart > /dev/null
@@ -35,6 +44,7 @@ examples: build
 	cargo run --release --example error_clustering > /dev/null
 	cargo run --release --example experiment_stream > /dev/null
 	cargo run --release --example oracle_upper_bound > /dev/null
+	cargo run --release --example repair_loop > /dev/null
 
 verify: build test clippy fmt doc examples
 

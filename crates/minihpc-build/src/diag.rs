@@ -88,7 +88,7 @@ pub enum Severity {
 }
 
 /// One toolchain diagnostic.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     pub severity: Severity,
     pub category: ErrorCategory,

@@ -1,0 +1,112 @@
+//! The repair-loop figure: build@1 / pass@1 as a function of repair round,
+//! and the wall-time + quality cost of raising `repair_budget` from 0 to 3.
+//!
+//! Prints the per-round repair report, then benchmarks the same grid slice
+//! at budgets 0, 1, and 3. Also emits a machine-readable
+//! `BENCH_repair.json` (path override: `PAREVAL_BENCH_JSON`) with the
+//! budget-0 vs budget-3 wall time and build@1/pass@1 deltas, so future
+//! changes have a perf trajectory to compare against (`make bench-smoke`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minihpc_lang::model::TranslationPair;
+use pareval_core::{
+    report, EvalConfig, ExperimentPlan, ExperimentResults, Metric, ParallelRunner, Runner, Scoring,
+};
+use pareval_translate::Technique;
+use std::time::Instant;
+
+fn grid(samples: u32, repair_budget: u32) -> ExperimentPlan {
+    ExperimentPlan::builder()
+        .samples(samples)
+        .pairs([TranslationPair::CUDA_TO_OMP_OFFLOAD])
+        .techniques([Technique::NonAgentic, Technique::TopDownAgentic])
+        .apps(["nanoXOR", "microXORh", "microXOR"])
+        .eval(EvalConfig {
+            max_cases: 1,
+            repair_budget,
+            ..EvalConfig::default()
+        })
+        .build()
+}
+
+/// Mean build@1 / pass@1 / tokens over the feasible cells, Overall scoring.
+fn aggregate(results: &ExperimentResults) -> (f64, f64, f64) {
+    let (mut build, mut pass, mut tokens, mut n) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for cell in results.cells.values() {
+        if cell.samples() == 0 {
+            continue;
+        }
+        build += cell.rate(Metric::Build, Scoring::Overall, 1);
+        pass += cell.rate(Metric::Pass, Scoring::Overall, 1);
+        tokens += cell.tokens().mean().unwrap_or(0.0);
+        n += 1.0;
+    }
+    (build / n.max(1.0), pass / n.max(1.0), tokens / n.max(1.0))
+}
+
+fn bench(c: &mut Criterion) {
+    let samples = std::env::var("PAREVAL_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let runner = ParallelRunner::auto();
+
+    // The figure + JSON comparison: budget 0 vs 3, timed end to end.
+    let start = Instant::now();
+    let baseline = runner.run(&grid(samples, 0));
+    let wall0 = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let repaired = runner.run(&grid(samples, 3));
+    let wall3 = start.elapsed().as_secs_f64();
+    println!("{}", report::repair_report(&repaired));
+
+    let (b0, p0, t0) = aggregate(&baseline);
+    let (b3, p3, t3) = aggregate(&repaired);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"repair_loop\",\n",
+            "  \"samples_per_cell\": {samples},\n",
+            "  \"budget_baseline\": 0,\n",
+            "  \"budget_repaired\": 3,\n",
+            "  \"wall_time_s\": {{\"budget0\": {w0:.4}, \"budget3\": {w3:.4}, \"delta\": {wd:.4}}},\n",
+            "  \"build_at_1_overall\": {{\"budget0\": {b0:.4}, \"budget3\": {b3:.4}, \"delta\": {bd:.4}}},\n",
+            "  \"pass_at_1_overall\": {{\"budget0\": {p0:.4}, \"budget3\": {p3:.4}, \"delta\": {pd:.4}}},\n",
+            "  \"mean_tokens_per_sample\": {{\"budget0\": {t0:.1}, \"budget3\": {t3:.1}, \"delta\": {td:.1}}},\n",
+            "  \"max_repair_round\": {r}\n",
+            "}}\n",
+        ),
+        samples = samples,
+        w0 = wall0,
+        w3 = wall3,
+        wd = wall3 - wall0,
+        b0 = b0,
+        b3 = b3,
+        bd = b3 - b0,
+        p0 = p0,
+        p3 = p3,
+        pd = p3 - p0,
+        t0 = t0,
+        t3 = t3,
+        td = t3 - t0,
+        r = repaired.max_repair_round(),
+    );
+    let path =
+        std::env::var("PAREVAL_BENCH_JSON").unwrap_or_else(|_| "BENCH_repair.json".to_string());
+    std::fs::write(&path, json).expect("write BENCH_repair.json");
+    println!("wrote {path}");
+
+    for budget in [0u32, 1, 3] {
+        let plan = grid(samples, budget);
+        c.bench_function(&format!("repair/grid_budget_{budget}"), |b| {
+            b.iter(|| std::hint::black_box(runner.run(&plan)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(5);
+    targets = bench
+}
+criterion_main!(benches);

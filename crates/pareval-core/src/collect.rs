@@ -85,15 +85,91 @@ impl CellResult {
     /// The unbiased build@k / pass@k estimate (paper Eq. 1) for this cell,
     /// recomputed from the retained records. Zero-sample cells score 0.
     ///
-    /// The estimator needs `k <= samples()`; for larger k it saturates to
-    /// 1 when any sample succeeded and 0 otherwise (any k-draw from fewer
-    /// than k samples must repeat one), rather than extrapolating.
+    /// The estimator needs `k <= samples()`; for larger k it saturates —
+    /// 1 when any sample succeeded, 0 otherwise — rather than erroring or
+    /// extrapolating. This is [`pass_at_k`]'s documented edge semantics,
+    /// pinned by a shared property test (`rate_agrees_with_pass_at_k`), so
+    /// the two public call paths cannot drift apart.
     pub fn rate(&self, metric: Metric, scoring: Scoring, k: u32) -> f64 {
         pass_at_k(
             self.samples(),
             self.successes(metric, scoring),
             u64::from(k),
         )
+    }
+
+    /// A record's outcome as of repair round `round` (0 = before any
+    /// repair). Records without a repair trajectory — the build succeeded,
+    /// the cell ran with `repair_budget = 0`, or the sample was infeasible
+    /// — report their final outcome at every round. Rounds beyond the
+    /// recorded trajectory report the last recorded state (once a sample
+    /// stops repairing, its outcome is final).
+    fn outcome_at_round(
+        record: &SampleRecord,
+        scoring: Scoring,
+        round: u32,
+    ) -> Option<&EvalOutcome> {
+        let rounds = &record.result.rounds;
+        if rounds.is_empty() {
+            return Self::outcome(record, scoring);
+        }
+        let r = &rounds[(round as usize).min(rounds.len() - 1)];
+        Some(match scoring {
+            Scoring::CodeOnly => &r.code_only,
+            Scoring::Overall => &r.overall,
+        })
+    }
+
+    /// Successful samples under one metric and scoring, as of repair round
+    /// `round`.
+    pub fn successes_at_round(&self, metric: Metric, scoring: Scoring, round: u32) -> u64 {
+        self.records
+            .iter()
+            .filter_map(|r| Self::outcome_at_round(r, scoring, round))
+            .filter(|o| match metric {
+                Metric::Build => o.built,
+                Metric::Pass => o.passed,
+            })
+            .count() as u64
+    }
+
+    /// build@k / pass@k as of repair round `round` — the Fig. 2 estimator
+    /// over the outcomes each sample had after `round` repair rounds.
+    /// `rate_at_round(m, s, k, budget)` equals [`CellResult::rate`].
+    pub fn rate_at_round(&self, metric: Metric, scoring: Scoring, k: u32, round: u32) -> f64 {
+        pass_at_k(
+            self.samples(),
+            self.successes_at_round(metric, scoring, round),
+            u64::from(k),
+        )
+    }
+
+    /// The deepest repair round any retained sample recorded (0 when no
+    /// sample entered the repair loop).
+    pub fn max_repair_round(&self) -> u32 {
+        self.records
+            .iter()
+            .filter_map(|r| r.result.rounds.last())
+            .map(|round| round.round)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean cumulative tokens per sample as of repair round `round` —
+    /// repair tokens count toward E_kappa (paper Eq. 2), so the round-R
+    /// token cost pairs with the round-R pass rate.
+    pub fn tokens_at_round(&self, round: u32) -> MeanAccumulator {
+        let mut acc = MeanAccumulator::default();
+        for r in &self.records {
+            let rounds = &r.result.rounds;
+            let t = if rounds.is_empty() {
+                r.result.tokens
+            } else {
+                rounds[(round as usize).min(rounds.len() - 1)].tokens
+            };
+            acc.add(t.total() as f64);
+        }
+        acc
     }
 
     pub fn build_at_k(&self, scoring: Scoring, k: u32) -> f64 {
@@ -200,6 +276,16 @@ impl ExperimentResults {
     ) -> Option<&CellResult> {
         self.cells
             .get(&(pair, technique, model, app) as &dyn CellQuery)
+    }
+
+    /// The deepest repair round recorded anywhere in the grid (0 when the
+    /// run had no repair budget or every build succeeded first try).
+    pub fn max_repair_round(&self) -> u32 {
+        self.cells
+            .values()
+            .map(CellResult::max_repair_round)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Fig. 3 input: all failed-build logs across cells, tagged with model
@@ -350,5 +436,102 @@ mod tests {
             ExperimentResults::from_records(&plan, records),
             ExperimentResults::from_records(&plan, shuffled)
         );
+    }
+
+    #[test]
+    fn per_round_accessors_default_to_final_outcome_without_repair() {
+        // A budget-0 run records no rounds; every round must report the
+        // final (only) outcome, and rate_at_round == rate.
+        let plan = one_cell_plan(4);
+        let results = SerialRunner.run(&plan);
+        let cell = results
+            .cell(
+                TranslationPair::CUDA_TO_OMP_OFFLOAD,
+                Technique::NonAgentic,
+                "o4-mini",
+                "nanoXOR",
+            )
+            .unwrap();
+        assert_eq!(cell.max_repair_round(), 0);
+        for round in [0, 1, 5] {
+            for metric in [Metric::Build, Metric::Pass] {
+                for scoring in Scoring::ALL {
+                    assert_eq!(
+                        cell.rate_at_round(metric, scoring, 1, round),
+                        cell.rate(metric, scoring, 1)
+                    );
+                }
+            }
+            assert_eq!(cell.tokens_at_round(round).mean(), cell.tokens().mean());
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::plan::CellKey;
+    use crate::task::{EvalOutcome, SampleResult};
+    use pareval_llm::TokenUsage;
+    use proptest::prelude::*;
+
+    /// A cell whose records succeed exactly where `successes` says.
+    fn forged_cell(successes: &[bool]) -> CellResult {
+        let key = CellKey {
+            pair: TranslationPair::CUDA_TO_OMP_OFFLOAD,
+            technique: Technique::NonAgentic,
+            model: "o4-mini",
+            app: "nanoXOR",
+        };
+        let records = successes
+            .iter()
+            .enumerate()
+            .map(|(i, &ok)| {
+                let outcome = EvalOutcome {
+                    built: ok,
+                    passed: ok,
+                    error_category: None,
+                    build_log: String::new(),
+                    error_diagnostics: Vec::new(),
+                };
+                SampleRecord {
+                    key,
+                    sample_index: i as u32,
+                    result: SampleResult {
+                        feasible: true,
+                        failure_reason: None,
+                        code_only: Some(outcome.clone()),
+                        overall: Some(outcome),
+                        tokens: TokenUsage::default(),
+                        rounds: Vec::new(),
+                    },
+                }
+            })
+            .collect();
+        CellResult {
+            feasible: true,
+            records,
+        }
+    }
+
+    proptest! {
+        /// The shared edge-semantics pin (see `pass_at_k`'s docs): the
+        /// harness-side `CellResult::rate` must agree with the estimator
+        /// for every k — including k > samples(), where both saturate to
+        /// 1 iff any sample succeeded instead of erroring.
+        #[test]
+        fn rate_agrees_with_pass_at_k(
+            pattern in proptest::collection::vec(any::<bool>(), 0..12),
+            k in 1u32..30,
+        ) {
+            let cell = forged_cell(&pattern);
+            let n = cell.samples();
+            let c = cell.successes(Metric::Pass, Scoring::Overall);
+            let v = cell.rate(Metric::Pass, Scoring::Overall, k);
+            prop_assert_eq!(v, pass_at_k(n, c, u64::from(k)));
+            if u64::from(k) > n {
+                prop_assert_eq!(v, if c > 0 { 1.0 } else { 0.0 });
+            }
+        }
     }
 }

@@ -1,5 +1,16 @@
 //! The evaluation pipeline: backend attempt → technique → build → run →
-//! score, with a content-addressed build cache shared across runner shards.
+//! score — plus bounded repair rounds on failed builds — with a
+//! content-addressed build cache shared across runner shards.
+//!
+//! When [`EvalConfig::repair_budget`] > 0 and the Overall build fails, the
+//! pipeline summarizes the categorized diagnostics into a
+//! [`pareval_llm::RepairContext`], calls [`pareval_llm::Attempt::repair`],
+//! overlays the revised files, and re-evaluates (both scorings) — looping
+//! until the build succeeds, the attempt gives up, or the budget is spent.
+//! Every round's evaluation goes through the same build cache, and every
+//! round's outcome and cumulative token cost is retained in
+//! [`SampleResult::rounds`](crate::task::SampleResult::rounds) so reports
+//! can plot quality as a function of repair round.
 //!
 //! [`EvalPipeline`] replaces the free `run_sample`/`evaluate` functions of
 //! the pre-backend harness. It owns the [`EvalConfig`] knobs plus a
@@ -21,11 +32,11 @@
 
 use crate::plan::{ExperimentPlan, SampleSpec};
 use crate::runner::SampleRecord;
-use crate::task::{EvalConfig, EvalOutcome, SampleResult, Task};
+use crate::task::{EvalConfig, EvalOutcome, RepairRound, SampleResult, Task};
 use minihpc_build::{build_repo, BuildRequest};
 use minihpc_lang::repo::{FileKind, SourceRepo};
 use minihpc_runtime::{run, RunConfig};
-use pareval_llm::{AttemptSpec, ModelProfile, TranslationBackend};
+use pareval_llm::{AttemptSpec, ModelProfile, RepairContext, RepairOutcome, TranslationBackend};
 use pareval_translate::techniques::{translate_with, TranslationJob};
 use pareval_translate::Technique;
 use parking_lot::RwLock;
@@ -98,12 +109,25 @@ impl BuildCache {
     /// The full outcome key: repo content plus every input that changes
     /// what `evaluate` returns for it.
     fn key(task: &Task, repo: &SourceRepo, eval: &EvalConfig) -> u128 {
+        // Destructure exhaustively: adding an `EvalConfig` field refuses to
+        // compile until it is hashed below or explicitly exempted, so a new
+        // knob can never silently alias cache entries.
+        let EvalConfig {
+            max_cases,
+            max_steps,
+            // Gates whether a cache exists at all; it cannot alias entries.
+            build_cache: _,
+            repair_budget,
+            repair_diag_lines,
+        } = eval;
         let mut h = ContentHash::new();
         h.write(task.app.binary.as_bytes());
         h.write(task.app.name.as_bytes());
         h.write(task.pair.id().as_bytes());
-        h.write(&eval.max_cases.to_le_bytes());
-        h.write(&eval.max_steps.to_le_bytes());
+        h.write(&max_cases.to_le_bytes());
+        h.write(&max_steps.to_le_bytes());
+        h.write(&repair_budget.to_le_bytes());
+        h.write(&repair_diag_lines.to_le_bytes());
         for (path, contents) in repo.iter() {
             h.write(path.as_bytes());
             h.write(contents.as_bytes());
@@ -219,22 +243,96 @@ impl EvalPipeline {
             build_spec: &task.app.build_spec,
         };
         let run_result = translate_with(technique, &job, &mut attempt);
-        let tokens = attempt.usage();
-        let Some(translated) = run_result.repo else {
+        let Some(mut repo) = run_result.repo else {
             return SampleResult {
                 feasible: false,
                 failure_reason: run_result.failure,
                 code_only: None,
                 overall: None,
-                tokens,
+                tokens: attempt.usage(),
+                rounds: Vec::new(),
             };
         };
 
-        let overall = self.evaluate(task, &translated);
-        // Code-only: swap in the ground-truth build file. When the
-        // translated build file already matches it, the rebuilt repo hashes
-        // to the same key and the Overall evaluation is reused wholesale.
-        let code_only = match task.app.ground_truth_build.get(&task.pair.to) {
+        let mut overall = self.evaluate(task, &repo);
+        let mut code_only = self.code_only_outcome(task, &repo, &overall);
+
+        // The repair loop: while budget remains and the Overall build is
+        // broken, summarize the failure into a RepairContext, re-invoke the
+        // attempt, overlay its revised files, and re-evaluate — every round
+        // through the same build cache (a round that re-emits unchanged
+        // files is a pure cache hit). Rounds snapshot both scorings and the
+        // cumulative token usage, so collectors can report build@1/pass@1
+        // and token cost as a function of repair round.
+        let mut rounds = Vec::new();
+        if self.eval.repair_budget > 0 && !overall.built {
+            rounds.push(RepairRound {
+                round: 0,
+                gave_up: false,
+                code_only: code_only.clone(),
+                overall: overall.clone(),
+                tokens: attempt.usage(),
+            });
+            for round in 1..=self.eval.repair_budget {
+                let ctx = repair_context(&overall, round, self.eval.repair_diag_lines);
+                match attempt.repair(&ctx) {
+                    RepairOutcome::GaveUp => {
+                        rounds.push(RepairRound {
+                            round,
+                            gave_up: true,
+                            code_only: code_only.clone(),
+                            overall: overall.clone(),
+                            tokens: attempt.usage(),
+                        });
+                        break;
+                    }
+                    RepairOutcome::Revised(files) => {
+                        // An empty revision (every fix attempt discarded)
+                        // leaves the repo byte-identical, so re-evaluating
+                        // would rebuild the same outcome; reuse it.
+                        if !files.is_empty() {
+                            for (p, c) in files {
+                                repo.add(p, c);
+                            }
+                            overall = self.evaluate(task, &repo);
+                            code_only = self.code_only_outcome(task, &repo, &overall);
+                        }
+                        rounds.push(RepairRound {
+                            round,
+                            gave_up: false,
+                            code_only: code_only.clone(),
+                            overall: overall.clone(),
+                            tokens: attempt.usage(),
+                        });
+                    }
+                }
+                if overall.built {
+                    break;
+                }
+            }
+        }
+
+        SampleResult {
+            feasible: true,
+            failure_reason: None,
+            code_only: Some(code_only),
+            overall: Some(overall),
+            tokens: attempt.usage(),
+            rounds,
+        }
+    }
+
+    /// Code-only scoring of `translated`: swap in the ground-truth build
+    /// file. When the translated build file already matches it, the rebuilt
+    /// repo hashes to the same key and the Overall evaluation is reused
+    /// wholesale.
+    fn code_only_outcome(
+        &self,
+        task: &Task,
+        translated: &SourceRepo,
+        overall: &EvalOutcome,
+    ) -> EvalOutcome {
+        match task.app.ground_truth_build.get(&task.pair.to) {
             Some((gt_path, gt_text)) => {
                 let mut repo = SourceRepo::new();
                 for (p, c) in translated.iter() {
@@ -246,14 +344,6 @@ impl EvalPipeline {
                 self.evaluate(task, &repo)
             }
             None => overall.clone(),
-        };
-
-        SampleResult {
-            feasible: true,
-            failure_reason: None,
-            code_only: Some(code_only),
-            overall: Some(overall),
-            tokens,
         }
     }
 
@@ -292,6 +382,34 @@ impl EvalPipeline {
     }
 }
 
+/// Summarize a failed build's categorized diagnostics into the structured
+/// feedback one repair round receives: distinct categories and files in
+/// first-occurrence order, plus the first `max_lines` rendered lines.
+fn repair_context(outcome: &EvalOutcome, round: u32, max_lines: usize) -> RepairContext {
+    let mut categories = Vec::new();
+    let mut files = Vec::new();
+    for d in &outcome.error_diagnostics {
+        if !categories.contains(&d.category) {
+            categories.push(d.category);
+        }
+        if !files.contains(&d.file) {
+            files.push(d.file.clone());
+        }
+    }
+    let diagnostics = outcome
+        .error_diagnostics
+        .iter()
+        .take(max_lines)
+        .map(|d| d.to_string())
+        .collect();
+    RepairContext {
+        round,
+        categories,
+        files,
+        diagnostics,
+    }
+}
+
 /// The cold path: build, enforce the target-model rule, run the developer
 /// tests (right answers, on the specified hardware).
 fn evaluate_uncached(task: &Task, repo: &SourceRepo, eval: &EvalConfig) -> EvalOutcome {
@@ -303,6 +421,7 @@ fn evaluate_uncached(task: &Task, repo: &SourceRepo, eval: &EvalConfig) -> EvalO
             passed: false,
             error_category: outcome.log.first_error_category(),
             build_log,
+            error_diagnostics: outcome.log.errors().cloned().collect(),
         };
     };
     // Target-model check: the translation must actually use the requested
@@ -313,6 +432,7 @@ fn evaluate_uncached(task: &Task, repo: &SourceRepo, eval: &EvalConfig) -> EvalO
             passed: false,
             error_category: None,
             build_log,
+            error_diagnostics: Vec::new(),
         };
     }
     let mut passed = true;
@@ -335,6 +455,7 @@ fn evaluate_uncached(task: &Task, repo: &SourceRepo, eval: &EvalConfig) -> EvalO
         passed,
         error_category: None,
         build_log,
+        error_diagnostics: Vec::new(),
     }
 }
 

@@ -16,7 +16,10 @@
 //! 2. **Pipeline** ([`eval`]) — an [`EvalPipeline`] turns one sample spec
 //!    into a [`SampleResult`]: backend attempt → technique → build → run →
 //!    score, through a content-addressed [`BuildCache`] shared by every
-//!    worker of a run.
+//!    worker of a run. With [`EvalConfig::repair_budget`] > 0, failed
+//!    builds get bounded repair rounds — categorized diagnostics fed back
+//!    to the attempt, revised files re-evaluated — tracked per round in
+//!    [`RepairRound`].
 //! 3. **Runner** ([`runner`]) — a [`Runner`] executes the plan:
 //!    [`SerialRunner`] on one thread, [`ParallelRunner`] sharded across
 //!    scoped workers. Both stream [`SampleRecord`]s to a [`ProgressSink`]
@@ -66,4 +69,4 @@ pub use plan::{
 pub use runner::{
     CountingSink, NullSink, ParallelRunner, ProgressSink, Runner, SampleRecord, SerialRunner,
 };
-pub use task::{all_tasks, EvalConfig, EvalOutcome, SampleResult, Scoring, Task};
+pub use task::{all_tasks, EvalConfig, EvalOutcome, RepairRound, SampleResult, Scoring, Task};

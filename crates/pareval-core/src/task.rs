@@ -3,7 +3,7 @@
 //! Sample *execution* lives in [`crate::eval::EvalPipeline`]; this module
 //! defines what a task is and what evaluating one sample produces.
 
-use minihpc_build::ErrorCategory;
+use minihpc_build::{Diagnostic, ErrorCategory};
 use minihpc_lang::model::TranslationPair;
 use pareval_apps::Application;
 use pareval_llm::TokenUsage;
@@ -61,6 +61,28 @@ pub struct EvalOutcome {
     pub passed: bool,
     pub error_category: Option<ErrorCategory>,
     pub build_log: String,
+    /// The structured error diagnostics of a failed build (empty when the
+    /// build succeeded) — what the repair loop summarizes into a
+    /// [`pareval_llm::RepairContext`] instead of re-parsing the log text.
+    pub error_diagnostics: Vec<Diagnostic>,
+}
+
+/// Outcome of one repair round of one sample (see
+/// [`EvalConfig::repair_budget`]). Round entries exist only when the repair
+/// loop engaged: entry 0 snapshots the pre-repair state, entry `i` the
+/// state after repair round `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairRound {
+    /// 0 for the pre-repair snapshot, then the 1-based repair round.
+    pub round: u32,
+    /// The attempt declined this round: no files were emitted and no
+    /// re-evaluation ran (the outcomes repeat the previous round's).
+    pub gave_up: bool,
+    pub code_only: EvalOutcome,
+    pub overall: EvalOutcome,
+    /// Cumulative attempt token usage as of the end of this round — repair
+    /// tokens count toward E_kappa (paper Eq. 2).
+    pub tokens: TokenUsage,
 }
 
 /// Outcome of one full sample (one generation).
@@ -69,9 +91,14 @@ pub struct SampleResult {
     /// `None` when the configuration could not run (context/budget).
     pub feasible: bool,
     pub failure_reason: Option<String>,
+    /// Final outcome under each scoring (post-repair when rounds ran).
     pub code_only: Option<EvalOutcome>,
     pub overall: Option<EvalOutcome>,
+    /// Total attempt usage including every repair round.
     pub tokens: TokenUsage,
+    /// Per-round trajectory; empty unless a failed build met a non-zero
+    /// [`EvalConfig::repair_budget`].
+    pub rounds: Vec<RepairRound>,
 }
 
 /// Evaluation knobs.
@@ -85,6 +112,15 @@ pub struct EvalConfig {
     /// [`crate::eval::BuildCache`]). On by default; results are
     /// byte-identical either way, this is purely a wall-clock knob.
     pub build_cache: bool,
+    /// Maximum repair rounds after a failed build: the pipeline summarizes
+    /// the build log into a [`pareval_llm::RepairContext`], re-invokes the
+    /// attempt, and re-evaluates, until the build succeeds, the attempt
+    /// gives up, or the budget is spent. 0 (the default) reproduces the
+    /// paper's one-shot harness exactly.
+    pub repair_budget: u32,
+    /// How many diagnostic lines of the failed build each repair round's
+    /// context carries (the model's feedback prompt budget).
+    pub repair_diag_lines: usize,
 }
 
 impl Default for EvalConfig {
@@ -93,6 +129,8 @@ impl Default for EvalConfig {
             max_cases: usize::MAX,
             max_steps: 200_000_000,
             build_cache: true,
+            repair_budget: 0,
+            repair_diag_lines: 8,
         }
     }
 }

@@ -12,11 +12,35 @@ pub enum Assignment {
 
 /// Run DBSCAN over points with Euclidean distance.
 pub fn dbscan(points: &[Vec<f64>], eps: f64, min_pts: usize) -> Vec<Assignment> {
+    dbscan_counted(points, eps, min_pts).0
+}
+
+/// Work counters of one [`dbscan_counted`] run; the regression tests assert
+/// the expansion stays linear without timing anything.
+#[derive(Debug, Default, Clone, Copy)]
+struct ExpandStats {
+    /// O(n) neighborhood scans performed.
+    neighbor_scans: usize,
+    /// Total points pushed onto expansion queues.
+    enqueued: usize,
+}
+
+/// The instrumented core: every point is scanned at most once and enqueued
+/// at most once per cluster, so `neighbor_scans <= n` and `enqueued <= 2n`.
+/// (The pre-fix expansion extended the queue with the *whole* neighborhood
+/// of every core point — on a dense blob that is O(n) duplicates per point,
+/// an O(n²) queue.)
+fn dbscan_counted(points: &[Vec<f64>], eps: f64, min_pts: usize) -> (Vec<Assignment>, ExpandStats) {
     let n = points.len();
     let mut labels = vec![None::<Assignment>; n];
     let mut cluster = 0usize;
+    let mut stats = ExpandStats::default();
+    // One shared dedup buffer; each expansion resets only the bits it set,
+    // so many small clusters don't degrade into O(n × clusters) zeroing.
+    let mut queued = vec![false; n];
 
-    let neighbors = |i: usize| -> Vec<usize> {
+    let neighbors = |i: usize, stats: &mut ExpandStats| -> Vec<usize> {
+        stats.neighbor_scans += 1;
         (0..n)
             .filter(|&j| euclidean(&points[i], &points[j]) <= eps)
             .collect()
@@ -26,13 +50,19 @@ pub fn dbscan(points: &[Vec<f64>], eps: f64, min_pts: usize) -> Vec<Assignment> 
         if labels[i].is_some() {
             continue;
         }
-        let nbrs = neighbors(i);
+        let nbrs = neighbors(i, &mut stats);
         if nbrs.len() < min_pts {
             labels[i] = Some(Assignment::Noise);
             continue;
         }
         labels[i] = Some(Assignment::Cluster(cluster));
-        // Expand the cluster from the seed set.
+        // Expand the cluster from the seed set. `queued` dedups the queue:
+        // a point enters at most once per cluster, and only while it can
+        // still change state (unlabeled, or noise to relabel as border).
+        for &q in &nbrs {
+            queued[q] = true;
+        }
+        stats.enqueued += nbrs.len();
         let mut queue: Vec<usize> = nbrs;
         let mut qi = 0;
         while qi < queue.len() {
@@ -46,16 +76,27 @@ pub fn dbscan(points: &[Vec<f64>], eps: f64, min_pts: usize) -> Vec<Assignment> 
                 Some(_) => continue,
                 None => {
                     labels[j] = Some(Assignment::Cluster(cluster));
-                    let jn = neighbors(j);
+                    let jn = neighbors(j, &mut stats);
                     if jn.len() >= min_pts {
-                        queue.extend(jn);
+                        for q in jn {
+                            let expandable = matches!(labels[q], None | Some(Assignment::Noise));
+                            if !queued[q] && expandable {
+                                queued[q] = true;
+                                stats.enqueued += 1;
+                                queue.push(q);
+                            }
+                        }
                     }
                 }
             }
         }
+        // Every queued point was set above; clear exactly those bits.
+        for q in queue {
+            queued[q] = false;
+        }
         cluster += 1;
     }
-    labels.into_iter().map(|l| l.unwrap()).collect()
+    (labels.into_iter().map(|l| l.unwrap()).collect(), stats)
 }
 
 /// Number of clusters in an assignment.
@@ -129,6 +170,31 @@ mod tests {
         let labels = dbscan(&[], 1.0, 3);
         assert!(labels.is_empty());
         assert_eq!(n_clusters(&labels), 0);
+    }
+
+    #[test]
+    fn dense_blob_expansion_stays_linear() {
+        // Regression: a single 1k-point blob where every point neighbors
+        // every other. The unfiltered `queue.extend(jn)` enqueued the full
+        // O(n) neighborhood of each core point — an O(n²) queue (~10⁶
+        // entries here). With dedup, each point is enqueued at most once
+        // per cluster and its neighborhood scanned at most once, which the
+        // work counters assert without timing anything.
+        let n = 1000;
+        let pts = blob((0.0, 0.0), n, 0.4);
+        let (labels, stats) = dbscan_counted(&pts, 1.0, 4);
+        assert_eq!(n_clusters(&labels), 1);
+        assert!(labels.iter().all(|l| matches!(l, Assignment::Cluster(0))));
+        assert!(
+            stats.enqueued <= 2 * n,
+            "queue must stay linear: {} pushes for {n} points",
+            stats.enqueued
+        );
+        assert!(
+            stats.neighbor_scans <= n,
+            "each point scanned at most once: {} scans",
+            stats.neighbor_scans
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::backend::TokenUsage;
 use crate::profiles::ModelProfile;
+use minihpc_build::ErrorCategory;
 use minihpc_lang::model::TranslationPair;
 use minihpc_lang::repo::SourceRepo;
 use pareval_translate::techniques::{Backend, BackendError, BackendOutput, FileJob};
@@ -49,6 +50,62 @@ pub struct AttemptSpec<'a> {
     pub sample: u32,
 }
 
+/// A structured summary of a failed build, handed back to the attempt for
+/// one repair round (paper Fig. 3: build failures are categorized, so the
+/// feedback a model receives is structured, not free text).
+///
+/// The harness (pareval-core's `EvalPipeline`) produces one per round from
+/// the build log's categorized diagnostics: the distinct error categories,
+/// the files they point at, and the first N rendered diagnostic lines —
+/// the same prompt budget a real agentic loop would spend on compiler
+/// output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairContext {
+    /// 1-based repair round (round 0 is the original translation).
+    pub round: u32,
+    /// Distinct error categories, in first-occurrence order.
+    pub categories: Vec<ErrorCategory>,
+    /// Distinct files with errors, in first-occurrence order.
+    pub files: Vec<String>,
+    /// The first N rendered diagnostic lines of the failed build.
+    pub diagnostics: Vec<String>,
+}
+
+impl RepairContext {
+    /// The feedback text a backend "reads" this round — the token-accounting
+    /// basis for repair input cost.
+    pub fn prompt_text(&self) -> String {
+        let mut out = String::from("The build failed. Fix the following and re-emit the files.\n");
+        for c in &self.categories {
+            out.push_str("category: ");
+            out.push_str(c.label());
+            out.push('\n');
+        }
+        for f in &self.files {
+            out.push_str("file: ");
+            out.push_str(f);
+            out.push('\n');
+        }
+        for d in &self.diagnostics {
+            out.push_str(d);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// What one repair round produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepairOutcome {
+    /// Revised `(path, contents)` files to overlay on the translated repo;
+    /// the harness re-evaluates the result. May re-emit unchanged (still
+    /// broken) text — the re-evaluation is then a build-cache hit.
+    Revised(Vec<(String, String)>),
+    /// The attempt declines this round (nothing it knows how to fix);
+    /// the harness stops the loop even if budget remains.
+    GaveUp,
+}
+
 /// One in-flight translation attempt: the per-file [`Backend`] a technique
 /// drives, plus the attempt-level reporting the harness reads afterwards.
 pub trait Attempt: Backend {
@@ -58,6 +115,19 @@ pub trait Attempt: Backend {
 
     /// Token usage accumulated so far over this attempt.
     fn usage(&self) -> TokenUsage;
+
+    /// One bounded repair round: given a structured summary of the failed
+    /// build, emit revised files (or decline). Called by the harness after
+    /// a failed build while `EvalConfig::repair_budget` rounds remain;
+    /// tokens spent here accumulate into [`Attempt::usage`] (Eq. 2: repair
+    /// tokens count toward E_kappa).
+    ///
+    /// The default declines every round — backends without a repair story
+    /// behave exactly as before the repair loop existed.
+    fn repair(&mut self, ctx: &RepairContext) -> RepairOutcome {
+        let _ = ctx;
+        RepairOutcome::GaveUp
+    }
 }
 
 // `translate_with` takes `&mut dyn Backend`; delegating through the box

@@ -7,7 +7,7 @@
 //! probabilities; during translation it produces oracle output, applies the
 //! planned mutation to the designated file, and accounts tokens.
 
-use crate::attempt::{Attempt, AttemptSpec, TranslationBackend};
+use crate::attempt::{Attempt, AttemptSpec, RepairContext, RepairOutcome, TranslationBackend};
 use crate::calibration::{app_index, paper_cell, CellScores};
 use crate::inject;
 use crate::profiles::{model_index, ModelKind, ModelProfile};
@@ -56,6 +56,20 @@ enum AttemptPlan {
     },
 }
 
+/// One injected-and-still-unfixed build error this attempt knows about:
+/// what category it planted, where, and both the broken text it emitted and
+/// the clean text a successful repair round restores.
+#[derive(Debug, Clone)]
+struct PendingRepair {
+    category: ErrorCategory,
+    path: String,
+    broken: String,
+    clean: String,
+    /// Code injection (vs build-file): a successful repair of code re-rolls
+    /// functional correctness — compiling is not passing.
+    is_code: bool,
+}
+
 /// A single simulated translation attempt.
 pub struct SimulatedModel {
     profile: ModelProfile,
@@ -65,6 +79,16 @@ pub struct SimulatedModel {
     plan: AttemptPlan,
     /// Which translated file receives the code mutation (resolved lazily).
     mutation_done: bool,
+    /// Build errors this attempt injected and has not yet repaired.
+    pending: Vec<PendingRepair>,
+    /// Per-path text emitted before an injection lands on that path —
+    /// chunked files mutate mid-stream, and a repair must re-emit the
+    /// whole reassembled file, not just the chunks from the injection on.
+    prior_chunks: Vec<(String, String)>,
+    /// P(tests pass | code builds) for this cell — what a successfully
+    /// repaired code file re-rolls against (fixing the compile error does
+    /// not grant correctness beyond the model's calibrated skill).
+    p_pass_given_build: f64,
     usage: TokenUsage,
     rng: StdRng,
 }
@@ -92,6 +116,11 @@ impl SimulatedModel {
                 ^ (aidx as u64) << 40,
         );
         let plan = Self::sample_plan(&profile, pair, &cell, &mut rng);
+        let p_pass_given_build = match cell.build_code {
+            Some(b) if b > 0.0 => (cell.pass_code.unwrap_or(0.0) / b).clamp(0.0, 1.0),
+            // build@1 = 0 cells give no evidence the model's code can pass.
+            _ => 0.0,
+        };
         SimulatedModel {
             profile,
             technique,
@@ -99,6 +128,9 @@ impl SimulatedModel {
             source_repo,
             plan,
             mutation_done: false,
+            pending: Vec::new(),
+            prior_chunks: Vec::new(),
+            p_pass_given_build,
             usage: TokenUsage::default(),
             rng,
         }
@@ -180,6 +212,26 @@ impl SimulatedModel {
             .unwrap_or(ErrorCategory::CodeSyntax)
     }
 
+    /// Charge `emitted` characters of generated text to the output budget:
+    /// the model's tokenizer rate times its verbosity/reasoning multiplier,
+    /// with seeded ±10% noise (Eq. 2 accounting, shared by translation and
+    /// repair so the two cannot drift).
+    fn charge_output(&mut self, emitted: usize) {
+        let base_out = ((emitted as f64) * self.profile.tokens_per_char).ceil() as u64;
+        let noise = 0.9 + self.rng.gen::<f64>() * 0.2;
+        self.usage.output +=
+            ((base_out as f64) * self.profile.output_multiplier * noise).round() as u64;
+    }
+
+    /// Remove and return the text this attempt emitted for `path` before
+    /// an injection landed on it (empty for unchunked files).
+    fn take_prior_chunks(&mut self, path: &str) -> String {
+        match self.prior_chunks.iter().position(|(p, _)| p == path) {
+            Some(i) => self.prior_chunks.swap_remove(i).1,
+            None => String::new(),
+        }
+    }
+
     /// Is this translated file the one that should receive the code
     /// mutation? (The file carrying the parallel construct, approximated by
     /// content inspection of the oracle output.)
@@ -210,6 +262,75 @@ impl Attempt for SimulatedModel {
 
     fn usage(&self) -> TokenUsage {
         SimulatedModel::usage(self)
+    }
+
+    /// Calibrated repair: for every injected error whose category shows up
+    /// in the round's diagnostics, roll the model's per-category fix
+    /// probability. A successful roll re-emits the clean text; a failed
+    /// roll burns the tokens of an unhelpful patch but emits nothing, so
+    /// the repo is untouched and the re-evaluation is a build-cache hit.
+    /// (Re-emitting the remembered broken text instead would clobber any
+    /// damage a technique applied *after* this backend ran — SWE-agent's
+    /// tab corruption — curing it by accident.) Errors the attempt did not
+    /// inject cannot be fixed; with nothing addressable the model gives
+    /// up.
+    fn repair(&mut self, ctx: &RepairContext) -> RepairOutcome {
+        // The model reads the structured feedback whether or not it helps.
+        self.usage.input += self.profile.count_tokens(&ctx.prompt_text());
+        let addressable = self
+            .pending
+            .iter()
+            .any(|p| ctx.categories.contains(&p.category));
+        if !addressable {
+            return RepairOutcome::GaveUp;
+        }
+        let mut files = Vec::new();
+        let mut emitted = 0usize;
+        let mut i = 0;
+        while i < self.pending.len() {
+            if !ctx.categories.contains(&self.pending[i].category) {
+                // Not visible in this round's log (e.g. a code error hiding
+                // behind a build-file failure): leave it for a later round.
+                i += 1;
+                continue;
+            }
+            let p_fix = self
+                .profile
+                .repair_fix_probability(self.pending[i].category);
+            if self.rng.gen::<f64>() < p_fix {
+                let fixed = self.pending.remove(i);
+                // A repaired code file compiles, but correctness re-rolls
+                // the cell's P(pass | build): fixing the compile error does
+                // not grant skill the calibration says the model lacks.
+                let mut text = if fixed.is_code && self.rng.gen::<f64>() >= self.p_pass_given_build
+                {
+                    let kind = Self::pick_functional(self.pair, &mut self.rng);
+                    inject::inject_functional_error(&fixed.clean, kind).unwrap_or(fixed.clean)
+                } else {
+                    fixed.clean
+                };
+                // Repair writes go through the same editor as the original
+                // translation: SWE-agent normalizes tabs on *every* write
+                // (paper Sec. 3.3), so a simulated repair can never hand
+                // back a tab-intact Makefile that editor would not produce.
+                // (The oracle's perfect repair deliberately bypasses this —
+                // it is the idealized upper bound.)
+                if self.technique == Technique::SweAgent
+                    && FileKind::of(&fixed.path) == FileKind::Makefile
+                {
+                    text = text.replace('\t', "    ");
+                }
+                emitted += text.len();
+                files.push((fixed.path, text));
+            } else {
+                // Failed attempt: the patch was generated (and is paid
+                // for) but discarded, leaving the repo untouched.
+                emitted += self.pending[i].broken.len();
+                i += 1;
+            }
+        }
+        self.charge_output(emitted);
+        RepairOutcome::Revised(files)
     }
 }
 
@@ -261,9 +382,12 @@ impl Backend for SimulatedModel {
             let (path, mut text) =
                 transpile::transpile_build_file(self.pair, &job.binary, &sources);
             if let Some(category) = buildfile_error {
-                if let Some(mutated) = inject::inject_buildfile_error(&text, category, self.pair.to)
+                let clean = text.clone();
+                let applied = if let Some(mutated) =
+                    inject::inject_buildfile_error(&text, category, self.pair.to)
                 {
                     text = mutated;
+                    Some(category)
                 } else if let Some(mutated) = inject::inject_buildfile_error(
                     &text,
                     ErrorCategory::MakefileMissingTarget,
@@ -272,6 +396,18 @@ impl Backend for SimulatedModel {
                     // Fallback anchor when the sampled category does not
                     // apply to this build system.
                     text = mutated;
+                    Some(ErrorCategory::MakefileMissingTarget)
+                } else {
+                    None
+                };
+                if let Some(category) = applied {
+                    self.pending.push(PendingRepair {
+                        category,
+                        path: path.clone(),
+                        broken: text.clone(),
+                        clean,
+                        is_code: false,
+                    });
                 }
             }
             BackendOutput {
@@ -283,6 +419,7 @@ impl Backend for SimulatedModel {
                 transpile::transpile_file(&self.source_repo, &job.path, &job.contents, self.pair);
             let mut text = r.text;
             let apply_here = self.is_mutation_target(&text);
+            let mut injected_now = false;
             match &code {
                 CodePlan::Correct => {}
                 // Functional errors hit *every* file carrying the parallel
@@ -297,17 +434,53 @@ impl Backend for SimulatedModel {
                 }
                 // Build-breaking errors hit one file (the first eligible).
                 CodePlan::BuildError(category) if apply_here && !self.mutation_done => {
-                    if let Some(m) = inject::inject_code_error(&text, *category) {
+                    let clean = text.clone();
+                    let applied = if let Some(m) = inject::inject_code_error(&text, *category) {
                         text = m;
-                        self.mutation_done = true;
+                        Some(*category)
                     } else if let Some(m) =
                         inject::inject_code_error(&text, ErrorCategory::CodeSyntax)
                     {
                         text = m;
+                        Some(ErrorCategory::CodeSyntax)
+                    } else {
+                        None
+                    };
+                    if let Some(category) = applied {
                         self.mutation_done = true;
+                        injected_now = true;
+                        // Chunks of this file emitted before the injection
+                        // landed are part of the merged file too.
+                        let prior = self.take_prior_chunks(&r.path);
+                        self.pending.push(PendingRepair {
+                            category,
+                            path: r.path.clone(),
+                            broken: format!("{prior}{text}"),
+                            clean: format!("{prior}{clean}"),
+                            is_code: true,
+                        });
                     }
                 }
                 _ => {}
+            }
+            // A pending repair must hold the *whole* file as the technique
+            // will reassemble it, so chunks around the injected one are
+            // tracked as well: earlier chunks accumulate in `prior_chunks`
+            // until an injection lands on the file, later chunks extend the
+            // pending entry directly.
+            if !injected_now {
+                if let Some(p) = self.pending.iter_mut().find(|p| p.path == r.path) {
+                    p.broken.push_str(&text);
+                    p.clean.push_str(&text);
+                } else if matches!(code, CodePlan::BuildError(_)) && !self.mutation_done {
+                    if let Some((_, prior)) =
+                        self.prior_chunks.iter_mut().find(|(p, _)| *p == r.path)
+                    {
+                        prior.push_str(&text);
+                    } else {
+                        self.prior_chunks.push((r.path.clone(), text.clone()));
+                    }
+                }
             }
             let summary = format!(
                 "translated {} to {} ({} lines)",
@@ -322,10 +495,7 @@ impl Backend for SimulatedModel {
         };
 
         let emitted: usize = output.files.iter().map(|(_, c)| c.len()).sum();
-        let base_out = self.profile.count_tokens(&"x".repeat(emitted));
-        let noise = 0.9 + self.rng.gen::<f64>() * 0.2;
-        self.usage.output +=
-            ((base_out as f64) * self.profile.output_multiplier * noise).round() as u64;
+        self.charge_output(emitted);
         Ok(output)
     }
 
@@ -476,6 +646,75 @@ mod tests {
             qwq.output,
             gem.output
         );
+    }
+
+    #[test]
+    fn repair_rounds_eventually_fix_injected_build_errors() {
+        use crate::attempt::{RepairContext, RepairOutcome};
+        use minihpc_build::ErrorCategory;
+
+        // gemini nanoXOR offload: build_code = 1.0 but build_overall =
+        // 0.58, so broken build files are common. Find a sample whose
+        // translation fails to build, then drive repair rounds by hand.
+        let app = pareval_apps::by_name("nanoXOR").unwrap();
+        let repo = Arc::new(
+            app.repo(TranslationPair::CUDA_TO_OMP_OFFLOAD.from)
+                .unwrap()
+                .clone(),
+        );
+        let mut fixed_any = false;
+        for sample in 0..12 {
+            let mut backend = SimulatedModel::new(
+                model_by_name("gemini-1.5-flash").unwrap(),
+                Technique::NonAgentic,
+                TranslationPair::CUDA_TO_OMP_OFFLOAD,
+                "nanoXOR",
+                Arc::clone(&repo),
+                20240612,
+                sample,
+            );
+            let job = TranslationJob {
+                app_name: app.name,
+                binary: app.binary,
+                source_repo: &repo,
+                pair: TranslationPair::CUDA_TO_OMP_OFFLOAD,
+                cli_spec: &app.cli_spec,
+                build_spec: &app.build_spec,
+            };
+            let run = translate_with(Technique::NonAgentic, &job, &mut backend);
+            let mut translated = run.repo.unwrap();
+            let mut out = build_repo(&translated, &BuildRequest::new("nanoxor"));
+            if out.succeeded() {
+                continue;
+            }
+            let before = backend.usage();
+            for round in 1..=6u32 {
+                let categories: Vec<ErrorCategory> = out.log.errors().map(|d| d.category).collect();
+                let files: Vec<String> = out.log.errors().map(|d| d.file.clone()).collect();
+                let ctx = RepairContext {
+                    round,
+                    categories,
+                    files,
+                    diagnostics: out.log.errors().map(|d| d.to_string()).collect(),
+                };
+                match backend.repair(&ctx) {
+                    RepairOutcome::GaveUp => break,
+                    RepairOutcome::Revised(revised) => {
+                        for (p, c) in revised {
+                            translated.add(p, c);
+                        }
+                    }
+                }
+                out = build_repo(&translated, &BuildRequest::new("nanoxor"));
+                if out.succeeded() {
+                    fixed_any = true;
+                    break;
+                }
+            }
+            // Repair rounds must cost tokens whether or not they succeed.
+            assert!(backend.usage().input > before.input);
+        }
+        assert!(fixed_any, "no failing sample was repaired in 6 rounds");
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   accounting.
 //! - [`attempt`]: the pluggable backend layer — the object-safe
 //!   [`TranslationBackend`] factory trait and the per-sample [`Attempt`]
-//!   interface the experiment harness drives.
+//!   interface the experiment harness drives, including the bounded
+//!   repair-round API ([`RepairContext`] → [`Attempt::repair`] →
+//!   [`RepairOutcome`]).
 //! - [`oracle`]: [`OracleBackend`], always-correct translations (a
 //!   pass@1 = 1.0 upper bound the paper cannot measure).
 //! - [`replay`]: [`RecordingBackend`] / [`ReplayBackend`], which serialize
@@ -28,9 +30,12 @@ pub mod oracle;
 pub mod profiles;
 pub mod replay;
 
-pub use attempt::{Attempt, AttemptSpec, TranslationBackend};
+pub use attempt::{Attempt, AttemptSpec, RepairContext, RepairOutcome, TranslationBackend};
 pub use backend::{SimulatedBackend, SimulatedModel, TokenUsage};
 pub use calibration::{app_index, cell_feasible, paper_cell, CellScores};
 pub use oracle::OracleBackend;
-pub use profiles::{all_models, model_by_name, model_index, ModelKind, ModelProfile, MODEL_ORDER};
+pub use profiles::{
+    all_models, base_fix_probability, model_by_name, model_index, ModelKind, ModelProfile,
+    MODEL_ORDER,
+};
 pub use replay::{AttemptKey, RecordingBackend, ReplayBackend, ReplayStore};

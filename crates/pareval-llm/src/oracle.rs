@@ -9,7 +9,7 @@
 //! translation quality, which is exactly the headroom the oracle makes
 //! visible.)
 
-use crate::attempt::{Attempt, AttemptSpec, TranslationBackend};
+use crate::attempt::{Attempt, AttemptSpec, RepairContext, RepairOutcome, TranslationBackend};
 use crate::backend::TokenUsage;
 use crate::profiles::ModelProfile;
 use minihpc_lang::model::TranslationPair;
@@ -143,6 +143,29 @@ impl Attempt for OracleAttempt {
 
     fn usage(&self) -> TokenUsage {
         self.usage
+    }
+
+    /// Perfect repair: re-emit the reference translation of every file the
+    /// diagnostics point at. The oracle's own output always builds, so this
+    /// only ever fires on damage applied *after* the backend ran — e.g. the
+    /// SWE-agent technique's tab-normalized Makefiles — which one round
+    /// undoes completely.
+    fn repair(&mut self, ctx: &RepairContext) -> RepairOutcome {
+        self.usage.input += self.model.count_tokens(&ctx.prompt_text());
+        let Some(reference) = self.translated.as_ref() else {
+            return RepairOutcome::GaveUp;
+        };
+        let files: Vec<(String, String)> = ctx
+            .files
+            .iter()
+            .filter_map(|p| reference.get(p).map(|t| (p.clone(), t.to_string())))
+            .collect();
+        if files.is_empty() {
+            return RepairOutcome::GaveUp;
+        }
+        let emitted: usize = files.iter().map(|(_, c)| c.len()).sum();
+        self.usage.output += ((emitted as f64) * self.model.tokens_per_char).ceil() as u64;
+        RepairOutcome::Revised(files)
     }
 }
 

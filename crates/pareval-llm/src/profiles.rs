@@ -43,9 +43,45 @@ pub struct ModelProfile {
     pub buildfile_error_weights: [(ErrorCategory, f64); 4],
 }
 
+/// Base probability that one repair round fixes a build error of this
+/// category, given the categorized diagnostics as feedback. Calibrated to
+/// the paper's taxonomy discussion (Sec. 6.3): most build failures are
+/// "structured and largely mechanical" — a missing header or a stray
+/// syntax error names its own fix — while configuration-level failures
+/// (CMake config, compiler flags) give little actionable signal.
+pub fn base_fix_probability(category: ErrorCategory) -> f64 {
+    use ErrorCategory::*;
+    match category {
+        MissingHeader => 0.90,
+        CodeSyntax => 0.85,
+        UndeclaredIdentifier => 0.70,
+        ArgTypeMismatch => 0.60,
+        OmpInvalidDirective => 0.55,
+        LinkerError => 0.50,
+        BuildFileSyntax => 0.60,
+        MakefileMissingTarget => 0.50,
+        InvalidCompilerFlag => 0.40,
+        CMakeConfig => 0.15,
+        MissingFile | Other => 0.25,
+    }
+}
+
 impl ModelProfile {
     pub fn count_tokens(&self, text: &str) -> u64 {
         ((text.len() as f64) * self.tokens_per_char).ceil() as u64
+    }
+
+    /// Per-category probability that one repair round by this model fixes a
+    /// build error: the [`base_fix_probability`] with a modest boost for
+    /// reasoning models (they read diagnostics more carefully, at the token
+    /// prices their output multipliers already charge).
+    pub fn repair_fix_probability(&self, category: ErrorCategory) -> f64 {
+        let base = base_fix_probability(category);
+        if self.reasoning {
+            (base * 1.15).min(0.98)
+        } else {
+            base
+        }
     }
 }
 
@@ -235,6 +271,26 @@ mod tests {
     fn local_models_are_verbose_in_context() {
         for m in all_models() {
             assert_eq!(m.verbose_context, m.kind == ModelKind::LocalOpen);
+        }
+    }
+
+    #[test]
+    fn fix_probabilities_follow_the_taxonomy() {
+        use ErrorCategory::*;
+        // Mechanical failures are very repairable, configuration-level
+        // failures barely (the ISSUE's canonical pair).
+        assert!(base_fix_probability(MissingHeader) > 0.8);
+        assert!(base_fix_probability(CMakeConfig) < 0.2);
+        for c in ErrorCategory::FIGURE3 {
+            let p = base_fix_probability(c);
+            assert!((0.0..=1.0).contains(&p), "{c}: {p}");
+        }
+        // Reasoning models repair better, but never with certainty.
+        let o4 = model_by_name("o4-mini").unwrap();
+        let gpt = model_by_name("gpt-4o-mini").unwrap();
+        for c in ErrorCategory::FIGURE3 {
+            assert!(o4.repair_fix_probability(c) > gpt.repair_fix_probability(c));
+            assert!(o4.repair_fix_probability(c) <= 0.98);
         }
     }
 

@@ -16,7 +16,7 @@
 //! sample counts as the recorded one; replaying an attempt that was never
 //! recorded panics with the missing key.
 
-use crate::attempt::{Attempt, AttemptSpec, TranslationBackend};
+use crate::attempt::{Attempt, AttemptSpec, RepairContext, RepairOutcome, TranslationBackend};
 use crate::backend::TokenUsage;
 use minihpc_lang::model::TranslationPair;
 use pareval_translate::techniques::{Backend, BackendError, BackendOutput, FileJob};
@@ -60,7 +60,12 @@ struct RecordedAttempt {
     verbose_context: bool,
     /// Per-file results in call order.
     steps: Vec<Result<BackendOutput, BackendError>>,
-    usage: TokenUsage,
+    /// Usage as of the end of the translate phase (before any repair).
+    usage_after_translate: TokenUsage,
+    /// Repair rounds in call order, each with the cumulative usage after
+    /// the round — the harness reads usage between rounds, so replay must
+    /// report the same intermediate values, not just the final total.
+    repairs: Vec<(RepairOutcome, TokenUsage)>,
 }
 
 /// Shared in-memory store of recorded attempts. Cloning the handle shares
@@ -148,6 +153,8 @@ impl TranslationBackend for RecordingBackend {
             inner: self.inner.start_attempt(spec),
             store: self.store.clone(),
             steps: Vec::new(),
+            pre_repair_usage: None,
+            repairs: Vec::new(),
         })
     }
 
@@ -169,6 +176,10 @@ struct RecordingAttempt {
     inner: Box<dyn Attempt>,
     store: ReplayStore,
     steps: Vec<Result<BackendOutput, BackendError>>,
+    /// Usage snapshot taken at the first `repair` call — the translate
+    /// phase's final usage, which replay reports until its own first round.
+    pre_repair_usage: Option<TokenUsage>,
+    repairs: Vec<(RepairOutcome, TokenUsage)>,
 }
 
 impl Backend for RecordingAttempt {
@@ -199,6 +210,15 @@ impl Attempt for RecordingAttempt {
     fn usage(&self) -> TokenUsage {
         self.inner.usage()
     }
+
+    fn repair(&mut self, ctx: &RepairContext) -> RepairOutcome {
+        if self.pre_repair_usage.is_none() {
+            self.pre_repair_usage = Some(self.inner.usage());
+        }
+        let outcome = self.inner.repair(ctx);
+        self.repairs.push((outcome.clone(), self.inner.usage()));
+        outcome
+    }
 }
 
 impl Drop for RecordingAttempt {
@@ -211,7 +231,8 @@ impl Drop for RecordingAttempt {
                 context_limit: self.inner.context_limit(),
                 verbose_context: self.inner.verbose_context(),
                 steps: std::mem::take(&mut self.steps),
-                usage: self.inner.usage(),
+                usage_after_translate: self.pre_repair_usage.unwrap_or_else(|| self.inner.usage()),
+                repairs: std::mem::take(&mut self.repairs),
             },
         );
     }
@@ -244,7 +265,11 @@ impl TranslationBackend for ReplayBackend {
             .store
             .get(&key)
             .unwrap_or_else(|| panic!("replay: no recorded attempt for {key:?}"));
-        Box::new(ReplayAttempt { record, cursor: 0 })
+        Box::new(ReplayAttempt {
+            record,
+            cursor: 0,
+            repair_cursor: 0,
+        })
     }
 
     /// A cell is feasible iff a feasible attempt of it was recorded.
@@ -262,6 +287,7 @@ impl TranslationBackend for ReplayBackend {
 struct ReplayAttempt {
     record: RecordedAttempt,
     cursor: usize,
+    repair_cursor: usize,
 }
 
 impl Backend for ReplayAttempt {
@@ -297,8 +323,34 @@ impl Attempt for ReplayAttempt {
         self.record.feasible
     }
 
+    /// Usage as of the last replayed call — the harness samples usage after
+    /// the translate phase and after every repair round, and each sample
+    /// must match what the recording reported at the same point.
     fn usage(&self) -> TokenUsage {
-        self.record.usage
+        if self.repair_cursor == 0 {
+            self.record.usage_after_translate
+        } else {
+            self.record.repairs[self.repair_cursor - 1].1
+        }
+    }
+
+    /// # Panics
+    ///
+    /// Panics when the recording holds no further repair rounds — a
+    /// replayed plan must use the same `repair_budget` as the recorded one.
+    fn repair(&mut self, _ctx: &RepairContext) -> RepairOutcome {
+        let (outcome, _) = self
+            .record
+            .repairs
+            .get(self.repair_cursor)
+            .unwrap_or_else(|| {
+                panic!(
+                    "replay: attempt exhausted after {} recorded repair rounds",
+                    self.record.repairs.len()
+                )
+            });
+        self.repair_cursor += 1;
+        outcome.clone()
     }
 }
 

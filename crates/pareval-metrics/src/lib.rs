@@ -11,6 +11,18 @@ use std::fmt;
 /// `1 - C(n - c, k) / C(n, k)` with `n` samples of which `c` are correct.
 ///
 /// Computed multiplicatively to avoid overflowing factorials.
+///
+/// # Edge semantics: `k > n`
+///
+/// The estimator is undefined for `k > n` (it would need more samples than
+/// were drawn). This implementation **saturates** instead of erroring: any
+/// k-draw from fewer than k samples must repeat one, so the draw contains
+/// a success exactly when `c > 0` — the result is `1.0` if `c > 0`, else
+/// `0.0`. Callers that reach this edge through the public
+/// `CellResult::rate` path in `pareval-core` get the same documented
+/// semantics; a shared property test on both sides
+/// (`saturates_above_n_iff_any_success` here, `rate_agrees_with_pass_at_k`
+/// there) pins the agreement.
 pub fn pass_at_k(n: u64, c: u64, k: u64) -> f64 {
     assert!(c <= n, "correct samples cannot exceed total samples");
     if k > n {
@@ -153,6 +165,15 @@ mod tests {
     }
 
     #[test]
+    fn k_above_n_saturates_not_errors() {
+        // The documented edge: k > n is not estimable; saturate on c > 0.
+        assert_eq!(pass_at_k(3, 1, 4), 1.0);
+        assert_eq!(pass_at_k(3, 3, 100), 1.0);
+        assert_eq!(pass_at_k(3, 0, 4), 0.0);
+        assert_eq!(pass_at_k(0, 0, 1), 0.0); // no samples at all
+    }
+
+    #[test]
     fn ekappa_matches_paper_semantics() {
         assert_eq!(expected_token_cost(0.5, 10_000.0), Some(20_000.0));
         assert_eq!(expected_token_cost(0.0, 10_000.0), None);
@@ -208,6 +229,16 @@ mod proptests {
             } else {
                 prop_assert_eq!(v, 0.0);
             }
+        }
+
+        /// The documented k > n edge: saturate to 1 iff any sample
+        /// succeeded. `CellResult::rate` pins the same property from the
+        /// harness side (`rate_agrees_with_pass_at_k` in pareval-core).
+        #[test]
+        fn saturates_above_n_iff_any_success(n in 0u64..40, c in 0u64..40, extra in 1u64..20) {
+            let c = c.min(n);
+            let v = pass_at_k(n, c, n + extra);
+            prop_assert_eq!(v, if c > 0 { 1.0 } else { 0.0 });
         }
 
         #[test]

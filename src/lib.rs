@@ -16,11 +16,12 @@ pub use minihpc_build as build;
 pub mod prelude {
     pub use pareval_core::{
         report, CellFilter, CellKey, CellResult, CellSpec, EvalConfig, EvalPipeline,
-        ExperimentPlan, ExperimentResults, Metric, NullSink, ParallelRunner, ProgressSink, Runner,
-        SampleRecord, SampleSpec, Scoring, SerialRunner,
+        ExperimentPlan, ExperimentResults, Metric, NullSink, ParallelRunner, ProgressSink,
+        RepairRound, Runner, SampleRecord, SampleSpec, Scoring, SerialRunner,
     };
     pub use pareval_llm::{
-        OracleBackend, RecordingBackend, ReplayBackend, SimulatedBackend, TranslationBackend,
+        OracleBackend, RecordingBackend, RepairContext, RepairOutcome, ReplayBackend,
+        SimulatedBackend, TranslationBackend,
     };
 }
 pub use minihpc_lang as lang;
