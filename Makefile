@@ -2,7 +2,7 @@
 # release build, tests, clippy with warnings denied, a format check, docs
 # with warnings denied, and every example executed end to end.
 
-.PHONY: all build test doc fmt fmt-fix clippy bench bench-smoke examples verify clean
+.PHONY: all build test doc fmt fmt-fix clippy bench bench-smoke sched-smoke examples verify clean
 
 all: verify
 
@@ -28,13 +28,34 @@ bench:
 	cargo bench
 
 # Quick-mode figure benches for CI-style smoke runs: small sample counts,
-# and the repair bench drops BENCH_repair.json at the repo root — the
-# machine-readable budget-0-vs-3 wall-time + pass@1 trajectory future PRs
-# compare against.
-bench-smoke:
+# and the repair/scheduler benches drop BENCH_repair.json / BENCH_sched.json
+# at the repo root — the machine-readable trajectories future PRs compare
+# against.
+bench-smoke: sched-smoke
 	PAREVAL_SAMPLES=2 cargo bench --bench fig2_correctness
 	PAREVAL_SAMPLES=2 PAREVAL_BENCH_JSON=$(CURDIR)/BENCH_repair.json \
 		cargo bench --bench repair_loop
+
+# The scheduler gate: regenerate BENCH_sched.json (round-robin vs
+# work-stealing sleep-replay makespans at 1/2/4/8 workers), then fail if
+# required keys are missing or work stealing fell below round-robin at 4
+# workers. The checked-in JSON should show >= 1.2x there.
+sched-smoke:
+	PAREVAL_BENCH_JSON=$(CURDIR)/BENCH_sched.json cargo bench --bench scheduler
+	@for key in '"bench": "scheduler"' '"workers"' '"round_robin_wall_s"' \
+		'"work_stealing_wall_s"' '"speedup_at_4"' '"steals_at_4"' \
+		'"repair_budget"' '"real_grid_wall_s"'; do \
+		grep -q "$$key" BENCH_sched.json \
+			|| { echo "sched-smoke: BENCH_sched.json missing key $$key"; exit 1; }; \
+	done
+	@awk -F'[:,]' '/"speedup_at_4"/ { \
+		if ($$2 + 0.0 < 1.0) { \
+			printf "sched-smoke: work stealing regressed below round-robin at 4 workers (%.2fx)\n", $$2; \
+			exit 1; \
+		} else { \
+			printf "sched-smoke: work stealing %.2fx round-robin at 4 workers\n", $$2; \
+		} \
+	}' BENCH_sched.json
 
 # Every example must run to completion (exit 0); output is discarded.
 examples: build
@@ -46,7 +67,7 @@ examples: build
 	cargo run --release --example oracle_upper_bound > /dev/null
 	cargo run --release --example repair_loop > /dev/null
 
-verify: build test clippy fmt doc examples
+verify: build test clippy fmt doc examples sched-smoke
 
 clean:
 	cargo clean

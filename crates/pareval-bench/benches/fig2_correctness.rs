@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use minihpc_lang::model::TranslationPair;
-use pareval_core::{report, EvalConfig, EvalPipeline, ExperimentPlan, ParallelRunner, Runner};
+use pareval_core::{report, EvalConfig, EvalPipeline, ExperimentPlan, Runner, ScheduledRunner};
 use pareval_llm::{model_by_name, SimulatedBackend};
 use pareval_translate::Technique;
 
@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(5);
-    let results = ParallelRunner::auto().run(&ExperimentPlan::full(samples));
+    let results = ScheduledRunner::auto().run(&ExperimentPlan::full(samples));
     for pair in TranslationPair::ALL {
         println!("{}", report::fig2(&results, pair, false));
         println!("{}", report::fig2(&results, pair, true));

@@ -4,7 +4,7 @@
 //! benchmarks the clustering step.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pareval_core::{report, ExperimentPlan, ParallelRunner, Runner};
+use pareval_core::{report, ExperimentPlan, Runner, ScheduledRunner};
 use pareval_errclust::{cluster_logs, PipelineConfig};
 
 fn bench(c: &mut Criterion) {
@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
         .samples(4)
         .apps(["nanoXOR", "microXORh", "microXOR", "SimpleMOC-kernel"])
         .build();
-    let results = ParallelRunner::auto().run(&plan);
+    let results = ScheduledRunner::auto().run(&plan);
     println!("\n{}", report::fig3(&results));
 
     let logs: Vec<_> = results

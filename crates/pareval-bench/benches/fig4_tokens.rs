@@ -5,12 +5,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use minihpc_lang::model::TranslationPair;
-use pareval_core::{report, EvalConfig, EvalPipeline, ExperimentPlan, ParallelRunner, Runner};
+use pareval_core::{report, EvalConfig, EvalPipeline, ExperimentPlan, Runner, ScheduledRunner};
 use pareval_llm::{model_by_name, SimulatedBackend};
 use pareval_translate::Technique;
 
 fn bench(c: &mut Criterion) {
-    let results = ParallelRunner::auto().run(&ExperimentPlan::full(4));
+    let results = ScheduledRunner::auto().run(&ExperimentPlan::full(4));
     println!("\n{}", report::fig4(&results));
 
     let task = pareval_core::all_tasks()

@@ -3,11 +3,11 @@
 //! benchmarks the estimator itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pareval_core::{report, ExperimentPlan, ParallelRunner, Runner};
+use pareval_core::{report, ExperimentPlan, Runner, ScheduledRunner};
 use pareval_metrics::{expected_token_cost, pass_at_k};
 
 fn bench(c: &mut Criterion) {
-    let results = ParallelRunner::auto().run(&ExperimentPlan::full(5));
+    let results = ScheduledRunner::auto().run(&ExperimentPlan::full(5));
     println!("\n{}", report::fig5(&results));
 
     c.bench_function("fig5/ekappa_estimator", |b| {

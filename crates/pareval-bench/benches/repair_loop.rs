@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use minihpc_lang::model::TranslationPair;
 use pareval_core::{
-    report, EvalConfig, ExperimentPlan, ExperimentResults, Metric, ParallelRunner, Runner, Scoring,
+    report, EvalConfig, ExperimentPlan, ExperimentResults, Metric, Runner, ScheduledRunner, Scoring,
 };
 use pareval_translate::Technique;
 use std::time::Instant;
@@ -49,7 +49,7 @@ fn bench(c: &mut Criterion) {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(5);
-    let runner = ParallelRunner::auto();
+    let runner = ScheduledRunner::auto();
 
     // The figure + JSON comparison: budget 0 vs 3, timed end to end.
     let start = Instant::now();

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use minihpc_lang::model::TranslationPair;
-use pareval_core::{report, ExperimentPlan, ParallelRunner, Runner};
+use pareval_core::{report, ExperimentPlan, Runner, ScheduledRunner};
 use pareval_metrics::{dollar_cost, node_hours};
 
 fn bench(c: &mut Criterion) {
@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
         .pairs(TranslationPair::ALL)
         .apps(["nanoXOR", "microXORh", "microXOR"])
         .build();
-    let results = ParallelRunner::auto().run(&plan);
+    let results = ScheduledRunner::auto().run(&plan);
     println!("\n{}", report::table2(&results));
 
     c.bench_function("table2/cost_model", |b| {

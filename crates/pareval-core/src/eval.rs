@@ -1,6 +1,6 @@
 //! The evaluation pipeline: backend attempt → technique → build → run →
 //! score — plus bounded repair rounds on failed builds — with a
-//! content-addressed build cache shared across runner shards.
+//! content-addressed build cache shared across runner workers.
 //!
 //! When [`EvalConfig::repair_budget`] > 0 and the Overall build fails, the
 //! pipeline summarizes the categorized diagnostics into a
@@ -21,9 +21,9 @@
 //! - the Code-only scoring reuses the Overall build whenever the translated
 //!   build file already matches ground truth (the two repos are then
 //!   identical, hence the same key), and
-//! - [`ParallelRunner`](crate::runner::ParallelRunner) shards share hits
-//!   across worker threads — the cache sits behind a `parking_lot` lock and
-//!   one pipeline serves the whole run.
+//! - [`ScheduledRunner`](crate::sched::ScheduledRunner) workers share hits
+//!   across threads — the cache sits behind a `parking_lot` lock and one
+//!   pipeline serves the whole run.
 //!
 //! A cache hit returns a clone of the stored [`EvalOutcome`]; since the
 //! build + run substrate is deterministic, a hit is byte-identical to the
@@ -90,7 +90,7 @@ impl CacheStats {
 
 /// A content-addressed memo of build + run outcomes.
 ///
-/// Thread-safe: lookups take a read lock, inserts a write lock, so shards
+/// Thread-safe: lookups take a read lock, inserts a write lock, so workers
 /// of a parallel runner serve each other's hits. Two threads racing on the
 /// same cold key may both evaluate; the substrate is deterministic, so
 /// whichever insert lands last stores the same outcome.
@@ -169,7 +169,7 @@ impl BuildCache {
 ///
 /// One pipeline serves a whole experiment run — runners construct one per
 /// [`Runner::run`](crate::runner::Runner::run) call and share it across
-/// worker shards (or accept a caller-provided one via
+/// workers (or accept a caller-provided one via
 /// [`Runner::run_with`](crate::runner::Runner::run_with), e.g. to read
 /// [`EvalPipeline::cache_stats`] afterwards).
 #[derive(Debug)]
@@ -364,22 +364,54 @@ impl EvalPipeline {
 
     /// Execute one sample spec of `plan` through this pipeline, with the
     /// backend the plan resolved for the spec's cell.
+    ///
+    /// A panic inside the sample (a buggy backend, a substrate assertion)
+    /// is re-raised with the offending [`CellKey`](crate::plan::CellKey)
+    /// and sample index attached, so a crashed grid run names the one
+    /// configuration to replay instead of "a worker panicked somewhere".
+    /// The run still aborts — every runner propagates the panic out of its
+    /// thread scope.
     pub fn execute(&self, plan: &ExperimentPlan, spec: &SampleSpec) -> SampleRecord {
         let cell = &plan.cells()[spec.cell];
-        let result = self.run_sample(
-            plan.task_of(cell),
-            cell.key.technique,
-            plan.model_of(cell),
-            plan.backend_of(cell),
-            plan.seed(),
-            spec.sample_index,
-        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_sample(
+                plan.task_of(cell),
+                cell.key.technique,
+                plan.model_of(cell),
+                plan.backend_of(cell),
+                plan.seed(),
+                spec.sample_index,
+            )
+        }));
+        let result = match result {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                // panic_any (not resume_unwind) so the panic hook runs and
+                // the enriched message reaches stderr in real runs, not
+                // just #[should_panic] payload matching.
+                std::panic::panic_any(format!(
+                    "sample {} of cell {:?} panicked: {msg}",
+                    spec.sample_index, cell.key
+                ));
+            }
+        };
         SampleRecord {
             key: cell.key,
             sample_index: spec.sample_index,
             result,
         }
     }
+}
+
+/// Best-effort rendering of a caught panic payload (`panic!` produces a
+/// `&str` or a `String`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
 }
 
 /// Summarize a failed build's categorized diagnostics into the structured

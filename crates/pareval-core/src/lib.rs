@@ -20,20 +20,23 @@
 //!    builds get bounded repair rounds — categorized diagnostics fed back
 //!    to the attempt, revised files re-evaluated — tracked per round in
 //!    [`RepairRound`].
-//! 3. **Runner** ([`runner`]) — a [`Runner`] executes the plan:
-//!    [`SerialRunner`] on one thread, [`ParallelRunner`] sharded across
-//!    scoped workers. Both stream [`SampleRecord`]s to a [`ProgressSink`]
-//!    and produce byte-identical results for the same plan — cached or
-//!    not.
+//! 3. **Runner** ([`runner`], [`sched`]) — a [`Runner`] executes the plan:
+//!    [`SerialRunner`] on one thread, or the work-stealing
+//!    [`ScheduledRunner`] across scoped workers (per-worker LIFO deques +
+//!    a shared injector seeded most-expensive-first by
+//!    [`SampleSpec::cost_hint`]; [`RoundRobinRunner`] keeps the old static
+//!    sharding as the benchmark baseline). All stream [`SampleRecord`]s to
+//!    a [`ProgressSink`] and produce byte-identical results for the same
+//!    plan — cached or not, at any worker count.
 //! 4. **Collector** ([`collect`]) — [`ExperimentResults`] retains the raw
 //!    records and recomputes every metric on demand, including
 //!    [`CellResult::pass_at_k`] / [`CellResult::build_at_k`] for k > 1.
 //!
 //! ```no_run
-//! use pareval_core::{report, ExperimentPlan, ParallelRunner, Runner};
+//! use pareval_core::{report, ExperimentPlan, Runner, ScheduledRunner};
 //!
 //! let plan = ExperimentPlan::quick();
-//! let results = ParallelRunner::new(4).run(&plan);
+//! let results = ScheduledRunner::new(4).run(&plan);
 //! println!("{}", report::fig2(
 //!     &results,
 //!     minihpc_lang::TranslationPair::CUDA_TO_OMP_OFFLOAD,
@@ -59,6 +62,7 @@ pub mod eval;
 pub mod plan;
 pub mod report;
 pub mod runner;
+pub mod sched;
 pub mod task;
 
 pub use collect::{CellResult, ExperimentResults, Metric};
@@ -66,7 +70,10 @@ pub use eval::{BuildCache, CacheStats, EvalPipeline};
 pub use plan::{
     CellFilter, CellKey, CellQuery, CellSpec, ExperimentPlan, ExperimentPlanBuilder, SampleSpec,
 };
+#[allow(deprecated)]
+pub use runner::ParallelRunner;
 pub use runner::{
-    CountingSink, NullSink, ParallelRunner, ProgressSink, Runner, SampleRecord, SerialRunner,
+    CountingSink, NullSink, ProgressSink, RoundRobinRunner, Runner, SampleRecord, SerialRunner,
 };
+pub use sched::{SchedStats, ScheduledRunner};
 pub use task::{all_tasks, EvalConfig, EvalOutcome, RepairRound, SampleResult, Scoring, Task};

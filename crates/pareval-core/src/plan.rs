@@ -98,6 +98,36 @@ pub struct CellSpec {
     pub feasible: bool,
     /// Samples scheduled for this cell (0 when infeasible).
     pub samples: u32,
+    /// Plan-time relative cost estimate of one sample of this cell —
+    /// copied into every [`SampleSpec::cost_hint`] the cell emits.
+    pub cost_hint: u32,
+}
+
+/// Plan-time relative cost estimate of one sample: the scheduling weight
+/// the work-stealing runner seeds its injector with (most expensive first,
+/// the classic longest-processing-time heuristic), derived from everything
+/// the plan knows before a single sample runs:
+///
+/// - the **technique** (SWE-agent iterates until the build passes, the
+///   top-down pipeline assembles dependency context, non-agentic is one
+///   pass per file),
+/// - the **repair budget** (a failed build can cost up to `repair_budget`
+///   extra evaluate rounds, so budgeted samples have a heavier tail),
+/// - the cell's **backend feasibility** (an infeasible cell costs nothing;
+///   it is never scheduled).
+///
+/// Units are arbitrary — only the relative order matters, and mispredicted
+/// hints are corrected at run time by stealing.
+pub fn sample_cost_hint(technique: Technique, eval: &EvalConfig, feasible: bool) -> u32 {
+    if !feasible {
+        return 0;
+    }
+    let base = match technique {
+        Technique::NonAgentic => 2,
+        Technique::TopDownAgentic => 3,
+        Technique::SweAgent => 5,
+    };
+    base * (1 + eval.repair_budget)
 }
 
 /// A declarative cell predicate for [`ExperimentPlanBuilder::backend_for`]:
@@ -152,6 +182,10 @@ pub struct SampleSpec {
     /// Index into [`ExperimentPlan::cells`].
     pub cell: usize,
     pub sample_index: u32,
+    /// Plan-time relative cost estimate (see [`sample_cost_hint`]): the
+    /// weight [`crate::sched::ScheduledRunner`] sorts by when seeding its
+    /// injector. Purely advisory — results never depend on it.
+    pub cost_hint: u32,
 }
 
 /// A fully enumerated experiment: the immutable input to a runner.
@@ -235,6 +269,7 @@ impl ExperimentPlan {
                 out.push(SampleSpec {
                     cell: i,
                     sample_index,
+                    cost_hint: cell.cost_hint,
                 });
             }
         }
@@ -393,6 +428,7 @@ impl ExperimentPlanBuilder {
                         backend,
                         feasible,
                         samples: if feasible { self.samples } else { 0 },
+                        cost_hint: sample_cost_hint(*technique, &self.eval, feasible),
                     });
                 }
             }
@@ -510,6 +546,39 @@ mod tests {
             .build();
         for cell in plan.cells() {
             assert_eq!(plan.backend_of(cell).name(), "simulated");
+        }
+    }
+
+    #[test]
+    fn cost_hints_rank_techniques_and_scale_with_repair_budget() {
+        let eval0 = default_eval();
+        let eval3 = EvalConfig {
+            repair_budget: 3,
+            ..default_eval()
+        };
+        // Infeasible cells cost nothing, whatever the technique.
+        for t in Technique::ALL {
+            assert_eq!(sample_cost_hint(t, &eval3, false), 0);
+        }
+        // SWE-agent > top-down > non-agentic, at any budget.
+        for eval in [&eval0, &eval3] {
+            let hints: Vec<u32> = Technique::ALL
+                .iter()
+                .map(|t| sample_cost_hint(*t, eval, true))
+                .collect();
+            assert!(hints[0] < hints[1] && hints[1] < hints[2], "{hints:?}");
+        }
+        // A repair budget multiplies the tail estimate.
+        assert!(
+            sample_cost_hint(Technique::NonAgentic, &eval3, true)
+                > sample_cost_hint(Technique::NonAgentic, &eval0, true)
+        );
+        // The plan copies the per-cell hint onto every emitted spec.
+        let plan = ExperimentPlan::quick();
+        for spec in plan.sample_specs() {
+            let cell = &plan.cells()[spec.cell];
+            assert_eq!(spec.cost_hint, cell.cost_hint);
+            assert!(cell.feasible && spec.cost_hint > 0);
         }
     }
 

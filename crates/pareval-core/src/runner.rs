@@ -5,18 +5,25 @@
 //! the Collector ([`ExperimentResults::from_records`]).
 //! Because every sample is independently seeded, execution order is
 //! irrelevant to the result: the collector restores the canonical
-//! `(CellKey, sample_index)` order before aggregation, so
-//! [`ParallelRunner`] output is byte-identical to [`SerialRunner`] output
-//! for the same plan.
+//! `(CellKey, sample_index)` order before aggregation, so every
+//! multi-threaded runner's output is byte-identical to [`SerialRunner`]
+//! output for the same plan.
+//!
+//! Three strategies ship: [`SerialRunner`] (one thread, enumeration
+//! order), [`ScheduledRunner`] (work stealing — the parallel default; see
+//! [`crate::sched`]), and [`RoundRobinRunner`] (static sharding, kept as
+//! the scheduler benchmarks' baseline). [`ParallelRunner`] is a deprecated
+//! alias that now delegates to the work-stealing scheduler.
 //!
 //! Runners stream progress to a [`ProgressSink`] (observer) as samples
 //! complete — from worker threads, in completion order, which under the
-//! parallel runner is nondeterministic even though the final results are
-//! not.
+//! multi-threaded runners is nondeterministic even though the final
+//! results are not.
 
 use crate::collect::ExperimentResults;
 use crate::eval::EvalPipeline;
 use crate::plan::{CellKey, ExperimentPlan};
+use crate::sched::{round_robin_map, ScheduledRunner};
 use crate::task::SampleResult;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -117,7 +124,15 @@ impl Runner for SerialRunner {
     }
 }
 
-/// Shards the plan's samples round-robin across N scoped worker threads.
+/// Shards the plan's samples round-robin across N scoped worker threads:
+/// sample `i` always runs on worker `i % N`, fixed for the whole run.
+///
+/// This is the pre-scheduler static strategy, kept because (a) it is the
+/// baseline `benches/scheduler.rs` measures [`ScheduledRunner`] against
+/// and (b) for *uniform* per-sample costs it is optimal with zero
+/// scheduling traffic. With repair rounds enabled, per-sample cost is
+/// heavy-tailed and one unlucky shard serializes the run — prefer
+/// [`ScheduledRunner`].
 ///
 /// Workers emit records to the sink as they complete; the collector then
 /// restores `(CellKey, sample_index)` order, so the returned results are
@@ -125,10 +140,54 @@ impl Runner for SerialRunner {
 /// share one [`EvalPipeline`], so a build-cache entry populated by one
 /// shard serves hits to every other.
 #[derive(Debug, Clone, Copy)]
+pub struct RoundRobinRunner {
+    workers: usize,
+}
+
+impl RoundRobinRunner {
+    /// `workers` is clamped to at least 1.
+    pub fn new(workers: usize) -> Self {
+        RoundRobinRunner {
+            workers: workers.max(1),
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl Runner for RoundRobinRunner {
+    fn run_with(
+        &self,
+        plan: &ExperimentPlan,
+        pipeline: &EvalPipeline,
+        sink: &dyn ProgressSink,
+    ) -> ExperimentResults {
+        let specs = plan.sample_specs();
+        let records = round_robin_map(&specs, self.workers, |spec| {
+            let record = pipeline.execute(plan, spec);
+            sink.on_sample(&record);
+            record
+        });
+        ExperimentResults::from_records(plan, records)
+    }
+}
+
+/// Deprecated name of the parallel execution strategy. Now a thin alias
+/// that delegates to the work-stealing [`ScheduledRunner`] — same
+/// byte-identical results, better wall-clock on heterogeneous grids. The
+/// old static sharding lives on as [`RoundRobinRunner`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use ScheduledRunner (work stealing); the old static sharding is RoundRobinRunner"
+)]
+#[derive(Debug, Clone, Copy)]
 pub struct ParallelRunner {
     workers: usize,
 }
 
+#[allow(deprecated)]
 impl ParallelRunner {
     /// `workers` is clamped to at least 1.
     pub fn new(workers: usize) -> Self {
@@ -150,6 +209,7 @@ impl ParallelRunner {
     }
 }
 
+#[allow(deprecated)]
 impl Runner for ParallelRunner {
     fn run_with(
         &self,
@@ -157,33 +217,7 @@ impl Runner for ParallelRunner {
         pipeline: &EvalPipeline,
         sink: &dyn ProgressSink,
     ) -> ExperimentResults {
-        let specs = plan.sample_specs();
-        let workers = self.workers.min(specs.len().max(1));
-        let mut records: Vec<SampleRecord> = Vec::with_capacity(specs.len());
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let specs = &specs;
-                    scope.spawn(move |_| {
-                        specs
-                            .iter()
-                            .skip(w)
-                            .step_by(workers)
-                            .map(|spec| {
-                                let record = pipeline.execute(plan, spec);
-                                sink.on_sample(&record);
-                                record
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                records.extend(handle.join().expect("experiment worker panicked"));
-            }
-        })
-        .expect("experiment thread scope failed");
-        ExperimentResults::from_records(plan, records)
+        ScheduledRunner::new(self.workers).run_with(plan, pipeline, sink)
     }
 }
 
@@ -213,21 +247,32 @@ mod tests {
         assert_eq!(sink.completed() as usize, plan.total_samples());
 
         let sink = CountingSink::new();
-        ParallelRunner::new(3).run_with_sink(&plan, &sink);
+        RoundRobinRunner::new(3).run_with_sink(&plan, &sink);
         assert_eq!(sink.completed() as usize, plan.total_samples());
     }
 
     #[test]
-    fn parallel_matches_serial_on_tiny_plan() {
+    fn round_robin_matches_serial_on_tiny_plan() {
         let plan = tiny_plan();
         let serial = SerialRunner.run(&plan);
-        let parallel = ParallelRunner::new(2).run(&plan);
-        assert_eq!(serial, parallel);
+        let sharded = RoundRobinRunner::new(2).run(&plan);
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parallel_alias_still_runs_and_matches_serial() {
+        let plan = tiny_plan();
+        assert_eq!(ParallelRunner::new(0).workers(), 1);
+        assert!(ParallelRunner::auto().workers() >= 1);
+        let serial = SerialRunner.run(&plan);
+        let aliased = ParallelRunner::new(2).run(&plan);
+        assert_eq!(serial, aliased);
     }
 
     #[test]
     fn zero_workers_clamps_to_one() {
-        assert_eq!(ParallelRunner::new(0).workers(), 1);
+        assert_eq!(RoundRobinRunner::new(0).workers(), 1);
     }
 
     #[test]
@@ -244,7 +289,7 @@ mod tests {
             .apps(["nanoXOR"])
             .build();
         let pipeline = EvalPipeline::new(plan.eval().clone());
-        let cached = ParallelRunner::new(3).run_with(&plan, &pipeline, &NullSink);
+        let cached = ScheduledRunner::new(3).run_with(&plan, &pipeline, &NullSink);
         let stats = pipeline.cache_stats();
         assert!(stats.hits > 0, "expected shared hits, got {stats:?}");
 

@@ -1,0 +1,307 @@
+//! Offline stand-in for the subset of the `crossbeam-deque` API this
+//! workspace uses: a per-worker [`Worker`] deque with [`Stealer`] handles
+//! and a shared FIFO [`Injector`], all returning [`Steal`] verdicts.
+//!
+//! The real crate implements the Chase–Lev lock-free deque; this stand-in
+//! keeps the exact same ends-and-ordering contract behind a plain mutex
+//! (the workspace denies `unsafe_code`, and scheduler throughput here is
+//! dominated by sample evaluation, not deque traffic):
+//!
+//! - a LIFO [`Worker`] pushes and pops at the *back* of its deque, while
+//!   [`Stealer::steal`] takes from the *front* — thieves and the owner
+//!   contend on opposite ends, and a thief always takes the oldest
+//!   (coldest) item;
+//! - the [`Injector`] is a FIFO queue: items are stolen in push order, so
+//!   a cost-sorted seeding (longest-processing-time-first) is consumed in
+//!   sorted order;
+//! - [`Injector::steal_batch_and_pop`] moves a small batch into the
+//!   destination worker so the thief's next few pops are lock-local, and
+//!   arranges the batch so the worker pops it in injector (FIFO) order
+//!   while stealers still take from the opposite end.
+//!
+//! Divergences from real `crossbeam-deque`, deliberate for an offline
+//! vendored stub: [`Steal::Retry`] is never produced (mutex acquisition
+//! cannot lose a race the way a CAS can — callers must still handle the
+//! variant, and the scheduler in `pareval-core::sched` does), and the
+//! batch size is a fixed small cap rather than half the queue.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Most items one [`Injector::steal_batch_and_pop`] moves to a worker
+/// (beyond the one it returns). Small, so an unlucky early thief cannot
+/// hoard the expensive head of a cost-sorted injector.
+const BATCH: usize = 4;
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The source was observed empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried (never produced by
+    /// this lock-based stand-in; kept for API compatibility).
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Did the attempt observe an empty source?
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Did the attempt return an item?
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// The stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(item) => Some(item),
+            _ => None,
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    // A panicking scheduler worker poisons the lock while unwinding out of
+    // the thread scope; the queue itself is never left mid-mutation, so
+    // clearing the poison is safe and keeps sibling workers drainable.
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A worker-owned deque. The owner pushes and pops LIFO at the back;
+/// [`Stealer`]s created via [`Worker::stealer`] take FIFO from the front.
+#[derive(Debug)]
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// A new empty deque whose owner operates in LIFO order (the only
+    /// flavour this workspace uses; the hot end stays cache-warm).
+    pub fn new_lifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes an item at the owner's (back) end.
+    pub fn push(&self, item: T) {
+        lock(&self.inner).push_back(item);
+    }
+
+    /// Pops the most recently pushed item (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.inner).pop_back()
+    }
+
+    /// A handle that steals from the opposite (front) end of this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Items currently queued (racy under concurrent access, like the
+    /// real crate's `len`).
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Self::new_lifo()
+    }
+}
+
+/// A handle for stealing from one [`Worker`]'s deque.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest item of the owner's deque (the end opposite to
+    /// the owner's LIFO operations).
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.inner).pop_front() {
+            Some(item) => Steal::Success(item),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// A shared FIFO queue every worker can push to and steal from — the
+/// global entry point of a work-stealing scheduler.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues an item at the back (FIFO: stolen in push order).
+    pub fn push(&self, item: T) {
+        lock(&self.queue).push_back(item);
+    }
+
+    /// Steals the oldest item.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(item) => Steal::Success(item),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a small batch: returns the oldest item and moves up to
+    /// `BATCH` (4) of its successors into `dest`, arranged so that
+    /// `dest.pop()` yields them in injector order (while `dest`'s
+    /// stealers take from the other end).
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut queue = lock(&self.queue);
+        let Some(first) = queue.pop_front() else {
+            return Steal::Empty;
+        };
+        let take = queue.len().min(BATCH);
+        // Publish the batch to `dest` *before* releasing the injector lock:
+        // a sibling observing "injector empty and all deques empty" must be
+        // able to conclude no work is in flight (its exit condition). The
+        // nesting cannot deadlock — every code path acquires the injector
+        // before a worker deque, never the reverse.
+        let mut dest_queue = lock(&dest.inner);
+        // dest.pop() takes the back, so push in reverse: the batch's first
+        // item ends up at the back and pops first.
+        for item in queue.drain(..take).rev() {
+            dest_queue.push_back(item);
+        }
+        Steal::Success(first)
+    }
+
+    /// Items currently queued (racy under concurrent access).
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_and_stealer_takes_the_oldest() {
+        let worker = Worker::new_lifo();
+        let stealer = worker.stealer();
+        worker.push(1);
+        worker.push(2);
+        worker.push(3);
+        assert_eq!(stealer.steal(), Steal::Success(1), "thief takes oldest");
+        assert_eq!(worker.pop(), Some(3), "owner pops newest");
+        assert_eq!(worker.pop(), Some(2));
+        assert_eq!(worker.pop(), None);
+        assert!(stealer.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let injector = Injector::new();
+        for i in 0..4 {
+            injector.push(i);
+        }
+        for i in 0..4 {
+            assert_eq!(injector.steal(), Steal::Success(i));
+        }
+        assert!(injector.steal().is_empty());
+    }
+
+    #[test]
+    fn batch_steal_preserves_injector_order_for_the_owner() {
+        let injector = Injector::new();
+        for i in 0..10 {
+            injector.push(i);
+        }
+        let worker = Worker::new_lifo();
+        assert_eq!(injector.steal_batch_and_pop(&worker), Steal::Success(0));
+        assert_eq!(worker.len(), BATCH);
+        assert_eq!(injector.len(), 10 - 1 - BATCH);
+        // The owner drains the batch in the order it was injected.
+        for i in 1..=BATCH {
+            assert_eq!(worker.pop(), Some(i));
+        }
+        // The injector's remainder is still FIFO from where the batch ended.
+        assert_eq!(injector.steal(), Steal::Success(BATCH + 1));
+    }
+
+    #[test]
+    fn stealers_take_the_cold_end_of_a_batch() {
+        let injector = Injector::new();
+        for i in 0..6 {
+            injector.push(i);
+        }
+        let worker = Worker::new_lifo();
+        let stealer = worker.stealer();
+        assert_eq!(injector.steal_batch_and_pop(&worker), Steal::Success(0));
+        // Owner would pop 1 next; a thief takes from the other end (the
+        // batch's newest item) without disturbing the owner's next pop.
+        assert_eq!(stealer.steal(), Steal::Success(BATCH));
+        assert_eq!(worker.pop(), Some(1));
+    }
+
+    #[test]
+    fn concurrent_stealing_delivers_every_item_exactly_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        const ITEMS: u64 = 200;
+        let injector = Injector::new();
+        for i in 0..ITEMS {
+            injector.push(i);
+        }
+        let sum = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let local = Worker::new_lifo();
+                    loop {
+                        let item = match local.pop() {
+                            Some(item) => item,
+                            None => match injector.steal_batch_and_pop(&local) {
+                                Steal::Success(item) => item,
+                                Steal::Retry => continue,
+                                Steal::Empty => break,
+                            },
+                        };
+                        sum.fetch_add(item, Ordering::Relaxed);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), ITEMS);
+        assert_eq!(sum.load(Ordering::Relaxed), ITEMS * (ITEMS - 1) / 2);
+    }
+}

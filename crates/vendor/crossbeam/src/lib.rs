@@ -1,12 +1,17 @@
 //! Offline stand-in for the subset of the `crossbeam` API this workspace
-//! uses: `crossbeam::thread::scope` with scoped `spawn`. Backed by
+//! uses: `crossbeam::thread::scope` with scoped `spawn`, and the
+//! [`deque`] work-stealing primitives (`Worker`/`Stealer`/`Injector`)
+//! backing `pareval-core::sched`. The thread scope is backed by
 //! `std::thread::scope` (stable since Rust 1.63), so borrowed captures work
 //! the same way.
 //!
 //! Divergence from real crossbeam: a panicking worker makes the enclosing
 //! `std::thread::scope` panic during join rather than surfacing as the `Err`
 //! arm, so the returned `Result` is always `Ok`. Callers here only `.expect`
-//! the result, which behaves identically either way.
+//! the result, which behaves identically either way. See [`deque`] for the
+//! deque stand-in's own divergences.
+
+pub mod deque;
 
 pub mod thread {
     use std::any::Any;

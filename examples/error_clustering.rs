@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example error_clustering`
 
-use pareval_core::{report, ExperimentPlan, ParallelRunner, Runner};
+use pareval_core::{report, ExperimentPlan, Runner, ScheduledRunner};
 use pareval_errclust::{category_counts, cluster_logs, PipelineConfig};
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
         .apps(["nanoXOR", "microXORh", "microXOR"])
         .build();
     println!("Running a benchmark slice ({samples} samples per cell)...");
-    let results = ParallelRunner::auto().run(&plan);
+    let results = ScheduledRunner::auto().run(&plan);
 
     let tagged = results.error_logs_with_models();
     println!("Collected {} failed-build logs.\n", tagged.len());

@@ -2,7 +2,7 @@
 //! Collector API:
 //!
 //! 1. build an [`ExperimentPlan`] with the builder,
-//! 2. run it on a [`ParallelRunner`] with a custom [`ProgressSink`] that
+//! 2. run it on a [`ScheduledRunner`] with a custom [`ProgressSink`] that
 //!    streams per-sample verdicts as workers complete them,
 //! 3. query the retained raw records for pass@k at k = 1 and k = 5 — a
 //!    question the old aggregate-counts API could not answer.
@@ -11,7 +11,7 @@
 
 use minihpc_lang::model::TranslationPair;
 use pareval_core::{
-    ExperimentPlan, Metric, ParallelRunner, ProgressSink, Runner, SampleRecord, Scoring,
+    ExperimentPlan, Metric, ProgressSink, Runner, SampleRecord, ScheduledRunner, Scoring,
 };
 use pareval_llm::all_models;
 use pareval_translate::Technique;
@@ -65,7 +65,7 @@ fn main() {
         done: AtomicU64::new(0),
         total: plan.total_samples() as u64,
     };
-    let runner = ParallelRunner::new(4);
+    let runner = ScheduledRunner::new(4);
     let results = runner.run_with_sink(&plan, &sink);
 
     println!("\npass@k from the retained records (code-only scoring):");

@@ -13,7 +13,7 @@
 
 use minihpc_lang::model::TranslationPair;
 use pareval_core::{
-    EvalPipeline, ExperimentPlan, ExperimentPlanBuilder, NullSink, ParallelRunner, Runner, Scoring,
+    EvalPipeline, ExperimentPlan, ExperimentPlanBuilder, NullSink, Runner, ScheduledRunner, Scoring,
 };
 use pareval_llm::{all_models, OracleBackend};
 use std::sync::Arc;
@@ -31,7 +31,7 @@ fn slice() -> ExperimentPlanBuilder {
 }
 
 fn main() {
-    let runner = ParallelRunner::new(4);
+    let runner = ScheduledRunner::new(4);
     let simulated = runner.run(&slice().build());
 
     // Same grid, oracle backend; keep the pipeline to read cache stats.

@@ -13,7 +13,7 @@
 //! Run with: `cargo run --release --example repair_loop`
 
 use minihpc_lang::model::TranslationPair;
-use pareval_core::{report, EvalConfig, ExperimentPlan, Metric, ParallelRunner, Runner, Scoring};
+use pareval_core::{report, EvalConfig, ExperimentPlan, Metric, Runner, ScheduledRunner, Scoring};
 use pareval_translate::Technique;
 
 fn plan(repair_budget: u32) -> ExperimentPlan {
@@ -31,7 +31,7 @@ fn plan(repair_budget: u32) -> ExperimentPlan {
 }
 
 fn main() {
-    let runner = ParallelRunner::new(4);
+    let runner = ScheduledRunner::new(4);
     let baseline = runner.run(&plan(0));
     let repaired = runner.run(&plan(3));
 

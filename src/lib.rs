@@ -14,10 +14,13 @@ pub use minihpc_build as build;
 /// [`TranslationBackend`](pareval_llm::TranslationBackend) and a
 /// [`Runner`](pareval_core::Runner), query the collected results.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use pareval_core::ParallelRunner;
     pub use pareval_core::{
         report, CellFilter, CellKey, CellResult, CellSpec, EvalConfig, EvalPipeline,
-        ExperimentPlan, ExperimentResults, Metric, NullSink, ParallelRunner, ProgressSink,
-        RepairRound, Runner, SampleRecord, SampleSpec, Scoring, SerialRunner,
+        ExperimentPlan, ExperimentResults, Metric, NullSink, ProgressSink, RepairRound,
+        RoundRobinRunner, Runner, SampleRecord, SampleSpec, SchedStats, ScheduledRunner, Scoring,
+        SerialRunner,
     };
     pub use pareval_llm::{
         OracleBackend, RecordingBackend, RepairContext, RepairOutcome, ReplayBackend,

@@ -5,7 +5,7 @@
 use minihpc_lang::model::TranslationPair;
 use pareval_core::{
     all_tasks, EvalConfig, EvalPipeline, ExperimentPlan, ExperimentPlanBuilder, Metric, NullSink,
-    ParallelRunner, Runner, Scoring, SerialRunner, Task,
+    Runner, ScheduledRunner, Scoring, SerialRunner, Task,
 };
 use pareval_llm::{all_models, OracleBackend, RecordingBackend, ReplayBackend, SimulatedBackend};
 use pareval_repo as _;
@@ -126,7 +126,7 @@ fn record_replay_round_trip_is_byte_identical() {
 
     // Record a parallel run...
     let record_plan = recorded_slice().backend(Arc::new(recording)).build();
-    let recorded = ParallelRunner::new(3).run(&record_plan);
+    let recorded = ScheduledRunner::new(3).run(&record_plan);
 
     // ...then replay it offline (different runner, different worker count)
     // and against the plain simulated run for transparency.
@@ -210,8 +210,8 @@ fn oracle_upper_bounds_the_simulation_everywhere() {
             .techniques([Technique::NonAgentic])
             .apps(["nanoXOR", "microXORh", "microXOR"])
     };
-    let sim = ParallelRunner::new(2).run(&base().build());
-    let oracle = ParallelRunner::new(2).run(&base().backend(Arc::new(OracleBackend)).build());
+    let sim = ScheduledRunner::new(2).run(&base().build());
+    let oracle = ScheduledRunner::new(2).run(&base().backend(Arc::new(OracleBackend)).build());
     let mut compared = 0;
     for (key, sim_cell) in &sim.cells {
         if sim_cell.samples() == 0 {

@@ -3,7 +3,7 @@
 //! → clustering) and check the paper's headline findings hold.
 
 use minihpc_lang::model::TranslationPair;
-use pareval_core::{ExperimentPlan, Metric, ParallelRunner, Runner, Scoring, SerialRunner};
+use pareval_core::{ExperimentPlan, Metric, Runner, ScheduledRunner, Scoring, SerialRunner};
 use pareval_errclust::{cluster_logs, PipelineConfig};
 use pareval_llm::all_models;
 use pareval_repo as _;
@@ -21,7 +21,7 @@ fn slice(samples: u32, models: &[&str], apps: &[&str]) -> pareval_core::Experime
         )
         .apps(apps.iter().copied())
         .build();
-    ParallelRunner::new(2).run(&plan)
+    ScheduledRunner::new(2).run(&plan)
 }
 
 #[test]

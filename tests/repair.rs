@@ -6,7 +6,7 @@
 use minihpc_lang::model::TranslationPair;
 use pareval_core::{
     report, EvalConfig, EvalPipeline, ExperimentPlan, ExperimentPlanBuilder, Metric, NullSink,
-    ParallelRunner, Runner, Scoring, SerialRunner,
+    Runner, ScheduledRunner, Scoring, SerialRunner,
 };
 use pareval_llm::{all_models, OracleBackend, RecordingBackend, ReplayBackend, SimulatedBackend};
 use pareval_repo as _;
@@ -34,8 +34,8 @@ fn slice(budget: u32) -> ExperimentPlanBuilder {
 
 #[test]
 fn repair_budget_monotonically_improves_build_rates() {
-    let baseline = ParallelRunner::new(4).run(&slice(0).build());
-    let repaired = ParallelRunner::new(4).run(&slice(3).build());
+    let baseline = ScheduledRunner::new(4).run(&slice(0).build());
+    let repaired = ScheduledRunner::new(4).run(&slice(3).build());
 
     let mut improved = 0;
     for (key, cell) in &repaired.cells {
@@ -113,7 +113,7 @@ fn repair_tokens_count_toward_the_sample_cost() {
 fn repaired_cached_parallel_matches_uncached_serial() {
     // The determinism contract survives the repair loop: cache + sharding
     // must be invisible at any budget.
-    let cached = ParallelRunner::new(4).run(&slice(2).build());
+    let cached = ScheduledRunner::new(4).run(&slice(2).build());
     let uncached_eval = EvalConfig {
         build_cache: false,
         ..eval_with_budget(2)
@@ -135,7 +135,7 @@ fn record_replay_round_trip_includes_repair_rounds() {
     let store = recording.store();
 
     let record_plan = slice(2).backend(Arc::new(recording)).build();
-    let recorded = ParallelRunner::new(3).run(&record_plan);
+    let recorded = ScheduledRunner::new(3).run(&record_plan);
     assert!(
         recorded.max_repair_round() >= 1,
         "the recorded grid must exercise repair"
@@ -198,7 +198,7 @@ fn oracle_repairs_swe_agent_corruption_in_one_round() {
 
 #[test]
 fn repair_report_prints_per_round_rates() {
-    let results = ParallelRunner::new(4).run(&slice(3).build());
+    let results = ScheduledRunner::new(4).run(&slice(3).build());
     let text = report::repair_report(&results);
     let rounds = results.max_repair_round();
     assert!(rounds >= 1);
