@@ -2,7 +2,7 @@
 # release build, tests, clippy with warnings denied, a format check, docs
 # with warnings denied, and every example executed end to end.
 
-.PHONY: all build test doc fmt fmt-fix clippy bench bench-smoke sched-smoke examples verify clean
+.PHONY: all build test doc fmt fmt-fix clippy bench bench-smoke sched-smoke resume-smoke examples verify clean
 
 all: verify
 
@@ -57,6 +57,15 @@ sched-smoke:
 		} \
 	}' BENCH_sched.json
 
+# The durability gate: run a journaled grid with an injected mid-run
+# crash, resume from the journal, and require the resumed report bytes to
+# match an uninterrupted serial run (the example asserts the diff and
+# prints the line this target greps for).
+resume-smoke: build
+	@cargo run --release --example resume_run | tee /tmp/resume_smoke.out
+	@grep -q 'resume-smoke: report bytes identical' /tmp/resume_smoke.out \
+		|| { echo "resume-smoke: crash/resume byte-identity line missing"; exit 1; }
+
 # Every example must run to completion (exit 0); output is discarded.
 examples: build
 	cargo run --release --example quickstart > /dev/null
@@ -66,8 +75,9 @@ examples: build
 	cargo run --release --example experiment_stream > /dev/null
 	cargo run --release --example oracle_upper_bound > /dev/null
 	cargo run --release --example repair_loop > /dev/null
+	cargo run --release --example resume_run > /dev/null
 
-verify: build test clippy fmt doc examples sched-smoke
+verify: build test clippy fmt doc examples sched-smoke resume-smoke
 
 clean:
 	cargo clean

@@ -22,7 +22,7 @@ use minihpc_lang::model::TranslationPair;
 use pareval_errclust::LogEntry;
 use pareval_metrics::{pass_at_k, MeanAccumulator};
 use pareval_translate::Technique;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Which success criterion a rate is computed over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -215,10 +215,18 @@ pub struct ExperimentResults {
 impl ExperimentResults {
     /// Collect runner output into per-cell results.
     ///
+    /// Accepts any record source — a runner's `Vec`, or a lazy journal
+    /// replay chained with fresh records (see
+    /// [`Runner::resume`](crate::runner::Runner::resume)) — and consumes it
+    /// in a single pass, moving each record straight into its cell: peak
+    /// retained records = the final per-cell total plus the one record in
+    /// flight, never an extra buffered copy of the input.
+    ///
     /// Records are restored to canonical `(CellKey, sample_index)` order
-    /// first, so any execution order (serial, sharded, work-stolen) yields
-    /// identical results. Cell construction is atomic: a cell whose plan —
-    /// or any of whose records — says infeasible holds no records at all.
+    /// before the results are returned, so any execution order (serial,
+    /// sharded, work-stolen, resumed) yields identical results. Cell
+    /// construction is atomic: a cell whose plan — or any of whose records
+    /// — says infeasible holds no records at all.
     ///
     /// # Panics
     ///
@@ -228,24 +236,18 @@ impl ExperimentResults {
     /// recoverable state).
     ///
     /// [`SampleSpec`]: crate::plan::SampleSpec
-    pub fn from_records(plan: &ExperimentPlan, mut records: Vec<SampleRecord>) -> Self {
-        records.sort_by_key(|r| (r.key, r.sample_index));
-        // All samples of a cell share the plan's feasibility; a single
-        // infeasible record marks its whole cell not-run, and none of the
-        // cell's records are retained.
-        let infeasible_keys: BTreeSet<CellKey> = records
-            .iter()
-            .filter(|r| !r.result.feasible)
-            .map(|r| r.key)
-            .collect();
+    pub fn from_records(
+        plan: &ExperimentPlan,
+        records: impl IntoIterator<Item = SampleRecord>,
+    ) -> Self {
         let mut cells: BTreeMap<CellKey, CellResult> = plan
             .cells()
             .iter()
             .map(|spec| {
-                // Feasibility comes from the plan (a feasible cell scheduled
-                // with zero samples is still feasible), demoted only by an
-                // infeasible record.
-                let cell = if spec.feasible && !infeasible_keys.contains(&spec.key) {
+                // Feasibility starts from the plan (a feasible cell scheduled
+                // with zero samples is still feasible); an infeasible record
+                // demotes its cell below.
+                let cell = if spec.feasible {
                     CellResult {
                         feasible: true,
                         records: Vec::new(),
@@ -260,9 +262,20 @@ impl ExperimentResults {
             let cell = cells
                 .get_mut(&record.key)
                 .expect("runner produced a record for a cell not in the plan");
-            if cell.feasible {
+            if !record.result.feasible {
+                // All samples of a cell share the plan's feasibility; a
+                // single infeasible record marks its whole cell not-run,
+                // dropping any records already retained and blocking the
+                // rest.
+                *cell = CellResult::infeasible();
+            } else if cell.feasible {
                 cell.records.push(record);
             }
+        }
+        // Per-cell sort by sample index == the old global (key, index) sort,
+        // since the map is already keyed by cell.
+        for cell in cells.values_mut() {
+            cell.records.sort_by_key(|r| r.sample_index);
         }
         ExperimentResults { cells }
     }

@@ -30,6 +30,7 @@
 //! cold evaluation it replaced (`tests/backends.rs` proves this by
 //! property test, `tests/determinism.rs` end to end).
 
+use crate::journal::codec;
 use crate::plan::{ExperimentPlan, SampleSpec};
 use crate::runner::SampleRecord;
 use crate::task::{EvalConfig, EvalOutcome, RepairRound, SampleResult, Task};
@@ -39,26 +40,28 @@ use minihpc_runtime::{run, RunConfig};
 use pareval_llm::{AttemptSpec, ModelProfile, RepairContext, RepairOutcome, TranslationBackend};
 use pareval_translate::techniques::{translate_with, TranslationJob};
 use pareval_translate::Technique;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// 128-bit FNV-1a, the content-address of the cache. Stable across runs
-/// and platforms (unlike `std`'s randomized hasher) and wide enough that
-/// collisions are not a practical concern.
+/// 128-bit FNV-1a, the content-address of the cache (also the plan
+/// fingerprint hash, see [`crate::plan::ExperimentPlan::fingerprint`]).
+/// Stable across runs and platforms (unlike `std`'s randomized hasher) and
+/// wide enough that collisions are not a practical concern.
 #[derive(Debug, Clone, Copy)]
-struct ContentHash(u128);
+pub(crate) struct ContentHash(u128);
 
 impl ContentHash {
     const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
     const PRIME: u128 = 0x0000000001000000000000000000013b;
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         ContentHash(Self::OFFSET)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u128::from(b);
             self.0 = self.0.wrapping_mul(Self::PRIME);
@@ -67,28 +70,192 @@ impl ContentHash {
         self.0 ^= 0xff;
         self.0 = self.0.wrapping_mul(Self::PRIME);
     }
+
+    pub(crate) fn finish(self) -> u128 {
+        self.0
+    }
 }
 
-/// Hit/miss counters of a [`BuildCache`].
+/// Hit/miss/evict counters of a [`BuildCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Lookups served from the in-memory tier.
     pub hits: u64,
+    /// Lookups served from neither tier (a cold evaluation ran).
     pub misses: u64,
+    /// Lookups that missed in memory but were served by the disk tier
+    /// (the entry is promoted to memory on the way out).
+    pub disk_hits: u64,
+    /// Disk entries evicted to keep the tier under its byte budget.
+    pub evictions: u64,
 }
 
 impl CacheStats {
-    /// Fraction of lookups served from the cache (0 when none happened).
+    /// Fraction of lookups served from either cache tier (0 when none
+    /// happened).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits + self.disk_hits + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            (self.hits + self.disk_hits) as f64 / total as f64
         }
     }
 }
 
-/// A content-addressed memo of build + run outcomes.
+/// The persistent tier of a [`BuildCache`]: one file per outcome in a
+/// shared directory, named by the hex content key, each payload
+/// checksummed. Because the file *name* is the full 128-bit key — which
+/// hashes every [`EvalConfig`] knob that can change an outcome — a harness
+/// whose key computation changes (a new knob, a new hash input) simply
+/// stops matching old entries; it can never be served a stale outcome
+/// computed under different semantics.
+///
+/// Durability is best-effort by design: a read that fails its checksum (a
+/// torn write, bit rot) deletes the entry and reports a miss — a corrupted
+/// entry can cost a rebuild, never a wrong result. Store errors (disk
+/// full, permissions) are swallowed; the run continues on the memory tier.
+///
+/// Eviction is least-recently-used by byte budget: the in-process index
+/// orders entries by last touch (seeded from file mtimes at open, so LRU
+/// order survives across processes), and inserts evict from the cold end
+/// until the tier fits the budget again.
+#[derive(Debug)]
+struct DiskCache {
+    dir: PathBuf,
+    budget: u64,
+    index: Mutex<DiskIndex>,
+}
+
+/// LRU bookkeeping of a [`DiskCache`]: entries in touch order (front =
+/// coldest), plus the running byte total.
+#[derive(Debug, Default)]
+struct DiskIndex {
+    entries: Vec<(u128, u64)>,
+    total_bytes: u64,
+}
+
+impl DiskIndex {
+    /// Move `key` to the hot end (or append it), updating the byte total.
+    fn touch(&mut self, key: u128, size: u64) {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            let (_, old) = self.entries.remove(i);
+            self.total_bytes -= old;
+        }
+        self.entries.push((key, size));
+        self.total_bytes += size;
+    }
+
+    fn remove(&mut self, key: u128) {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            let (_, size) = self.entries.remove(i);
+            self.total_bytes -= size;
+        }
+    }
+}
+
+const DISK_ENTRY_MAGIC: &[u8; 8] = b"PEBC0001";
+
+impl DiskCache {
+    /// Open (creating if needed) the cache directory and rebuild the LRU
+    /// index from the entries already on disk, coldest mtime first.
+    fn open(dir: &Path, budget: u64) -> std::io::Result<DiskCache> {
+        std::fs::create_dir_all(dir)?;
+        let mut found: Vec<(u128, u64, std::time::SystemTime)> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(key) = name
+                .to_str()
+                .and_then(|n| n.strip_suffix(".entry"))
+                .and_then(|hex| u128::from_str_radix(hex, 16).ok())
+            else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else { continue };
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            found.push((key, meta.len(), mtime));
+        }
+        found.sort_by_key(|&(key, _, mtime)| (mtime, key));
+        let mut index = DiskIndex::default();
+        for (key, size, _) in found {
+            index.touch(key, size);
+        }
+        Ok(DiskCache {
+            dir: dir.to_path_buf(),
+            budget,
+            index: Mutex::new(index),
+        })
+    }
+
+    fn path_of(&self, key: u128) -> PathBuf {
+        self.dir.join(format!("{key:032x}.entry"))
+    }
+
+    /// Read-through lookup. Any failure — missing file, bad magic, bad
+    /// checksum, undecodable payload — deletes the entry and reports a
+    /// miss; a corrupted entry can never surface as a wrong outcome.
+    fn load(&self, key: u128) -> Option<EvalOutcome> {
+        let path = self.path_of(key);
+        let outcome = std::fs::read(&path).ok().and_then(|bytes| {
+            let payload = bytes.strip_prefix(DISK_ENTRY_MAGIC)?;
+            let (sum, payload) = payload.split_first_chunk::<8>()?;
+            if u64::from_le_bytes(*sum) != codec::fnv64(payload) {
+                return None;
+            }
+            codec::decode_outcome(payload)
+        });
+        match outcome {
+            Some(outcome) => {
+                let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                self.index.lock().touch(key, len);
+                Some(outcome)
+            }
+            None => {
+                let _ = std::fs::remove_file(&path);
+                self.index.lock().remove(key);
+                None
+            }
+        }
+    }
+
+    /// Write-through insert: serialize, write to a temp file, rename into
+    /// place (atomic on POSIX), then evict cold entries until the tier is
+    /// back under budget. Returns how many entries were evicted.
+    fn store(&self, key: u128, outcome: &EvalOutcome) -> u64 {
+        let payload = codec::encode_outcome(outcome);
+        let mut bytes = Vec::with_capacity(DISK_ENTRY_MAGIC.len() + 8 + payload.len());
+        bytes.extend_from_slice(DISK_ENTRY_MAGIC);
+        bytes.extend_from_slice(&codec::fnv64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let path = self.path_of(key);
+        let tmp = self.dir.join(format!("{key:032x}.tmp"));
+        if std::fs::write(&tmp, &bytes).is_err() || std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return 0;
+        }
+        let mut index = self.index.lock();
+        index.touch(key, bytes.len() as u64);
+        // Evict coldest-first until under budget. The entry just written is
+        // at the hot end and is never evicted on its own insert (a single
+        // over-budget entry is still worth keeping until something newer
+        // displaces it).
+        let mut evicted = 0;
+        while index.total_bytes > self.budget && index.entries.len() > 1 {
+            let (cold, _) = index.entries[0];
+            let _ = std::fs::remove_file(self.path_of(cold));
+            index.remove(cold);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// A content-addressed memo of build + run outcomes: an in-memory map,
+/// optionally backed by a persistent disk tier shared across
+/// processes (see [`EvalConfig::disk_cache_dir`]). Lookups read through —
+/// memory first, then disk (promoting the entry to memory) — and inserts
+/// write through to both tiers.
 ///
 /// Thread-safe: lookups take a read lock, inserts a write lock, so workers
 /// of a parallel runner serve each other's hits. Two threads racing on the
@@ -97,13 +264,26 @@ impl CacheStats {
 #[derive(Debug, Default)]
 pub struct BuildCache {
     map: RwLock<HashMap<u128, EvalOutcome>>,
+    disk: Option<DiskCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk_hits: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl BuildCache {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cache with a persistent disk tier rooted at `dir` (created if
+    /// missing), evicting least-recently-used entries beyond `budget`
+    /// bytes. Fails only if the directory cannot be created or scanned.
+    pub fn with_disk(dir: &Path, budget: u64) -> std::io::Result<Self> {
+        Ok(BuildCache {
+            disk: Some(DiskCache::open(dir, budget)?),
+            ..BuildCache::default()
+        })
     }
 
     /// The full outcome key: repo content plus every input that changes
@@ -119,6 +299,10 @@ impl BuildCache {
             build_cache: _,
             repair_budget,
             repair_diag_lines,
+            // Where the persistent tier lives and how big it may grow
+            // cannot change what `evaluate` returns, only how fast.
+            disk_cache_dir: _,
+            disk_cache_budget: _,
         } = eval;
         let mut h = ContentHash::new();
         h.write(task.app.binary.as_bytes());
@@ -136,15 +320,26 @@ impl BuildCache {
     }
 
     fn lookup(&self, key: u128) -> Option<EvalOutcome> {
-        let hit = self.map.read().get(&key).cloned();
-        match &hit {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        hit
+        if let Some(hit) = self.map.read().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hit);
+        }
+        // Read through to the disk tier, promoting the entry to memory so
+        // repeat lookups in this process are pure memory hits.
+        if let Some(hit) = self.disk.as_ref().and_then(|d| d.load(key)) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.map.write().insert(key, hit.clone());
+            return Some(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     fn insert(&self, key: u128, outcome: EvalOutcome) {
+        if let Some(disk) = &self.disk {
+            let evicted = disk.store(key, &outcome);
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
         self.map.write().insert(key, outcome);
     }
 
@@ -161,6 +356,8 @@ impl BuildCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -186,10 +383,26 @@ impl Default for EvalPipeline {
 
 impl EvalPipeline {
     /// A pipeline with the given knobs; the cache is enabled per
-    /// [`EvalConfig::build_cache`].
+    /// [`EvalConfig::build_cache`], and gains a persistent disk tier when
+    /// [`EvalConfig::disk_cache_dir`] is set. An unusable cache directory
+    /// (cannot be created or scanned) degrades to the in-memory tier only —
+    /// the persistent cache is a wall-clock optimization and must never
+    /// stop a run; [`EvalPipeline::disk_cache_active`] reports whether the
+    /// tier actually engaged.
     pub fn new(eval: EvalConfig) -> Self {
-        let cache = eval.build_cache.then(BuildCache::new);
+        let cache = eval.build_cache.then(|| match &eval.disk_cache_dir {
+            Some(dir) => BuildCache::with_disk(dir, eval.disk_cache_budget)
+                .unwrap_or_else(|_| BuildCache::new()),
+            None => BuildCache::new(),
+        });
         EvalPipeline { eval, cache }
+    }
+
+    /// Did the persistent disk tier requested by
+    /// [`EvalConfig::disk_cache_dir`] actually open? (False when no dir was
+    /// configured, the cache is disabled, or the directory was unusable.)
+    pub fn disk_cache_active(&self) -> bool {
+        self.cache.as_ref().is_some_and(|c| c.disk.is_some())
     }
 
     pub fn eval(&self) -> &EvalConfig {
@@ -610,7 +823,11 @@ mod tests {
         let stats = pipeline.cache_stats();
         assert_eq!(
             stats,
-            CacheStats { hits: 2, misses: 2 },
+            CacheStats {
+                hits: 2,
+                misses: 2,
+                ..CacheStats::default()
+            },
             "sample 1 must be pure hits"
         );
     }

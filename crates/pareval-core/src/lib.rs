@@ -27,7 +27,10 @@
 //!    [`SampleSpec::cost_hint`]; [`RoundRobinRunner`] keeps the old static
 //!    sharding as the benchmark baseline). All stream [`SampleRecord`]s to
 //!    a [`ProgressSink`] and produce byte-identical results for the same
-//!    plan — cached or not, at any worker count.
+//!    plan — cached or not, at any worker count. With a [`JournalSink`]
+//!    attached, completed samples are checkpointed to an append-only
+//!    on-disk journal and a crashed run continues via [`Runner::resume`]
+//!    (see [`journal`]).
 //! 4. **Collector** ([`collect`]) — [`ExperimentResults`] retains the raw
 //!    records and recomputes every metric on demand, including
 //!    [`CellResult::pass_at_k`] / [`CellResult::build_at_k`] for k > 1.
@@ -59,6 +62,7 @@
 
 pub mod collect;
 pub mod eval;
+pub mod journal;
 pub mod plan;
 pub mod report;
 pub mod runner;
@@ -67,6 +71,7 @@ pub mod task;
 
 pub use collect::{CellResult, ExperimentResults, Metric};
 pub use eval::{BuildCache, CacheStats, EvalPipeline};
+pub use journal::{JournalError, JournalReader, JournalSink, Replay};
 pub use plan::{
     CellFilter, CellKey, CellQuery, CellSpec, ExperimentPlan, ExperimentPlanBuilder, SampleSpec,
 };

@@ -261,6 +261,34 @@ impl ExperimentPlan {
         self.cells.iter().map(|c| c.samples as usize).sum()
     }
 
+    /// Content fingerprint of the plan, pinned in a journal header (see
+    /// [`crate::journal`]) so a resume can refuse a journal written by a
+    /// different grid. Hashes everything that determines the result set:
+    /// the seed, the result-affecting [`EvalConfig`] knobs, and every
+    /// cell's key, feasibility, sample count, and backend *name*. Pure
+    /// wall-clock knobs (`build_cache`, the disk-cache tier) are excluded —
+    /// toggling them mid-resume is legal because results are byte-identical
+    /// either way.
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = crate::eval::ContentHash::new();
+        h.write(b"pareval-plan-v1");
+        h.write(&self.seed.to_le_bytes());
+        h.write(&(self.eval.max_cases as u64).to_le_bytes());
+        h.write(&self.eval.max_steps.to_le_bytes());
+        h.write(&self.eval.repair_budget.to_le_bytes());
+        h.write(&(self.eval.repair_diag_lines as u64).to_le_bytes());
+        for cell in &self.cells {
+            h.write(cell.key.pair.id().as_bytes());
+            h.write(cell.key.technique.name().as_bytes());
+            h.write(cell.key.model.as_bytes());
+            h.write(cell.key.app.as_bytes());
+            h.write(&[cell.feasible as u8]);
+            h.write(&cell.samples.to_le_bytes());
+            h.write(self.backends[cell.backend].name().as_bytes());
+        }
+        h.finish()
+    }
+
     /// The flat work list, in deterministic enumeration order.
     pub fn sample_specs(&self) -> Vec<SampleSpec> {
         let mut out = Vec::with_capacity(self.total_samples());

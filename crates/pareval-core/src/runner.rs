@@ -1,6 +1,6 @@
 //! The Runner layer: execution strategies over an [`ExperimentPlan`].
 //!
-//! A [`Runner`] turns a plan's [`SampleSpec`](crate::plan::SampleSpec)s
+//! A [`Runner`] turns a plan's [`SampleSpec`]s
 //! into [`SampleRecord`]s (via a shared [`EvalPipeline`]) and hands them to
 //! the Collector ([`ExperimentResults::from_records`]).
 //! Because every sample is independently seeded, execution order is
@@ -22,9 +22,12 @@
 
 use crate::collect::ExperimentResults;
 use crate::eval::EvalPipeline;
-use crate::plan::{CellKey, ExperimentPlan};
+use crate::journal::{self, JournalError, JournalReader};
+use crate::plan::{CellKey, ExperimentPlan, SampleSpec};
 use crate::sched::{round_robin_map, ScheduledRunner};
 use crate::task::SampleResult;
+use std::collections::HashSet;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One completed sample: the cell it belongs to, its index within the cell,
@@ -77,6 +80,21 @@ impl ProgressSink for CountingSink {
 
 /// An execution strategy for a plan.
 pub trait Runner {
+    /// Execute `specs` (a subset of `plan.sample_specs()`) through
+    /// `pipeline`, streaming each completed record to `sink` and returning
+    /// the records in completion order. This is the strategy's *only*
+    /// required method — the whole-plan entry points and
+    /// [`Runner::resume`] are provided on top of it — so a strategy
+    /// defines how work is distributed exactly once and partial runs
+    /// (resume's remainder) go through the same code path as full ones.
+    fn run_specs(
+        &self,
+        plan: &ExperimentPlan,
+        specs: Vec<SampleSpec>,
+        pipeline: &EvalPipeline,
+        sink: &dyn ProgressSink,
+    ) -> Vec<SampleRecord>;
+
     /// Execute every sample of `plan` through `pipeline`, streaming records
     /// to `sink`. The pipeline (and with it the build cache) is shared by
     /// every worker of this run; pass one in explicitly to inspect
@@ -86,7 +104,10 @@ pub trait Runner {
         plan: &ExperimentPlan,
         pipeline: &EvalPipeline,
         sink: &dyn ProgressSink,
-    ) -> ExperimentResults;
+    ) -> ExperimentResults {
+        let records = self.run_specs(plan, plan.sample_specs(), pipeline, sink);
+        ExperimentResults::from_records(plan, records)
+    }
 
     /// Execute with a fresh pipeline built from the plan's
     /// [`EvalConfig`](crate::task::EvalConfig).
@@ -98,6 +119,61 @@ pub trait Runner {
     fn run(&self, plan: &ExperimentPlan) -> ExperimentResults {
         self.run_with_sink(plan, &NullSink)
     }
+
+    /// Resume a crashed run from the journal at `journal`, producing
+    /// [`ExperimentResults`] byte-identical to an uninterrupted run of
+    /// `plan`.
+    ///
+    /// Two streaming passes over the journal: the first recovers the
+    /// completed `(cell, sample)` set from the intact record prefix (torn
+    /// or corrupted tails are skipped, not fatal); only the *remaining*
+    /// specs are then executed through this strategy's [`Runner::run_specs`]
+    /// (so e.g. [`ScheduledRunner`] re-seeds its injector with the
+    /// remainder in LPT order), streaming fresh records to `sink` as usual.
+    /// The second pass replays the journaled records and merges them with
+    /// the fresh ones into the collector, one record in flight at a time —
+    /// no double-buffering of the journal. Replay is capped at the
+    /// first-pass record count and deduplicated, so a `sink` that appends
+    /// to the *same* journal file (the normal arrangement, via
+    /// [`JournalSink::append`](crate::journal::JournalSink::append)) is
+    /// safe, as is a journal holding duplicates from earlier resume cycles.
+    ///
+    /// Replayed records are not re-delivered to `sink`: they were delivered
+    /// during the run that wrote them.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::NotAJournal`] / [`JournalError::PlanMismatch`] when
+    /// the file is not a journal for this plan (a fingerprint mismatch
+    /// refuses to silently resume the wrong grid), [`JournalError::Io`] on
+    /// I/O failure.
+    fn resume(
+        &self,
+        plan: &ExperimentPlan,
+        journal: &Path,
+        pipeline: &EvalPipeline,
+        sink: &dyn ProgressSink,
+    ) -> Result<ExperimentResults, JournalError> {
+        let replay = journal::scan(journal, plan)?;
+        let remainder: Vec<SampleSpec> = plan
+            .sample_specs()
+            .into_iter()
+            .filter(|spec| {
+                !replay
+                    .completed
+                    .contains(&(plan.cells()[spec.cell].key, spec.sample_index))
+            })
+            .collect();
+        let fresh = self.run_specs(plan, remainder, pipeline, sink);
+        // Second pass: replay exactly the records the scan saw (`take`
+        // stops before anything `sink` appended during `run_specs`),
+        // dropping duplicates a crash mid-append can leave behind.
+        let mut seen = HashSet::new();
+        let replayed = JournalReader::open(journal, plan)?
+            .take(replay.records as usize)
+            .filter(move |record| seen.insert((record.key, record.sample_index)));
+        Ok(ExperimentResults::from_records(plan, replayed.chain(fresh)))
+    }
 }
 
 /// Runs every sample on the calling thread, in enumeration order.
@@ -105,22 +181,21 @@ pub trait Runner {
 pub struct SerialRunner;
 
 impl Runner for SerialRunner {
-    fn run_with(
+    fn run_specs(
         &self,
         plan: &ExperimentPlan,
+        specs: Vec<SampleSpec>,
         pipeline: &EvalPipeline,
         sink: &dyn ProgressSink,
-    ) -> ExperimentResults {
-        let records: Vec<SampleRecord> = plan
-            .sample_specs()
+    ) -> Vec<SampleRecord> {
+        specs
             .iter()
             .map(|spec| {
                 let record = pipeline.execute(plan, spec);
                 sink.on_sample(&record);
                 record
             })
-            .collect();
-        ExperimentResults::from_records(plan, records)
+            .collect()
     }
 }
 
@@ -158,19 +233,18 @@ impl RoundRobinRunner {
 }
 
 impl Runner for RoundRobinRunner {
-    fn run_with(
+    fn run_specs(
         &self,
         plan: &ExperimentPlan,
+        specs: Vec<SampleSpec>,
         pipeline: &EvalPipeline,
         sink: &dyn ProgressSink,
-    ) -> ExperimentResults {
-        let specs = plan.sample_specs();
-        let records = round_robin_map(&specs, self.workers, |spec| {
+    ) -> Vec<SampleRecord> {
+        round_robin_map(&specs, self.workers, |spec| {
             let record = pipeline.execute(plan, spec);
             sink.on_sample(&record);
             record
-        });
-        ExperimentResults::from_records(plan, records)
+        })
     }
 }
 
@@ -211,13 +285,14 @@ impl ParallelRunner {
 
 #[allow(deprecated)]
 impl Runner for ParallelRunner {
-    fn run_with(
+    fn run_specs(
         &self,
         plan: &ExperimentPlan,
+        specs: Vec<SampleSpec>,
         pipeline: &EvalPipeline,
         sink: &dyn ProgressSink,
-    ) -> ExperimentResults {
-        ScheduledRunner::new(self.workers).run_with(plan, pipeline, sink)
+    ) -> Vec<SampleRecord> {
+        ScheduledRunner::new(self.workers).run_specs(plan, specs, pipeline, sink)
     }
 }
 

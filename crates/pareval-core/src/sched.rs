@@ -33,7 +33,7 @@
 use crate::collect::ExperimentResults;
 use crate::eval::EvalPipeline;
 use crate::plan::{ExperimentPlan, SampleSpec};
-use crate::runner::{ProgressSink, Runner};
+use crate::runner::{ProgressSink, Runner, SampleRecord};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -199,8 +199,7 @@ where
 /// plan's samples sorted by plan-time cost hint, and lets `workers` scoped
 /// threads drain-then-steal until the grid is done.
 ///
-/// Like every runner, it streams
-/// [`SampleRecord`](crate::runner::SampleRecord)s to the
+/// Like every runner, it streams [`SampleRecord`]s to the
 /// [`ProgressSink`] in completion order (nondeterministic) and returns
 /// results that are byte-identical to a serial run (deterministic). All
 /// workers share one [`EvalPipeline`], so build-cache entries populated by
@@ -239,28 +238,43 @@ impl ScheduledRunner {
         pipeline: &EvalPipeline,
         sink: &dyn ProgressSink,
     ) -> (ExperimentResults, SchedStats) {
-        let mut specs = plan.sample_specs();
+        let (records, stats) = self.schedule(plan, plan.sample_specs(), pipeline, sink);
+        (ExperimentResults::from_records(plan, records), stats)
+    }
+
+    /// The one scheduling path every entry point funnels through: LPT-sort
+    /// `specs` and work-steal them across this runner's threads. Full runs
+    /// and resume remainders both land here, so a resumed run re-seeds its
+    /// injector with only the remaining samples — still most-expensive
+    /// first.
+    fn schedule(
+        &self,
+        plan: &ExperimentPlan,
+        mut specs: Vec<SampleSpec>,
+        pipeline: &EvalPipeline,
+        sink: &dyn ProgressSink,
+    ) -> (Vec<SampleRecord>, SchedStats) {
         // LPT seeding: most expensive first. The sort is stable, so equal
         // hints keep enumeration order and the injector contents are
-        // deterministic for a given plan.
+        // deterministic for a given spec list.
         specs.sort_by_key(|spec| std::cmp::Reverse(spec.cost_hint));
-        let (records, stats) = stealing_map(specs, self.workers, |spec: &SampleSpec| {
+        stealing_map(specs, self.workers, |spec: &SampleSpec| {
             let record = pipeline.execute(plan, spec);
             sink.on_sample(&record);
             record
-        });
-        (ExperimentResults::from_records(plan, records), stats)
+        })
     }
 }
 
 impl Runner for ScheduledRunner {
-    fn run_with(
+    fn run_specs(
         &self,
         plan: &ExperimentPlan,
+        specs: Vec<SampleSpec>,
         pipeline: &EvalPipeline,
         sink: &dyn ProgressSink,
-    ) -> ExperimentResults {
-        self.run_with_stats(plan, pipeline, sink).0
+    ) -> Vec<SampleRecord> {
+        self.schedule(plan, specs, pipeline, sink).0
     }
 }
 

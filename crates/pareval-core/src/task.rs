@@ -121,6 +121,16 @@ pub struct EvalConfig {
     /// How many diagnostic lines of the failed build each repair round's
     /// context carries (the model's feedback prompt budget).
     pub repair_diag_lines: usize,
+    /// Directory of the persistent disk tier of the
+    /// [`crate::eval::BuildCache`]. `None` (the default) keeps the cache
+    /// purely in-memory, dying with the process; `Some(dir)` makes build +
+    /// run outcomes survive crashes and lets concurrent grid runs share
+    /// builds across processes. Like [`EvalConfig::build_cache`] this is
+    /// purely a wall-clock knob — results are byte-identical either way.
+    pub disk_cache_dir: Option<std::path::PathBuf>,
+    /// Byte budget of the disk tier: least-recently-used entries are
+    /// evicted once the stored entries exceed it.
+    pub disk_cache_budget: u64,
 }
 
 impl Default for EvalConfig {
@@ -131,6 +141,8 @@ impl Default for EvalConfig {
             build_cache: true,
             repair_budget: 0,
             repair_diag_lines: 8,
+            disk_cache_dir: None,
+            disk_cache_budget: 64 << 20,
         }
     }
 }

@@ -18,9 +18,9 @@ pub mod prelude {
     pub use pareval_core::ParallelRunner;
     pub use pareval_core::{
         report, CellFilter, CellKey, CellResult, CellSpec, EvalConfig, EvalPipeline,
-        ExperimentPlan, ExperimentResults, Metric, NullSink, ProgressSink, RepairRound,
-        RoundRobinRunner, Runner, SampleRecord, SampleSpec, SchedStats, ScheduledRunner, Scoring,
-        SerialRunner,
+        ExperimentPlan, ExperimentResults, JournalError, JournalReader, JournalSink, Metric,
+        NullSink, ProgressSink, RepairRound, RoundRobinRunner, Runner, SampleRecord, SampleSpec,
+        SchedStats, ScheduledRunner, Scoring, SerialRunner,
     };
     pub use pareval_llm::{
         OracleBackend, RecordingBackend, RepairContext, RepairOutcome, ReplayBackend,

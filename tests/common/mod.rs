@@ -1,0 +1,59 @@
+//! Shared helpers for the durability test suites (`tests/resume.rs`,
+//! `tests/disk_cache.rs`).
+//!
+//! Each integration-test binary compiles its own copy and uses a different
+//! subset, so unused-item lints are off for the whole module.
+#![allow(dead_code)]
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch directory under the system temp dir, removed on drop.
+/// (The workspace vendors its few dependencies, so no `tempfile` crate —
+/// process id + a global counter keep concurrent test binaries apart.)
+pub struct TestDir {
+    path: PathBuf,
+}
+
+impl TestDir {
+    pub fn new(tag: &str) -> TestDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "pareval-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("create test dir");
+        TestDir { path }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Run `f` with the default panic hook silenced, restoring it afterwards —
+/// the fault-injection tests unwind on purpose dozens of times and the
+/// backtrace spam would drown real failures. Serialized by a lock so
+/// parallel tests don't race on the global hook.
+pub fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    use std::sync::Mutex;
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+    let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = f();
+    std::panic::set_hook(hook);
+    drop(guard);
+    result
+}
