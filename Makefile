@@ -2,7 +2,7 @@
 # release build, tests, clippy with warnings denied, a format check, docs
 # with warnings denied, and every example executed end to end.
 
-.PHONY: all build test doc fmt fmt-fix clippy bench bench-smoke sched-smoke resume-smoke examples verify clean
+.PHONY: all build test doc fmt fmt-fix clippy bench bench-smoke sched-smoke resume-smoke analyze-smoke examples verify clean
 
 all: verify
 
@@ -35,6 +35,13 @@ bench-smoke: sched-smoke
 	PAREVAL_SAMPLES=2 cargo bench --bench fig2_correctness
 	PAREVAL_SAMPLES=2 PAREVAL_BENCH_JSON=$(CURDIR)/BENCH_repair.json \
 		cargo bench --bench repair_loop
+	@for key in '"bench": "repair_loop"' '"samples_per_cell"' \
+		'"wall_time_s"' '"build_at_1_overall"' '"pass_at_1_overall"' \
+		'"mean_tokens_per_sample"' '"max_repair_round"'; do \
+		grep -q "$$key" BENCH_repair.json \
+			|| { echo "bench-smoke: BENCH_repair.json missing key $$key"; exit 1; }; \
+	done
+	@echo "bench-smoke: BENCH_repair.json keys present"
 
 # The scheduler gate: regenerate BENCH_sched.json (round-robin vs
 # work-stealing sleep-replay makespans at 1/2/4/8 workers), then fail if
@@ -66,6 +73,22 @@ resume-smoke: build
 	@grep -q 'resume-smoke: report bytes identical' /tmp/resume_smoke.out \
 		|| { echo "resume-smoke: crash/resume byte-identity line missing"; exit 1; }
 
+# The analyzer gate: run the static race analyzer over the oracle grid
+# (must be race-clean) and an injected-race grid (every injected site must
+# be flagged), drop BENCH_analyze.json, and fail if the example's
+# assertion line or a required key is missing.
+analyze-smoke: build
+	@PAREVAL_BENCH_JSON=$(CURDIR)/BENCH_analyze.json \
+		cargo run --release --example analyze_grid | tee /tmp/analyze_smoke.out
+	@grep -q 'analyze-smoke: oracle grid race-clean' /tmp/analyze_smoke.out \
+		|| { echo "analyze-smoke: gate line missing"; exit 1; }
+	@for key in '"bench": "analyze"' '"oracle_built"' '"oracle_error_findings"' \
+		'"injected_samples"' '"injected_flagged"' '"raw_reduction_findings"' \
+		'"race_free_at_1_injected"'; do \
+		grep -q "$$key" BENCH_analyze.json \
+			|| { echo "analyze-smoke: BENCH_analyze.json missing key $$key"; exit 1; }; \
+	done
+
 # Every example must run to completion (exit 0); output is discarded.
 examples: build
 	cargo run --release --example quickstart > /dev/null
@@ -76,8 +99,9 @@ examples: build
 	cargo run --release --example oracle_upper_bound > /dev/null
 	cargo run --release --example repair_loop > /dev/null
 	cargo run --release --example resume_run > /dev/null
+	cargo run --release --example analyze_grid > /dev/null
 
-verify: build test clippy fmt doc examples sched-smoke resume-smoke
+verify: build test clippy fmt doc examples sched-smoke resume-smoke analyze-smoke
 
 clean:
 	cargo clean

@@ -523,6 +523,8 @@ impl<'e> Interp<'e> {
                     grid_dim: grid,
                 }),
                 depth,
+                watch: None,
+                watch_scopes: 0,
             }
         };
 
@@ -696,6 +698,8 @@ impl<'e> Interp<'e> {
                     thread: logical,
                     cuda: None,
                     depth,
+                    watch: None,
+                    watch_scopes: 0,
                 };
                 for (p, idx) in closure.params.iter().zip(indices) {
                     kframe.declare(&p.name, Value::Int(idx), Some(p.ty.clone()));
@@ -736,6 +740,8 @@ impl<'e> Interp<'e> {
                 thread: logical,
                 cuda: None,
                 depth,
+                watch: None,
+                watch_scopes: 0,
             };
             for (p, idx) in index_params.iter().zip(indices) {
                 kframe.declare(&p.name, Value::Int(idx), Some(p.ty.clone()));

@@ -487,6 +487,20 @@ impl<'e> Interp<'e> {
     ) -> IResult<()> {
         match place {
             Place::Var(name) => {
+                // Shared-write recording (opt-in): a write resolving into
+                // the region's snapshot scope — or into globals — is a
+                // write to state every worker sees.
+                if let Some(watch) = &frame.watch {
+                    let shared = match frame.scope_of(name) {
+                        Some(i) => i < frame.watch_scopes,
+                        None => true, // falls through to globals below
+                    };
+                    if shared && !watch.exempt.contains(name) {
+                        self.mem
+                            .detector
+                            .record_shared_write(watch.region, name, frame.thread);
+                    }
+                }
                 if frame.set_existing(name, value.clone()) {
                     return Ok(());
                 }

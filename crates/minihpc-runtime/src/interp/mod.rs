@@ -43,6 +43,11 @@ pub struct RunConfig {
     pub workers: usize,
     /// Enable the write-race detector on device memory.
     pub detect_races: bool,
+    /// Also record conflicting writes to *shared scalars* of parallel
+    /// regions (only meaningful with `parallel` and `workers > 1`).
+    /// Opt-in and test-only: the harness uses it to cross-validate the
+    /// static analyzer's race verdicts against observed execution.
+    pub record_shared_writes: bool,
 }
 
 impl Default for RunConfig {
@@ -55,6 +60,7 @@ impl Default for RunConfig {
                 .map(|n| n.get().min(8))
                 .unwrap_or(4),
             detect_races: false,
+            record_shared_writes: false,
         }
     }
 }
@@ -163,6 +169,24 @@ struct Frame {
     thread: u64,
     cuda: Option<CudaCtx>,
     depth: u32,
+    /// Shared-write recorder for the watched parallel region this frame
+    /// executes under, if any (`RunConfig::record_shared_writes`).
+    /// Propagated into calls so global writes are still seen.
+    watch: Option<Arc<RegionWatch>>,
+    /// How many leading scopes of this frame hold the region's shared
+    /// snapshot: 1 on worker frames, 0 everywhere else (a callee's scope 0
+    /// holds its own parameters, which are private).
+    watch_scopes: usize,
+}
+
+/// One watched parallel region (see [`RunConfig::record_shared_writes`]).
+struct RegionWatch {
+    /// Region id, for race messages and per-region write maps.
+    region: u64,
+    /// Variables the region privatizes per worker — reduction accumulators
+    /// and `private`/`firstprivate` clause names — whose snapshot-scope
+    /// writes are worker-local by construction.
+    exempt: std::collections::HashSet<String>,
 }
 
 #[derive(Clone, Copy)]
@@ -182,7 +206,16 @@ impl Frame {
             thread: 0,
             cuda: None,
             depth: 0,
+            watch: None,
+            watch_scopes: 0,
         }
+    }
+
+    /// Index of the scope `name` resolves to (innermost wins), if any.
+    fn scope_of(&self, name: &str) -> Option<usize> {
+        (0..self.scopes.len())
+            .rev()
+            .find(|&i| self.scopes[i].contains_key(name))
     }
 
     fn get(&self, name: &str) -> Option<&Value> {
@@ -239,6 +272,8 @@ pub struct Interp<'e> {
     globals: Mutex<HashMap<String, Value>>,
     global_types: HashMap<String, Type>,
     kokkos_initialized: Mutex<bool>,
+    /// Monotonic id for watched parallel regions (shared-write recording).
+    regions: AtomicU64,
 }
 
 /// Run a linked executable to completion.
@@ -270,9 +305,10 @@ pub fn run(exe: &Executable, config: RunConfig) -> RunResult {
         });
 
     let detect = config.detect_races;
+    let record_shared = config.record_shared_writes;
     let interp = Interp {
         exe,
-        mem: Memory::new(detect),
+        mem: Memory::new(detect, record_shared),
         out: Mutex::new(String::new()),
         steps: AtomicU64::new(0),
         config,
@@ -293,6 +329,7 @@ pub fn run(exe: &Executable, config: RunConfig) -> RunResult {
             })
             .collect(),
         kokkos_initialized: Mutex::new(false),
+        regions: AtomicU64::new(0),
     };
     interp.run_main()
 }
@@ -453,6 +490,10 @@ impl<'e> Interp<'e> {
             thread: caller.thread,
             cuda: caller.cuda,
             depth: caller.depth + 1,
+            // Callees see only globals from the watched region's shared
+            // state, so their own scopes are all private.
+            watch: caller.watch.clone(),
+            watch_scopes: 0,
         };
         for (p, v) in f.params.iter().zip(args) {
             let v = self.coerce(v, &p.ty)?;

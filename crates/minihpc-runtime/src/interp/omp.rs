@@ -197,6 +197,28 @@ impl<'e> Interp<'e> {
         let chunk = total.div_ceil(n_workers as u64).max(1);
         let combined: Mutex<Vec<Vec<(String, Value)>>> = Mutex::new(Vec::new());
 
+        // Opt-in shared-write recording: writes that resolve into the
+        // snapshot scope (or globals) from more than one worker are
+        // conflicting shared writes — unless the directive privatizes the
+        // variable (reduction / private / firstprivate).
+        let watch = if self.mem.detector.recording_shared() {
+            let mut exempt: std::collections::HashSet<String> =
+                reductions.iter().map(|(_, v)| v.clone()).collect();
+            for c in &d.clauses {
+                if let minihpc_lang::pragma::OmpClause::Private(vars)
+                | minihpc_lang::pragma::OmpClause::FirstPrivate(vars) = c
+                {
+                    exempt.extend(vars.iter().cloned());
+                }
+            }
+            Some(Arc::new(RegionWatch {
+                region: self.regions.fetch_add(1, Ordering::Relaxed),
+                exempt,
+            }))
+        } else {
+            None
+        };
+
         let run_chunk = |interp: &Self, w: u64| -> IResult<()> {
             let lo = w * chunk;
             let hi = ((w + 1) * chunk).min(total);
@@ -210,6 +232,8 @@ impl<'e> Interp<'e> {
                 thread: w,
                 cuda: None,
                 depth,
+                watch: watch.clone(),
+                watch_scopes: 1,
             };
             // Private reduction accumulators.
             for (op, var) in &reductions {

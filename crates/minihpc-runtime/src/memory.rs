@@ -76,9 +76,16 @@ struct Buffer {
 #[derive(Debug, Default)]
 pub struct RaceDetector {
     enabled: bool,
+    /// Also record conflicting writes to *shared scalars* of parallel
+    /// regions (the dropped-`reduction` defect). Opt-in and test-only: the
+    /// interpreter uses it to cross-validate the static analyzer.
+    shared_enabled: bool,
     /// element → first writer thread. A second writer with a different id is
     /// a race.
     writes: Mutex<HashMap<(usize, usize), u64>>,
+    /// (region, variable) → first writer thread; `u64::MAX` marks a
+    /// conflict already reported, so each racy scalar is flagged once.
+    shared_writes: Mutex<HashMap<(u64, String), u64>>,
     races: Mutex<Vec<String>>,
 }
 
@@ -100,6 +107,37 @@ impl RaceDetector {
                 writes.insert((buffer, index), thread);
             }
         }
+    }
+
+    /// Record a write to a shared scalar `name` of parallel region
+    /// `region`. Two workers writing the same shared scalar is a
+    /// conflicting-write race (a reduction clause would have privatized
+    /// it).
+    pub fn record_shared_write(&self, region: u64, name: &str, thread: u64) {
+        if !self.shared_enabled {
+            return;
+        }
+        let mut writes = self.shared_writes.lock();
+        match writes.get_mut(&(region, name.to_string())) {
+            Some(prev) if *prev != thread && *prev != u64::MAX => {
+                self.races.lock().push(format!(
+                    "conflicting shared write to '{name}' in parallel region {region}: \
+                     threads {} and {thread}",
+                    *prev
+                ));
+                *prev = u64::MAX;
+            }
+            Some(_) => {}
+            None => {
+                writes.insert((region, name.to_string()), thread);
+            }
+        }
+    }
+
+    /// Is shared-scalar recording on? (Lets callers skip watch bookkeeping
+    /// entirely on ordinary runs.)
+    pub fn recording_shared(&self) -> bool {
+        self.shared_enabled
     }
 
     /// Reset per-kernel state (races accumulate across the run).
@@ -126,12 +164,13 @@ pub struct Memory {
 }
 
 impl Memory {
-    pub fn new(detect_races: bool) -> Self {
+    pub fn new(detect_races: bool, record_shared_writes: bool) -> Self {
         Memory {
             host: RwLock::new(Vec::new()),
             device: RwLock::new(Vec::new()),
             detector: RaceDetector {
                 enabled: detect_races,
+                shared_enabled: record_shared_writes,
                 ..RaceDetector::default()
             },
         }
@@ -370,7 +409,7 @@ mod tests {
     use super::*;
 
     fn mem() -> Memory {
-        Memory::new(false)
+        Memory::new(false, false)
     }
 
     #[test]
@@ -449,7 +488,7 @@ mod tests {
 
     #[test]
     fn race_detector_flags_conflicting_writes() {
-        let m = Memory::new(true);
+        let m = Memory::new(true, false);
         let d = m.alloc(Space::Device, Type::INT, 4, Value::Int(0));
         m.detector.begin_kernel();
         m.store(Space::Device, Space::Device, d, 1, Value::Int(1), 10)
@@ -464,6 +503,29 @@ mod tests {
         let races = m.detector.races();
         assert_eq!(races.len(), 1);
         assert!(races[0].contains("element 1"));
+    }
+
+    #[test]
+    fn shared_write_recorder_flags_cross_thread_scalar_writes() {
+        let m = Memory::new(false, true);
+        // Same thread rewriting a shared scalar is fine.
+        m.detector.record_shared_write(0, "sum", 3);
+        m.detector.record_shared_write(0, "sum", 3);
+        assert!(m.detector.races().is_empty());
+        // A second thread conflicts — reported exactly once.
+        m.detector.record_shared_write(0, "sum", 4);
+        m.detector.record_shared_write(0, "sum", 5);
+        let races = m.detector.races();
+        assert_eq!(races.len(), 1);
+        assert!(races[0].contains("'sum'"), "{races:?}");
+        // Distinct regions are independent.
+        m.detector.record_shared_write(1, "sum", 0);
+        assert_eq!(m.detector.races().len(), 1);
+        // Off by default: no recording.
+        let off = Memory::new(false, false);
+        off.detector.record_shared_write(0, "x", 1);
+        off.detector.record_shared_write(0, "x", 2);
+        assert!(off.detector.races().is_empty());
     }
 
     #[test]

@@ -272,6 +272,67 @@ int main(int argc, char** argv) {
 }
 
 #[test]
+fn shared_write_recorder_sees_dropped_reduction_race() {
+    // The same accumulator loop with and without its reduction clause: the
+    // opt-in recorder must stay silent on the clean version and flag the
+    // shared scalar on the racy one — the dynamic ground truth the static
+    // analyzer's `raw-reduction` verdict is cross-validated against.
+    let program = |pragma: &str| {
+        SourceRepo::new()
+            .with_file(
+                "Makefile",
+                "app: main.cpp\n\tg++ -O2 -fopenmp -o app main.cpp\n",
+            )
+            .with_file(
+                "main.cpp",
+                format!(
+                    r#"
+#include <stdio.h>
+#include <stdlib.h>
+
+int main(int argc, char** argv) {{
+    int N = atoi(argv[1]);
+    long total = 0;
+    {pragma}
+    for (int i = 0; i < N; i++) {{
+        total += i;
+    }}
+    printf("total %ld\n", total);
+    return 0;
+}}
+"#
+                ),
+            )
+    };
+    let race_of = |pragma: &str| -> Vec<String> {
+        let out = build_repo(&program(pragma), &BuildRequest::new("app"));
+        assert!(out.succeeded(), "{}", out.log.text());
+        let mut cfg = RunConfig::with_args(["1000"]);
+        cfg.parallel = true;
+        cfg.workers = 4;
+        cfg.record_shared_writes = true;
+        run(&out.executable.unwrap(), cfg).races
+    };
+    let clean = race_of("#pragma omp parallel for reduction(+: total)");
+    assert!(clean.is_empty(), "reduction clause privatizes: {clean:?}");
+    let racy = race_of("#pragma omp parallel for");
+    assert!(
+        racy.iter().any(|r| r.contains("'total'")),
+        "dropped clause must surface as a conflicting shared write: {racy:?}"
+    );
+    // Off by default: the same racy binary reports nothing.
+    let out = build_repo(
+        &program("#pragma omp parallel for"),
+        &BuildRequest::new("app"),
+    );
+    let mut cfg = RunConfig::with_args(["1000"]);
+    cfg.parallel = true;
+    cfg.workers = 4;
+    let silent = run(&out.executable.unwrap(), cfg);
+    assert!(silent.races.is_empty());
+}
+
+#[test]
 fn kokkos_parallel_for_and_reduce() {
     let repo = SourceRepo::new()
         .with_file(

@@ -180,6 +180,18 @@ impl CellResult {
         self.rate(Metric::Pass, scoring, k)
     }
 
+    /// Samples that built and carried no error-severity analysis finding.
+    /// Zero unless the grid ran with `EvalConfig::analyze` on.
+    pub fn race_free_samples(&self) -> u64 {
+        self.records.iter().filter(|r| r.result.race_free()).count() as u64
+    }
+
+    /// race_free@k: the Eq. 1 estimator over samples whose build succeeded
+    /// and whose static analysis reported no error-severity finding.
+    pub fn race_free_at_k(&self, k: u32) -> f64 {
+        pareval_metrics::race_free_at_k(self.samples(), self.race_free_samples(), u64::from(k))
+    }
+
     /// Mean total inference tokens per sample, accumulated in sample order.
     pub fn tokens(&self) -> MeanAccumulator {
         let mut acc = MeanAccumulator::default();
@@ -334,6 +346,21 @@ impl ExperimentResults {
                     .and_then(|o| o.error_category);
                 if let Some(truth) = failed_category {
                     *out.entry((key.model.to_string(), truth)).or_default() += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-(model, rule) counts of static-analysis findings across the
+    /// grid. Empty unless the grid ran with `EvalConfig::analyze` on.
+    pub fn race_finding_counts(&self) -> BTreeMap<(String, minihpc_analyze::Rule), usize> {
+        let mut out: BTreeMap<(String, minihpc_analyze::Rule), usize> = BTreeMap::new();
+        for (key, cell) in &self.cells {
+            for record in cell.records() {
+                for finding in &record.result.analysis {
+                    *out.entry((key.model.to_string(), finding.rule))
+                        .or_default() += 1;
                 }
             }
         }
@@ -517,6 +544,7 @@ mod proptests {
                         overall: Some(outcome),
                         tokens: TokenUsage::default(),
                         rounds: Vec::new(),
+                        analysis: Vec::new(),
                     },
                 }
             })

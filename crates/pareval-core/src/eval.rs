@@ -34,7 +34,8 @@ use crate::journal::codec;
 use crate::plan::{ExperimentPlan, SampleSpec};
 use crate::runner::SampleRecord;
 use crate::task::{EvalConfig, EvalOutcome, RepairRound, SampleResult, Task};
-use minihpc_build::{build_repo, BuildRequest};
+use minihpc_analyze::AnalysisFinding;
+use minihpc_build::{build_repo, BuildRequest, ErrorCategory};
 use minihpc_lang::repo::{FileKind, SourceRepo};
 use minihpc_runtime::{run, RunConfig};
 use pareval_llm::{AttemptSpec, ModelProfile, RepairContext, RepairOutcome, TranslationBackend};
@@ -264,6 +265,11 @@ impl DiskCache {
 #[derive(Debug, Default)]
 pub struct BuildCache {
     map: RwLock<HashMap<u128, EvalOutcome>>,
+    /// Analyzer findings memoized by the same content key as build
+    /// outcomes: the analysis is pure over repo content, so a repeated
+    /// evaluation (Code-only reuse, repair rounds that re-emit unchanged
+    /// files) reuses its findings alongside the cached objects.
+    analysis: RwLock<HashMap<u128, Vec<AnalysisFinding>>>,
     disk: Option<DiskCache>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -303,6 +309,8 @@ impl BuildCache {
             // cannot change what `evaluate` returns, only how fast.
             disk_cache_dir: _,
             disk_cache_budget: _,
+            analyze,
+            analyze_max_findings,
         } = eval;
         let mut h = ContentHash::new();
         h.write(task.app.binary.as_bytes());
@@ -312,6 +320,13 @@ impl BuildCache {
         h.write(&max_steps.to_le_bytes());
         h.write(&repair_budget.to_le_bytes());
         h.write(&repair_diag_lines.to_le_bytes());
+        // Hashed only when the analyzer is on, so analyzer-off keys (and
+        // the disk entries named by them) stay identical to the
+        // pre-analyzer format.
+        if *analyze {
+            h.write(b"analyze");
+            h.write(&analyze_max_findings.to_le_bytes());
+        }
         for (path, contents) in repo.iter() {
             h.write(path.as_bytes());
             h.write(contents.as_bytes());
@@ -464,21 +479,33 @@ impl EvalPipeline {
                 overall: None,
                 tokens: attempt.usage(),
                 rounds: Vec::new(),
+                analysis: Vec::new(),
             };
         };
 
         let mut overall = self.evaluate(task, &repo);
         let mut code_only = self.code_only_outcome(task, &repo, &overall);
+        // The post-build verdict stage: static race/directive analysis of
+        // the translated repository (always empty with the analyzer off).
+        let mut analysis = self.analyze(task, &repo);
 
-        // The repair loop: while budget remains and the Overall build is
-        // broken, summarize the failure into a RepairContext, re-invoke the
+        // A sample needs repair while the Overall build is broken, or —
+        // with the analyzer on — while it builds but carries race errors.
+        // With the analyzer off the second arm is vacuous and the loop
+        // behaves exactly as before.
+        fn needs_repair(overall: &EvalOutcome, analysis: &[AnalysisFinding]) -> bool {
+            !overall.built || analysis.iter().any(|f| f.is_error())
+        }
+
+        // The repair loop: while budget remains and the sample needs
+        // repair, summarize the failure into a RepairContext, re-invoke the
         // attempt, overlay its revised files, and re-evaluate — every round
         // through the same build cache (a round that re-emits unchanged
         // files is a pure cache hit). Rounds snapshot both scorings and the
         // cumulative token usage, so collectors can report build@1/pass@1
         // and token cost as a function of repair round.
         let mut rounds = Vec::new();
-        if self.eval.repair_budget > 0 && !overall.built {
+        if self.eval.repair_budget > 0 && needs_repair(&overall, &analysis) {
             rounds.push(RepairRound {
                 round: 0,
                 gave_up: false,
@@ -487,7 +514,17 @@ impl EvalPipeline {
                 tokens: attempt.usage(),
             });
             for round in 1..=self.eval.repair_budget {
-                let ctx = repair_context(&overall, round, self.eval.repair_diag_lines);
+                let mut ctx = repair_context(&overall, round, self.eval.repair_diag_lines);
+                let race: Vec<String> = analysis
+                    .iter()
+                    .filter(|f| f.is_error())
+                    .map(AnalysisFinding::render)
+                    .collect();
+                if !race.is_empty() && !ctx.categories.contains(&ErrorCategory::OmpInvalidDirective)
+                {
+                    ctx.categories.push(ErrorCategory::OmpInvalidDirective);
+                }
+                ctx.race_findings = race;
                 match attempt.repair(&ctx) {
                     RepairOutcome::GaveUp => {
                         rounds.push(RepairRound {
@@ -509,6 +546,7 @@ impl EvalPipeline {
                             }
                             overall = self.evaluate(task, &repo);
                             code_only = self.code_only_outcome(task, &repo, &overall);
+                            analysis = self.analyze(task, &repo);
                         }
                         rounds.push(RepairRound {
                             round,
@@ -519,7 +557,7 @@ impl EvalPipeline {
                         });
                     }
                 }
-                if overall.built {
+                if !needs_repair(&overall, &analysis) {
                     break;
                 }
             }
@@ -532,7 +570,33 @@ impl EvalPipeline {
             overall: Some(overall),
             tokens: attempt.usage(),
             rounds,
+            analysis,
         }
+    }
+
+    /// The analyzer verdict for `repo`, memoized by the same content key as
+    /// build outcomes when a cache is enabled. Always empty with
+    /// [`EvalConfig::analyze`] off; otherwise sorted findings, truncated to
+    /// [`EvalConfig::analyze_max_findings`].
+    fn analyze(&self, task: &Task, repo: &SourceRepo) -> Vec<AnalysisFinding> {
+        if !self.eval.analyze {
+            return Vec::new();
+        }
+        let cached_key = self
+            .cache
+            .is_some()
+            .then(|| BuildCache::key(task, repo, &self.eval));
+        if let (Some(cache), Some(key)) = (&self.cache, cached_key) {
+            if let Some(hit) = cache.analysis.read().get(&key).cloned() {
+                return hit;
+            }
+        }
+        let mut findings = minihpc_analyze::analyze_repo(repo);
+        findings.truncate(self.eval.analyze_max_findings);
+        if let (Some(cache), Some(key)) = (&self.cache, cached_key) {
+            cache.analysis.write().insert(key, findings.clone());
+        }
+        findings
     }
 
     /// Code-only scoring of `translated`: swap in the ground-truth build
@@ -652,6 +716,7 @@ fn repair_context(outcome: &EvalOutcome, round: u32, max_lines: usize) -> Repair
         categories,
         files,
         diagnostics,
+        race_findings: Vec::new(),
     }
 }
 

@@ -102,6 +102,7 @@ impl From<std::io::Error> for JournalError {
 pub(crate) mod codec {
     use crate::runner::SampleRecord;
     use crate::task::{EvalOutcome, RepairRound, SampleResult};
+    use minihpc_analyze::{AnalysisFinding, Rule};
     use minihpc_build::{Diagnostic, ErrorCategory, Severity};
     use pareval_llm::TokenUsage;
 
@@ -225,6 +226,21 @@ pub(crate) mod codec {
             self.u64(t.input);
             self.u64(t.output);
         }
+
+        fn finding(&mut self, f: &AnalysisFinding) {
+            self.u8(f.rule.code());
+            self.boolean(f.severity == Severity::Error);
+            self.str(&f.variable);
+            self.str(&f.file);
+            match f.line {
+                Some(line) => {
+                    self.u8(1);
+                    self.u32(line);
+                }
+                None => self.u8(0),
+            }
+            self.str(&f.message);
+        }
     }
 
     /// Bounds-checked byte decoder over untrusted input.
@@ -330,6 +346,31 @@ pub(crate) mod codec {
             })
         }
 
+        fn finding(&mut self) -> Option<AnalysisFinding> {
+            let rule = Rule::from_code(self.u8()?)?;
+            let severity = if self.boolean()? {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            let variable = self.str()?;
+            let file = self.str()?;
+            let line = match self.u8()? {
+                0 => None,
+                1 => Some(self.u32()?),
+                _ => return None,
+            };
+            let message = self.str()?;
+            Some(AnalysisFinding {
+                rule,
+                severity,
+                variable,
+                file,
+                line,
+                message,
+            })
+        }
+
         /// Everything consumed, nothing left over?
         fn finished(&self) -> bool {
             self.pos == self.buf.len()
@@ -374,6 +415,15 @@ pub(crate) mod codec {
             e.outcome(&round.overall);
             e.tokens(round.tokens);
         }
+        // Analyzer findings are a *trailing optional* section: emitted only
+        // when non-empty, so analyzer-off journals are byte-identical to the
+        // pre-analyzer format (and readable by pre-analyzer decoders).
+        if !r.analysis.is_empty() {
+            e.u32(r.analysis.len() as u32);
+            for f in &r.analysis {
+                e.finding(f);
+            }
+        }
         e.into_bytes()
     }
 
@@ -404,6 +454,22 @@ pub(crate) mod codec {
                 tokens: d.tokens()?,
             });
         }
+        // Trailing optional analyzer section: absent in analyzer-off (and
+        // pre-analyzer) records. When present it must decode fully and be
+        // non-empty (an empty list is encoded by omission).
+        let analysis = if d.finished() {
+            Vec::new()
+        } else {
+            let nfindings = d.u32()? as usize;
+            if nfindings == 0 {
+                return None;
+            }
+            let mut findings = Vec::with_capacity(nfindings.min(1024));
+            for _ in 0..nfindings {
+                findings.push(d.finding()?);
+            }
+            findings
+        };
         if !d.finished() {
             return None;
         }
@@ -420,6 +486,7 @@ pub(crate) mod codec {
                 overall,
                 tokens,
                 rounds,
+                analysis,
             },
         })
     }

@@ -277,6 +277,13 @@ impl ExperimentPlan {
         h.write(&self.eval.max_steps.to_le_bytes());
         h.write(&self.eval.repair_budget.to_le_bytes());
         h.write(&(self.eval.repair_diag_lines as u64).to_le_bytes());
+        // Analyzer knobs change result bytes, but only when on: hashing
+        // them conditionally keeps analyzer-off fingerprints (and thus
+        // existing journals) byte-identical to the pre-analyzer format.
+        if self.eval.analyze {
+            h.write(b"analyze");
+            h.write(&(self.eval.analyze_max_findings as u64).to_le_bytes());
+        }
         for cell in &self.cells {
             h.write(cell.key.pair.id().as_bytes());
             h.write(cell.key.technique.name().as_bytes());

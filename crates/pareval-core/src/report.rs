@@ -130,6 +130,13 @@ pub fn fig2(results: &ExperimentResults, pair: TranslationPair, pass: bool) -> S
     out
 }
 
+/// First four characters of a model name, counted in characters rather
+/// than bytes — model names are not guaranteed to be ASCII, and a byte
+/// slice panics on a multi-byte boundary.
+fn model_abbrev(name: &str) -> String {
+    name.chars().take(4).collect()
+}
+
 /// Fig. 3: per-(model, category) build-error counts, via the ground-truth
 /// categories (the clustering pipeline's validation target).
 pub fn fig3(results: &ExperimentResults) -> String {
@@ -138,7 +145,7 @@ pub fn fig3(results: &ExperimentResults) -> String {
     writeln!(out, "== Error category counts (Fig. 3) ==").unwrap();
     write!(out, "{:<34}", "Category").unwrap();
     for m in MODEL_ORDER {
-        write!(out, " {:>6}", &m[..4.min(m.len())]).unwrap();
+        write!(out, " {:>6}", model_abbrev(m)).unwrap();
     }
     out.push('\n');
     for category in ErrorCategory::FIGURE3 {
@@ -304,6 +311,46 @@ pub fn repair_report(results: &ExperimentResults) -> String {
     out
 }
 
+/// Static-analysis report: per-(model, rule) finding counts over the whole
+/// grid, then race_free@1 per model averaged over the feasible, sampled
+/// cells. An all-zero table means either a race-clean grid or a grid run
+/// with `EvalConfig::analyze` off — the analyzer records nothing when off.
+pub fn race_report(results: &ExperimentResults) -> String {
+    let counts = results.race_finding_counts();
+    let mut out = String::new();
+    writeln!(out, "== Static race & directive analysis ==").unwrap();
+    write!(out, "{:<24}", "Rule").unwrap();
+    for m in MODEL_ORDER {
+        write!(out, " {:>6}", model_abbrev(m)).unwrap();
+    }
+    out.push('\n');
+    for rule in minihpc_analyze::Rule::ALL {
+        write!(out, "{:<24}", rule.id()).unwrap();
+        for model in MODEL_ORDER {
+            let c = counts.get(&(model.to_string(), rule)).copied().unwrap_or(0);
+            write!(out, " {c:>6}").unwrap();
+        }
+        out.push('\n');
+    }
+    writeln!(out, "-- race_free@1 (built and analysis-clean) --").unwrap();
+    for model in MODEL_ORDER {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (key, cell) in &results.cells {
+            if key.model == model && cell.feasible() && cell.samples() > 0 {
+                sum += cell.race_free_at_k(1);
+                n += 1;
+            }
+        }
+        if n > 0 {
+            writeln!(out, "{:<24} {:>6.2}", model, sum / n as f64).unwrap();
+        } else {
+            writeln!(out, "{:<24} {:>6}", model, "-").unwrap();
+        }
+    }
+    out
+}
+
 /// Table 2: estimated cost ($ for the cheapest commercial model, node-hours
 /// for the cheapest local model) per successful translation of the three
 /// XOR applications.
@@ -386,5 +433,27 @@ mod tests {
         };
         assert!(sloc("nanoXOR") < sloc("XSBench"));
         assert!(sloc("SimpleMOC-kernel") < sloc("XSBench"));
+    }
+
+    #[test]
+    fn model_abbrev_is_char_safe_on_multibyte_names() {
+        // A byte slice `&m[..4]` panics here: the 4th byte falls inside
+        // the two-byte 'é'. The char-based abbrev must not.
+        assert_eq!(model_abbrev("gém-2.5"), "gém-");
+        assert_eq!(model_abbrev("日本語モデル"), "日本語モ");
+        assert_eq!(model_abbrev("o4"), "o4");
+        assert_eq!(model_abbrev(""), "");
+    }
+
+    #[test]
+    fn race_report_renders_every_rule_on_an_empty_grid() {
+        let results = ExperimentResults {
+            cells: std::collections::BTreeMap::new(),
+        };
+        let r = race_report(&results);
+        for rule in minihpc_analyze::Rule::ALL {
+            assert!(r.contains(rule.id()), "missing {} in:\n{r}", rule.id());
+        }
+        assert!(r.contains("race_free@1"));
     }
 }

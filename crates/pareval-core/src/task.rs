@@ -3,6 +3,7 @@
 //! Sample *execution* lives in [`crate::eval::EvalPipeline`]; this module
 //! defines what a task is and what evaluating one sample produces.
 
+use minihpc_analyze::AnalysisFinding;
 use minihpc_build::{Diagnostic, ErrorCategory};
 use minihpc_lang::model::TranslationPair;
 use pareval_apps::Application;
@@ -99,6 +100,20 @@ pub struct SampleResult {
     /// Per-round trajectory; empty unless a failed build met a non-zero
     /// [`EvalConfig::repair_budget`].
     pub rounds: Vec<RepairRound>,
+    /// Static analyzer findings over the final translated repository; always
+    /// empty unless [`EvalConfig::analyze`] is on. A sample counts as
+    /// race-free for `race_free@k` when it built and no finding is an error.
+    pub analysis: Vec<AnalysisFinding>,
+}
+
+impl SampleResult {
+    /// Did this sample build with no analyzer *error* findings? (Warnings
+    /// are advisory and do not disqualify.) Meaningful only under
+    /// [`EvalConfig::analyze`]; with the analyzer off this equals "built".
+    pub fn race_free(&self) -> bool {
+        self.overall.as_ref().is_some_and(|o| o.built)
+            && !self.analysis.iter().any(|f| f.is_error())
+    }
 }
 
 /// Evaluation knobs.
@@ -131,6 +146,15 @@ pub struct EvalConfig {
     /// Byte budget of the disk tier: least-recently-used entries are
     /// evicted once the stored entries exceed it.
     pub disk_cache_budget: u64,
+    /// Run the static race/directive analyzer (`minihpc-analyze`) over the
+    /// final translated repository as a post-build verdict stage. Off by
+    /// default: default-config journals, golden reports, and cache keys are
+    /// byte-identical to an analyzer-free build.
+    pub analyze: bool,
+    /// Cap on retained analyzer findings per sample (journal/report size
+    /// guard; the analyzer itself is not truncated mid-file, the finding
+    /// list is).
+    pub analyze_max_findings: usize,
 }
 
 impl Default for EvalConfig {
@@ -143,6 +167,8 @@ impl Default for EvalConfig {
             repair_diag_lines: 8,
             disk_cache_dir: None,
             disk_cache_budget: 64 << 20,
+            analyze: false,
+            analyze_max_findings: 64,
         }
     }
 }

@@ -69,6 +69,11 @@ pub struct RepairContext {
     pub files: Vec<String>,
     /// The first N rendered diagnostic lines of the failed build.
     pub diagnostics: Vec<String>,
+    /// Rendered static race/directive findings (`minihpc-analyze`) of a
+    /// build that succeeded but was judged racy. Empty unless the harness
+    /// runs with the analyzer on, so analyzer-off repair prompts are
+    /// byte-identical to the pre-analyzer format.
+    pub race_findings: Vec<String>,
 }
 
 impl RepairContext {
@@ -89,6 +94,13 @@ impl RepairContext {
         for d in &self.diagnostics {
             out.push_str(d);
             out.push('\n');
+        }
+        if !self.race_findings.is_empty() {
+            out.push_str("Static analysis found data races. Fix the directives.\n");
+            for r in &self.race_findings {
+                out.push_str(r);
+                out.push('\n');
+            }
         }
         out
     }

@@ -77,6 +77,9 @@ pub struct SimulatedModel {
     pair: TranslationPair,
     source_repo: Arc<SourceRepo>,
     plan: AttemptPlan,
+    /// Correct translation, but drop a `reduction` clause (a data race the
+    /// build cannot see). Always `false` at the default `race_rate` of 0.
+    race_plan: bool,
     /// Which translated file receives the code mutation (resolved lazily).
     mutation_done: bool,
     /// Build errors this attempt injected and has not yet repaired.
@@ -115,7 +118,26 @@ impl SimulatedModel {
                 ^ (midx as u64) << 32
                 ^ (aidx as u64) << 40,
         );
-        let plan = Self::sample_plan(&profile, pair, &cell, &mut rng);
+        let mut plan = Self::sample_plan(&profile, pair, &cell, &mut rng);
+        // Short-circuit: profiles with the default race_rate of 0.0 draw
+        // nothing here, so default-seed RNG streams (and therefore default
+        // grids, journals, and golden reports) are byte-identical to a
+        // build without the analyzer.
+        let race_plan = profile.race_rate > 0.0 && rng.gen::<f64>() < profile.race_rate;
+        if race_plan {
+            // Race experiments isolate the dropped clause as the sole
+            // defect: the attempt is otherwise correct (and its build file
+            // intact), whatever the calibration would have sampled —
+            // analyzer runs study the analyzer, not the failure rates.
+            if let AttemptPlan::Run {
+                code,
+                buildfile_error,
+            } = &mut plan
+            {
+                *code = CodePlan::Correct;
+                *buildfile_error = None;
+            }
+        }
         let p_pass_given_build = match cell.build_code {
             Some(b) if b > 0.0 => (cell.pass_code.unwrap_or(0.0) / b).clamp(0.0, 1.0),
             // build@1 = 0 cells give no evidence the model's code can pass.
@@ -127,6 +149,7 @@ impl SimulatedModel {
             pair,
             source_repo,
             plan,
+            race_plan,
             mutation_done: false,
             pending: Vec::new(),
             prior_chunks: Vec::new(),
@@ -421,6 +444,29 @@ impl Backend for SimulatedModel {
             let apply_here = self.is_mutation_target(&text);
             let mut injected_now = false;
             match &code {
+                // A racy "correct" translation: drop the reduction clause
+                // from the file carrying it. Repairable like any injected
+                // error — the analyzer's findings arrive under the
+                // OmpInvalidDirective category — but `is_code` is false:
+                // the surrounding code was already correct, so a successful
+                // repair restores the clause verbatim with no correctness
+                // re-roll.
+                CodePlan::Correct if self.race_plan && !self.mutation_done => {
+                    let clean = text.clone();
+                    if let Some(m) = inject::inject_race_error(&text) {
+                        text = m;
+                        self.mutation_done = true;
+                        injected_now = true;
+                        let prior = self.take_prior_chunks(&r.path);
+                        self.pending.push(PendingRepair {
+                            category: ErrorCategory::OmpInvalidDirective,
+                            path: r.path.clone(),
+                            broken: format!("{prior}{text}"),
+                            clean: format!("{prior}{clean}"),
+                            is_code: false,
+                        });
+                    }
+                }
                 CodePlan::Correct => {}
                 // Functional errors hit *every* file carrying the parallel
                 // construct: a model that drops `target` does so throughout
@@ -472,7 +518,10 @@ impl Backend for SimulatedModel {
                 if let Some(p) = self.pending.iter_mut().find(|p| p.path == r.path) {
                     p.broken.push_str(&text);
                     p.clean.push_str(&text);
-                } else if matches!(code, CodePlan::BuildError(_)) && !self.mutation_done {
+                } else if (matches!(code, CodePlan::BuildError(_))
+                    || (self.race_plan && matches!(code, CodePlan::Correct)))
+                    && !self.mutation_done
+                {
                     if let Some((_, prior)) =
                         self.prior_chunks.iter_mut().find(|(p, _)| *p == r.path)
                     {
@@ -696,6 +745,7 @@ mod tests {
                     categories,
                     files,
                     diagnostics: out.log.errors().map(|d| d.to_string()).collect(),
+                    race_findings: Vec::new(),
                 };
                 match backend.repair(&ctx) {
                     RepairOutcome::GaveUp => break,
@@ -715,6 +765,60 @@ mod tests {
             assert!(backend.usage().input > before.input);
         }
         assert!(fixed_any, "no failing sample was repaired in 6 rounds");
+    }
+
+    #[test]
+    fn race_rate_one_yields_building_translations_without_reductions() {
+        use crate::attempt::{RepairContext, RepairOutcome};
+        // XSBench omp-threads→offload is the cell whose oracle output
+        // carries a reduction clause; with race_rate = 1.0 every sample
+        // must emit a building repo whose clause is gone.
+        let app = pareval_apps::by_name("XSBench").unwrap();
+        let pair = TranslationPair::OMP_THREADS_TO_OFFLOAD;
+        let repo = Arc::new(app.repo(pair.from).unwrap().clone());
+        let mut repaired_any = false;
+        for sample in 0..6 {
+            let mut backend = SimulatedModel::new(
+                model_by_name("o4-mini").unwrap().with_race_rate(1.0),
+                Technique::NonAgentic,
+                pair,
+                "XSBench",
+                Arc::clone(&repo),
+                20240612,
+                sample,
+            );
+            let job = TranslationJob {
+                app_name: app.name,
+                binary: app.binary,
+                source_repo: &repo,
+                pair,
+                cli_spec: &app.cli_spec,
+                build_spec: &app.build_spec,
+            };
+            let run = translate_with(Technique::NonAgentic, &job, &mut backend);
+            let translated = run.repo.expect("race plan forces a runnable attempt");
+            assert!(
+                !translated.iter().any(|(_, t)| t.contains("reduction(")),
+                "sample {sample} kept its reduction clause"
+            );
+            let out = build_repo(&translated, &BuildRequest::new(app.binary));
+            assert!(out.succeeded(), "racy sample {sample} must still build");
+            // The analyzer's findings arrive under OmpInvalidDirective; a
+            // successful repair restores the clause verbatim.
+            let ctx = RepairContext {
+                round: 1,
+                categories: vec![ErrorCategory::OmpInvalidDirective],
+                files: Vec::new(),
+                diagnostics: Vec::new(),
+                race_findings: vec!["[raw-reduction] verification".to_string()],
+            };
+            if let RepairOutcome::Revised(files) = backend.repair(&ctx) {
+                if files.iter().any(|(_, t)| t.contains("reduction(")) {
+                    repaired_any = true;
+                }
+            }
+        }
+        assert!(repaired_any, "no sample repaired its race in one round");
     }
 
     #[test]

@@ -199,6 +199,38 @@ pub fn inject_functional_error(text: &str, kind: FunctionalError) -> Option<Stri
     }
 }
 
+/// Inject a *data race* into correct code: drop the `reduction(...)` clause
+/// from the first OpenMP pragma carrying one. The result still parses and
+/// builds — the accumulator simply becomes a shared scalar updated with a
+/// raw `+=` from every iteration, which is exactly the defect the static
+/// analyzer (`raw-reduction`) and the runtime's shared-write recorder are
+/// built to catch. Returns `None` when the text has no reduction clause to
+/// drop (the attempt then stays correct).
+pub fn inject_race_error(text: &str) -> Option<String> {
+    let mut search = 0;
+    while let Some(rel) = text[search..].find("reduction(") {
+        let start = search + rel;
+        let line_start = text[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        if text[line_start..start]
+            .trim_start()
+            .starts_with("#pragma omp")
+        {
+            let close = text[start..].find(')')? + start + 1;
+            // Swallow one separating space so the pragma stays tidy.
+            let cut = if text[..start].ends_with(' ') {
+                start - 1
+            } else {
+                start
+            };
+            let mut out = text.to_string();
+            out.replace_range(cut..close, "");
+            return Some(out);
+        }
+        search = start + 1;
+    }
+    None
+}
+
 fn strip_map_clauses(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for line in text.lines() {
@@ -347,6 +379,38 @@ mod tests {
             !r.telemetry.ran_on_device(),
             "must run on the host like paper Listing 4"
         );
+    }
+
+    #[test]
+    fn race_injection_drops_reduction_but_still_builds() {
+        // XSBench OMP→offload keeps its `reduction(+: verification)` clause
+        // through the transpiler; dropping it must leave a repo that still
+        // builds (the race is semantic, not syntactic).
+        let app = pareval_apps::by_name("XSBench").unwrap();
+        let mut repo = transpile_repo(
+            app.repo(ExecutionModel::OmpThreads).unwrap(),
+            TranslationPair::OMP_THREADS_TO_OFFLOAD,
+            app.binary,
+        );
+        let target = repo
+            .paths()
+            .find(|p| repo.get(p).is_some_and(|t| t.contains("reduction(")))
+            .map(str::to_string)
+            .expect("transpiled XSBench carries a reduction clause");
+        let mutated = inject_race_error(repo.get(&target).unwrap()).unwrap();
+        assert!(!mutated.contains("reduction("));
+        assert!(mutated.contains("#pragma omp"));
+        repo.add(target, mutated);
+        let out = build_repo(&repo, &BuildRequest::new(app.binary));
+        assert!(
+            out.succeeded(),
+            "racy code must still build:\n{}",
+            out.log.text()
+        );
+        // Nothing to drop → no injection.
+        assert_eq!(inject_race_error("int main() { return 0; }"), None);
+        // A non-pragma mention of `reduction(` is not an anchor.
+        assert_eq!(inject_race_error("// reduction(+: x) in a comment\n"), None);
     }
 
     #[test]

@@ -37,6 +37,13 @@ pub struct ModelProfile {
     /// Observed generation throughput for local hosting (tokens/second on a
     /// single Delta node; paper Table 2 uses 187 tok/s).
     pub local_tokens_per_second: f64,
+    /// Probability that an otherwise *correct* translation silently drops a
+    /// `reduction` clause, leaving code that builds (and may even pass the
+    /// small test cases) but carries a data race. 0.0 for every shipped
+    /// profile — the default simulation draws no extra randomness, so
+    /// default-seed grids stay byte-identical — and turned on per-run via
+    /// [`ModelProfile::with_race_rate`] for analyzer experiments.
+    pub race_rate: f64,
     /// Relative weights for *code* build-error categories (Fig. 3 shape).
     pub code_error_weights: [(ErrorCategory, f64); 6],
     /// Relative weights for *build-file* error categories.
@@ -83,6 +90,14 @@ impl ModelProfile {
             base
         }
     }
+
+    /// Builder for analyzer experiments: the same calibrated profile, but
+    /// dropping `reduction` clauses from correct translations with
+    /// probability `rate`.
+    pub fn with_race_rate(mut self, rate: f64) -> Self {
+        self.race_rate = rate.clamp(0.0, 1.0);
+        self
+    }
 }
 
 /// Model index order used throughout (matches the paper's figure columns).
@@ -109,6 +124,7 @@ pub fn all_models() -> Vec<ModelProfile> {
             price_in_per_mtok: 0.0, // free tier (paper Sec. 7.1)
             price_out_per_mtok: 0.0,
             local_tokens_per_second: 0.0,
+            race_rate: 0.0,
             // Fig. 3: Gemini struggles with Makefile syntax and compiler
             // flags (SimpleMOC especially), some undeclared identifiers.
             code_error_weights: [
@@ -137,6 +153,7 @@ pub fn all_models() -> Vec<ModelProfile> {
             price_in_per_mtok: 0.15,
             price_out_per_mtok: 0.60,
             local_tokens_per_second: 0.0,
+            race_rate: 0.0,
             // Fig. 3: argument/type mismatches and linker errors (microXOR).
             code_error_weights: [
                 (MissingHeader, 0.8),
@@ -164,6 +181,7 @@ pub fn all_models() -> Vec<ModelProfile> {
             price_in_per_mtok: 1.10,
             price_out_per_mtok: 4.40,
             local_tokens_per_second: 0.0,
+            race_rate: 0.0,
             // Fig. 3: undeclared identifiers and type mismatches dominate.
             code_error_weights: [
                 (MissingHeader, 0.8),
@@ -191,6 +209,7 @@ pub fn all_models() -> Vec<ModelProfile> {
             price_in_per_mtok: 0.0,
             price_out_per_mtok: 0.0,
             local_tokens_per_second: 187.0, // paper Table 2
+            race_rate: 0.0,
             // Fig. 3: source-code syntax mistakes are Llama's signature.
             code_error_weights: [
                 (MissingHeader, 1.2),
@@ -218,6 +237,7 @@ pub fn all_models() -> Vec<ModelProfile> {
             price_in_per_mtok: 0.0,
             price_out_per_mtok: 0.0,
             local_tokens_per_second: 187.0,
+            race_rate: 0.0,
             code_error_weights: [
                 (MissingHeader, 1.5),
                 (CodeSyntax, 1.0),

@@ -47,6 +47,13 @@ pub fn build_at_k(n: u64, buildable: u64, k: u64) -> f64 {
     pass_at_k(n, buildable, k)
 }
 
+/// race_free@k is pass@k with race-free samples in place of correct ones:
+/// a sample counts when it built *and* the static analyzer reported no
+/// error-severity finding. Provided as an alias for call-site clarity.
+pub fn race_free_at_k(n: u64, race_free: u64, k: u64) -> f64 {
+    pass_at_k(n, race_free, k)
+}
+
 /// Average of a per-task metric over a task set (the paper reports both the
 /// per-task values and this average).
 pub fn average(values: &[f64]) -> f64 {
@@ -171,6 +178,13 @@ mod tests {
         assert_eq!(pass_at_k(3, 3, 100), 1.0);
         assert_eq!(pass_at_k(3, 0, 4), 0.0);
         assert_eq!(pass_at_k(0, 0, 1), 0.0); // no samples at all
+    }
+
+    #[test]
+    fn race_free_at_k_is_pass_at_k_over_race_free_counts() {
+        assert_eq!(race_free_at_k(10, 3, 1), pass_at_k(10, 3, 1));
+        assert_eq!(race_free_at_k(4, 0, 2), 0.0);
+        assert_eq!(race_free_at_k(4, 4, 2), 1.0);
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! The static race/directive analyzer as a first-class eval metric:
+//! injected-race grids are flagged, oracle grids are clean, the verdict is
+//! deterministic and journal-stable, and the runtime's shared-write
+//! recorder confirms the static verdict has no false negatives on the
+//! checked-in grid.
+
+mod common;
+
+use common::TestDir;
+use minihpc_build::{build_repo, BuildRequest};
+use minihpc_lang::model::TranslationPair;
+use minihpc_runtime::{run, RunConfig};
+use pareval_core::{
+    journal, report, EvalConfig, EvalPipeline, ExperimentPlan, NullSink, Runner, ScheduledRunner,
+    SerialRunner,
+};
+use pareval_llm::{
+    all_models, model_by_name, AttemptSpec, OracleBackend, SimulatedBackend, TranslationBackend,
+};
+use pareval_repo as _;
+use pareval_translate::{translate_with, Technique, TranslationJob};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The injected-race grid: o4-mini with `race_rate` 1.0 on the one cell
+/// whose translations carry a `reduction` clause end to end (XSBench,
+/// OpenMP threads → offload). Every sample builds with the clause dropped.
+fn injected_plan(samples: u32) -> ExperimentPlan {
+    ExperimentPlan::builder()
+        .samples(samples)
+        .pairs([TranslationPair::OMP_THREADS_TO_OFFLOAD])
+        .techniques([Technique::NonAgentic])
+        .models(
+            all_models()
+                .into_iter()
+                .filter(|m| m.name == "o4-mini")
+                .map(|m| m.with_race_rate(1.0)),
+        )
+        .apps(["XSBench"])
+        .eval(EvalConfig {
+            max_cases: 1,
+            analyze: true,
+            ..EvalConfig::default()
+        })
+        .build()
+}
+
+#[test]
+fn injected_races_are_flagged_statically() {
+    let results = SerialRunner.run(&injected_plan(4));
+    let mut racy_samples = 0;
+    for cell in results.cells.values() {
+        for record in cell.records() {
+            let r = &record.result;
+            let overall = r.overall.as_ref().expect("feasible sample");
+            assert!(overall.built, "race injection must not break the build");
+            assert!(
+                r.analysis.iter().any(|f| f.is_error()),
+                "sample {} built racy but analysis is clean: {:?}",
+                record.sample_index,
+                r.analysis
+            );
+            assert!(!r.race_free(), "racy sample counted as race-free");
+            racy_samples += 1;
+        }
+        assert_eq!(cell.race_free_samples(), 0);
+        assert_eq!(cell.race_free_at_k(1), 0.0);
+    }
+    assert!(racy_samples > 0, "grid produced no samples");
+    assert!(
+        results
+            .race_finding_counts()
+            .keys()
+            .any(|(m, _)| m == "o4-mini"),
+        "no findings attributed to the injected model"
+    );
+}
+
+#[test]
+fn oracle_grid_is_race_clean() {
+    // The ground-truth translations must not trip the analyzer: its
+    // error rules encode real directive bugs, not style.
+    let plan = ExperimentPlan::builder()
+        .samples(1)
+        .backend(Arc::new(OracleBackend))
+        .eval(EvalConfig {
+            max_cases: 1,
+            analyze: true,
+            ..EvalConfig::default()
+        })
+        .build();
+    let results = SerialRunner.run(&plan);
+    let mut built = 0;
+    for (key, cell) in &results.cells {
+        for record in cell.records() {
+            let r = &record.result;
+            if r.overall.as_ref().is_some_and(|o| o.built) {
+                built += 1;
+                assert!(
+                    !r.analysis.iter().any(|f| f.is_error()),
+                    "{key:?}: oracle translation flagged racy: {:?}",
+                    r.analysis
+                );
+            }
+        }
+    }
+    assert!(built > 0, "oracle grid built nothing");
+}
+
+/// Mirrors the front half of `EvalPipeline::run_sample` for one simulated
+/// sample: attempt → technique → translated repo.
+fn translated_repo(seed: u64, sample: u32) -> minihpc_lang::repo::SourceRepo {
+    let task = pareval_core::all_tasks()
+        .into_iter()
+        .find(|t| t.app.name == "XSBench" && t.pair == TranslationPair::OMP_THREADS_TO_OFFLOAD)
+        .unwrap();
+    let model = model_by_name("o4-mini").unwrap().with_race_rate(1.0);
+    let source_repo = Arc::new(task.app.repo(task.pair.from).unwrap().clone());
+    let spec = AttemptSpec {
+        model: &model,
+        technique: Technique::NonAgentic,
+        pair: task.pair,
+        app_name: task.app.name,
+        source_repo: Arc::clone(&source_repo),
+        seed,
+        sample,
+    };
+    let mut attempt = SimulatedBackend.start_attempt(&spec);
+    let job = TranslationJob {
+        app_name: task.app.name,
+        binary: task.app.binary,
+        source_repo: &source_repo,
+        pair: task.pair,
+        cli_spec: &task.app.cli_spec,
+        build_spec: &task.app.build_spec,
+    };
+    translate_with(Technique::NonAgentic, &job, &mut attempt)
+        .repo
+        .expect("injected-race sample still translates")
+}
+
+#[test]
+fn dynamic_recorder_confirms_no_static_false_negatives() {
+    // Cross-validation: build each injected-race translation and execute
+    // it on a real thread pool with the shared-write recorder on. Every
+    // sample where the recorder observes a cross-thread conflict must
+    // carry an error-severity static finding — the static verdict has no
+    // false negatives on this grid.
+    let task = pareval_core::all_tasks()
+        .into_iter()
+        .find(|t| t.app.name == "XSBench" && t.pair == TranslationPair::OMP_THREADS_TO_OFFLOAD)
+        .unwrap();
+    let case = &task.app.tests[0];
+    let mut dynamic_races = 0;
+    for sample in 0..4 {
+        let repo = translated_repo(20250908, sample);
+        let findings = minihpc_analyze::analyze_repo(&repo);
+        let outcome = build_repo(&repo, &BuildRequest::new(task.app.binary));
+        let exe = outcome.executable.expect("racy translation still builds");
+        let mut cfg = RunConfig::with_args(case.args.iter().cloned());
+        cfg.parallel = true;
+        cfg.workers = 4;
+        cfg.record_shared_writes = true;
+        let r = run(&exe, cfg);
+        if !r.races.is_empty() {
+            dynamic_races += 1;
+            assert!(
+                findings.iter().any(|f| f.is_error()),
+                "sample {sample}: dynamic race {:?} missed statically",
+                r.races
+            );
+        }
+    }
+    assert!(
+        dynamic_races > 0,
+        "recorder never observed a conflict; cross-validation is vacuous"
+    );
+}
+
+#[test]
+fn race_report_matches_golden() {
+    // Golden capture of the analyzer report on the injected-race grid.
+    // Regenerate with UPDATE_GOLDEN=1 after an intentional change.
+    let results = ScheduledRunner::new(4).run(&injected_plan(3));
+    let text = report::race_report(&results);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/analyze_report.txt"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &text).unwrap();
+    }
+    assert_eq!(
+        text,
+        std::fs::read_to_string(path).expect("golden missing; rerun with UPDATE_GOLDEN=1"),
+        "analyzer report diverged from tests/golden/analyze_report.txt"
+    );
+}
+
+#[test]
+fn journaled_findings_survive_resume() {
+    // Findings ride the journal codec: a completed analyzer-on journal
+    // resumes to byte-identical results, re-running nothing.
+    let dir = TestDir::new("analyze-journal");
+    let journal_path = dir.file("run.journal");
+    let plan = injected_plan(2);
+    let sink = journal::JournalSink::create(&journal_path, &plan).unwrap();
+    let uninterrupted =
+        SerialRunner.run_with(&plan, &EvalPipeline::new(plan.eval().clone()), &sink);
+    drop(sink);
+
+    let replay = journal::scan(&journal_path, &plan).unwrap();
+    assert_eq!(replay.completed.len(), plan.total_samples());
+    let resumed = SerialRunner
+        .resume(
+            &plan,
+            &journal_path,
+            &EvalPipeline::new(plan.eval().clone()),
+            &NullSink,
+        )
+        .unwrap();
+    assert_eq!(uninterrupted, resumed);
+    assert_eq!(format!("{uninterrupted:?}"), format!("{resumed:?}"));
+    let any_findings = resumed
+        .cells
+        .values()
+        .flat_map(|c| c.records())
+        .any(|r| !r.result.analysis.is_empty());
+    assert!(any_findings, "journal round-trip dropped the findings");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The analyzer verdict is pure and scheduler-invisible: the same grid
+    /// yields byte-identical findings at any worker count, and re-analyzing
+    /// the same repo yields the same findings.
+    #[test]
+    fn analyzer_is_deterministic_across_workers(workers in 1usize..6, sample in 0u32..4) {
+        let plan = injected_plan(2);
+        let serial = SerialRunner.run(&plan);
+        let parallel = ScheduledRunner::new(workers).run(&plan);
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+        prop_assert_eq!(
+            report::race_report(&serial),
+            report::race_report(&parallel)
+        );
+
+        let repo = translated_repo(7, sample);
+        prop_assert_eq!(
+            minihpc_analyze::analyze_repo(&repo),
+            minihpc_analyze::analyze_repo(&repo)
+        );
+    }
+}
