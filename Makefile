@@ -2,7 +2,7 @@
 # release build, tests, clippy with warnings denied, a format check, docs
 # with warnings denied, and every example executed end to end.
 
-.PHONY: all build test doc fmt fmt-fix clippy bench bench-smoke sched-smoke resume-smoke analyze-smoke examples verify clean
+.PHONY: all build test doc fmt fmt-fix clippy bench bench-smoke sched-smoke resume-smoke analyze-smoke gen-smoke fuzz-smoke examples verify clean
 
 all: verify
 
@@ -89,6 +89,31 @@ analyze-smoke: build
 			|| { echo "analyze-smoke: BENCH_analyze.json missing key $$key"; exit 1; }; \
 	done
 
+# The generated-grid gate: run the ≥1000-cell synthetic-app stress grid
+# (streaming aggregation, journal, disk cache) at 1/4/8 workers — the
+# example asserts byte-identical results and bounded in-flight records —
+# then fail if the gate line or a BENCH_gen.json key is missing.
+gen-smoke: build
+	@PAREVAL_BENCH_JSON=$(CURDIR)/BENCH_gen.json \
+		cargo run --release --example stress_grid | tee /tmp/gen_smoke.out
+	@grep -q 'gen-smoke: .* cells byte-identical across workers' /tmp/gen_smoke.out \
+		|| { echo "gen-smoke: gate line missing"; exit 1; }
+	@for key in '"bench": "gen"' '"cells"' '"samples"' '"cells_per_sec"' \
+		'"peak_retained_records"' '"cache_hit_rate"'; do \
+		grep -q "$$key" BENCH_gen.json \
+			|| { echo "gen-smoke: BENCH_gen.json missing key $$key"; exit 1; }; \
+	done
+
+# The pipeline-fuzzing gate: generated repos across the generator's whole
+# knob space (all pragma models, both build systems, every injected-error
+# profile) through parse/sema/build/run + the analyzer, twice each — the
+# example asserts determinism and per-profile expectations and prints the
+# line this target greps for.
+fuzz-smoke: build
+	@cargo run --release --example fuzz_pipeline | tee /tmp/fuzz_smoke.out
+	@grep -q 'fuzz-smoke: .* 0 divergences' /tmp/fuzz_smoke.out \
+		|| { echo "fuzz-smoke: gate line missing"; exit 1; }
+
 # Every example must run to completion (exit 0); output is discarded.
 examples: build
 	cargo run --release --example quickstart > /dev/null
@@ -100,8 +125,10 @@ examples: build
 	cargo run --release --example repair_loop > /dev/null
 	cargo run --release --example resume_run > /dev/null
 	cargo run --release --example analyze_grid > /dev/null
+	cargo run --release --example stress_grid > /dev/null
+	cargo run --release --example fuzz_pipeline > /dev/null
 
-verify: build test clippy fmt doc examples sched-smoke resume-smoke analyze-smoke
+verify: build test clippy fmt doc examples sched-smoke resume-smoke analyze-smoke gen-smoke fuzz-smoke
 
 clean:
 	cargo clean

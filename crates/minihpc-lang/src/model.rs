@@ -73,7 +73,7 @@ impl fmt::Display for ExecutionModel {
 }
 
 /// Which build-system generator a repository uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BuildSystemKind {
     Make,
     CMake,

@@ -17,10 +17,13 @@ mod xor;
 mod xsbench;
 
 use minihpc_build::{build_repo, BuildRequest};
+use minihpc_gen::{generate, GenSpec};
 use minihpc_lang::model::{BuildSystemKind, ExecutionModel, TranslationPair};
 use minihpc_lang::repo::SourceRepo;
 use minihpc_runtime::{run, RunConfig};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One developer-provided test case: CLI arguments (expected stdout is
 /// derived from the reference implementation).
@@ -37,15 +40,40 @@ impl TestCase {
     }
 }
 
+/// A translation task named a source model the application does not
+/// implement. Returned by [`Application::repo_arc`] instead of the panic a
+/// bare `repo(..).unwrap()` used to produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfeasiblePair {
+    pub app: String,
+    pub model: ExecutionModel,
+}
+
+impl std::fmt::Display for InfeasiblePair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "application {} has no {} implementation",
+            self.app, self.model
+        )
+    }
+}
+
+impl std::error::Error for InfeasiblePair {}
+
 /// A benchmark application.
 #[derive(Debug, Clone)]
 pub struct Application {
-    /// Name as in paper Table 1 (`nanoXOR`, `XSBench`, ...).
-    pub name: &'static str,
+    /// Name as in paper Table 1 (`nanoXOR`, `XSBench`, ...) — or a
+    /// generated-family name like `gen-t4-0000002a`. Borrowed for the
+    /// hand-written suite, owned for generated apps.
+    pub name: Cow<'static, str>,
     /// The binary the build must produce (the build-interface contract).
-    pub binary: &'static str,
+    pub binary: Cow<'static, str>,
     /// Per-model source repositories (only models marked available).
-    pub repos: BTreeMap<ExecutionModel, SourceRepo>,
+    /// `Arc`-shared so per-sample pipelines serve the repo without a deep
+    /// clone of every file.
+    pub repos: BTreeMap<ExecutionModel, Arc<SourceRepo>>,
     /// Developer test cases.
     pub tests: Vec<TestCase>,
     /// CLI contract text, included in prompts for main-function files.
@@ -59,6 +87,10 @@ pub struct Application {
     /// True when public ports exist in the target models (XSBench — the
     /// paper's data-contamination probe).
     pub public_ports_exist: bool,
+    /// `Some(GenSpec::digest())` for applications produced by
+    /// `minihpc-gen`; `None` for the hand-written suite. Experiment-plan
+    /// fingerprints fold this in so a resumed run detects generator drift.
+    pub gen_digest: Option<u64>,
 }
 
 impl Application {
@@ -68,7 +100,20 @@ impl Application {
     }
 
     pub fn repo(&self, model: ExecutionModel) -> Option<&SourceRepo> {
-        self.repos.get(&model)
+        self.repos.get(&model).map(|r| r.as_ref())
+    }
+
+    /// The shared handle to the `model` implementation, or a typed error
+    /// naming the missing pair. Cloning the `Arc` is O(1) — this is the
+    /// per-sample path, replacing deep `SourceRepo` clones.
+    pub fn repo_arc(&self, model: ExecutionModel) -> Result<Arc<SourceRepo>, InfeasiblePair> {
+        self.repos
+            .get(&model)
+            .cloned()
+            .ok_or_else(|| InfeasiblePair {
+                app: self.name.to_string(),
+                model,
+            })
     }
 
     /// Which of the paper's three translation pairs apply to this app.
@@ -88,7 +133,7 @@ impl Application {
             .iter()
             .next()
             .expect("application has at least one implementation");
-        let outcome = build_repo(repo, &BuildRequest::new(self.binary));
+        let outcome = build_repo(repo, &BuildRequest::new(&*self.binary));
         let exe = outcome.executable.unwrap_or_else(|| {
             panic!(
                 "reference build of {} ({model}) failed:\n{}",
@@ -125,11 +170,59 @@ pub fn suite() -> Vec<Application> {
     ]
 }
 
+/// The hand-written suite plus one [`Application`] per generated spec —
+/// the open-registry path the synthetic stress grids use. Generated specs
+/// should be [`ErrorProfile::Clean`](minihpc_gen::ErrorProfile::Clean)
+/// `Threads` repos: `expected_output` runs the reference implementation,
+/// so a repo that cannot build cannot be a grid application (defective
+/// profiles belong to the fuzzing pipeline instead).
+pub fn suite_with_generated(specs: &[GenSpec]) -> Vec<Application> {
+    let mut apps = suite();
+    apps.extend(specs.iter().map(generated_app));
+    apps
+}
+
+/// Bridge one generated spec into the registry: the generated repo is the
+/// source-model implementation, and the ground-truth offload build file is
+/// the same clang++ offload Makefile the hand-written suite uses.
+pub fn generated_app(spec: &GenSpec) -> Application {
+    let g = generate(spec);
+    let sources: Vec<&str> = g.sources.iter().map(String::as_str).collect();
+    let mut ground_truth_build = BTreeMap::new();
+    ground_truth_build.insert(
+        ExecutionModel::OmpOffload,
+        (
+            "Makefile".to_string(),
+            gt_make_omp_offload(&g.binary, &sources),
+        ),
+    );
+    let mut repos = BTreeMap::new();
+    repos.insert(g.model, Arc::new(g.repo));
+    Application {
+        name: Cow::Owned(g.name),
+        binary: Cow::Owned(g.binary),
+        repos,
+        tests: g.tests.into_iter().map(TestCase::new).collect(),
+        cli_spec: g.cli_spec,
+        build_spec: g.build_spec,
+        ground_truth_build,
+        public_ports_exist: false,
+        gen_digest: Some(g.digest),
+    }
+}
+
 /// Look up one application by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<Application> {
     suite()
         .into_iter()
         .find(|a| a.name.eq_ignore_ascii_case(name))
+}
+
+/// Wrap a per-model repo map in the `Arc`s the open registry serves.
+pub(crate) fn share(
+    repos: BTreeMap<ExecutionModel, SourceRepo>,
+) -> BTreeMap<ExecutionModel, Arc<SourceRepo>> {
+    repos.into_iter().map(|(k, v)| (k, Arc::new(v))).collect()
 }
 
 /// Shared ground-truth build files used by several applications.
@@ -159,7 +252,7 @@ mod tests {
     #[test]
     fn suite_matches_table1_shape() {
         let apps = suite();
-        let names: Vec<_> = apps.iter().map(|a| a.name).collect();
+        let names: Vec<&str> = apps.iter().map(|a| a.name.as_ref()).collect();
         assert_eq!(
             names,
             vec![
@@ -212,5 +305,32 @@ mod tests {
         assert!(counts[1] < counts[2]);
         assert!(counts[2] < counts[3]);
         assert!(counts[3] < counts[4]);
+    }
+
+    #[test]
+    fn generated_specs_register_alongside_builtins() {
+        let specs = vec![minihpc_gen::GenSpec::new(42), minihpc_gen::GenSpec::new(43)];
+        let apps = suite_with_generated(&specs);
+        assert_eq!(apps.len(), suite().len() + 2);
+        let gen = &apps[suite().len()];
+        assert_eq!(gen.name.as_ref(), specs[0].name());
+        assert_eq!(gen.gen_digest, Some(specs[0].digest()));
+        assert_eq!(gen.pairs(), vec![TranslationPair::OMP_THREADS_TO_OFFLOAD]);
+        // The generated reference implementation must actually run: the
+        // expected output is derived from it, like the hand-written suite.
+        let out = gen.expected_output(&gen.tests[0]);
+        assert!(out.contains("checksum "), "{out}");
+        // The typed error replaces the old unwrap-on-missing-model panic.
+        let err = gen.repo_arc(ExecutionModel::Cuda).unwrap_err();
+        assert_eq!(err.model, ExecutionModel::Cuda);
+        assert!(err.to_string().contains(gen.name.as_ref()));
+    }
+
+    #[test]
+    fn repo_arc_shares_rather_than_clones() {
+        let app = by_name("XSBench").unwrap();
+        let a = app.repo_arc(ExecutionModel::OmpThreads).unwrap();
+        let b = app.repo_arc(ExecutionModel::OmpThreads).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

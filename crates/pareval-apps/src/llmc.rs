@@ -5,7 +5,7 @@
 //! training loop in main, and deterministic synthetic data — here a
 //! two-layer MLP classifier whose loss must decrease monotonically.
 
-use crate::{gt_cmake_kokkos, gt_make_omp_offload, Application, TestCase};
+use crate::{gt_cmake_kokkos, gt_make_omp_offload, share, Application, TestCase};
 use minihpc_lang::model::ExecutionModel;
 use minihpc_lang::repo::SourceRepo;
 use std::collections::BTreeMap;
@@ -283,9 +283,9 @@ pub fn llmc() -> Application {
         ),
     );
     Application {
-        name: "llm.c",
-        binary: "llmc",
-        repos,
+        name: "llm.c".into(),
+        binary: "llmc".into(),
+        repos: share(repos),
         tests: vec![
             TestCase::new(["5", "1337"]),
             TestCase::new(["10", "1337"]),
@@ -300,6 +300,7 @@ pub fn llmc() -> Application {
             .to_string(),
         ground_truth_build: gt,
         public_ports_exist: false,
+        gen_digest: None,
     }
 }
 
@@ -313,7 +314,7 @@ mod tests {
         let app = llmc();
         let out = build_repo(
             app.repo(ExecutionModel::Cuda).unwrap(),
-            &BuildRequest::new(app.binary),
+            &BuildRequest::new(&*app.binary),
         );
         assert!(out.succeeded(), "{}", out.log.text());
         run(

@@ -4,7 +4,7 @@
 //! direct OpenMP/Kokkos equivalent, forcing translations to synthesise a
 //! portable RNG.
 
-use crate::{gt_cmake_kokkos, gt_make_omp_offload, Application, TestCase};
+use crate::{gt_cmake_kokkos, gt_make_omp_offload, share, Application, TestCase};
 use minihpc_lang::model::ExecutionModel;
 use minihpc_lang::repo::SourceRepo;
 use std::collections::BTreeMap;
@@ -158,9 +158,9 @@ pub fn simplemoc_kernel() -> Application {
         ),
     );
     Application {
-        name: "SimpleMOC-kernel",
-        binary: "simplemoc",
-        repos,
+        name: "SimpleMOC-kernel".into(),
+        binary: "simplemoc".into(),
+        repos: share(repos),
         tests: vec![
             TestCase::new(["512", "8", "42"]),
             TestCase::new(["1024", "16", "7"]),
@@ -176,6 +176,7 @@ pub fn simplemoc_kernel() -> Application {
             .to_string(),
         ground_truth_build: gt,
         public_ports_exist: false,
+        gen_digest: None,
     }
 }
 
@@ -189,7 +190,7 @@ mod tests {
     fn builds_and_runs_deterministically() {
         let app = simplemoc_kernel();
         let repo = app.repo(ExecutionModel::Cuda).unwrap();
-        let out = build_repo(repo, &BuildRequest::new(app.binary));
+        let out = build_repo(repo, &BuildRequest::new(&*app.binary));
         assert!(out.succeeded(), "{}", out.log.text());
         let exe = out.executable.unwrap();
         let r1 = run(&exe, RunConfig::with_args(["128", "4", "42"]));

@@ -5,7 +5,7 @@
 //! The kernel is the paper's four-point XOR stencil (Listing 2): a cell
 //! becomes 1 iff exactly one of its von-Neumann neighbours is 1.
 
-use crate::{gt_cmake_kokkos, gt_make_omp_offload, Application, TestCase};
+use crate::{gt_cmake_kokkos, gt_make_omp_offload, share, Application, TestCase};
 use minihpc_lang::model::ExecutionModel;
 use minihpc_lang::repo::SourceRepo;
 use std::collections::BTreeMap;
@@ -214,14 +214,15 @@ pub fn nanoxor() -> Application {
             ),
     );
     Application {
-        name: "nanoXOR",
-        binary: "nanoxor",
-        repos,
+        name: "nanoXOR".into(),
+        binary: "nanoxor".into(),
+        repos: share(repos),
         tests: xor_tests(),
         cli_spec: CLI_SPEC.to_string(),
         build_spec: BUILD_SPEC.to_string(),
         ground_truth_build: xor_ground_truth("nanoxor", &["src/main.cpp"]),
         public_ports_exist: false,
+        gen_digest: None,
     }
 }
 
@@ -260,14 +261,15 @@ pub fn microxorh() -> Application {
             ),
     );
     Application {
-        name: "microXORh",
-        binary: "microxorh",
-        repos,
+        name: "microXORh".into(),
+        binary: "microxorh".into(),
+        repos: share(repos),
         tests: xor_tests(),
         cli_spec: CLI_SPEC.to_string(),
         build_spec: BUILD_SPEC.to_string(),
         ground_truth_build: xor_ground_truth("microxorh", &["src/main.cpp"]),
         public_ports_exist: false,
+        gen_digest: None,
     }
 }
 
@@ -315,14 +317,15 @@ pub fn microxor() -> Application {
             ),
     );
     Application {
-        name: "microXOR",
-        binary: "microxor",
-        repos,
+        name: "microXOR".into(),
+        binary: "microxor".into(),
+        repos: share(repos),
         tests: xor_tests(),
         cli_spec: CLI_SPEC.to_string(),
         build_spec: BUILD_SPEC.to_string(),
         ground_truth_build: xor_ground_truth("microxor", &["src/main.cpp", "src/kernel.cpp"]),
         public_ports_exist: false,
+        gen_digest: None,
     }
 }
 
@@ -338,7 +341,7 @@ mod tests {
         args: &[&str],
     ) -> minihpc_runtime::RunResult {
         let repo = app.repo(model).unwrap();
-        let out = build_repo(repo, &BuildRequest::new(app.binary));
+        let out = build_repo(repo, &BuildRequest::new(&*app.binary));
         assert!(
             out.succeeded(),
             "{} {model} build failed:\n{}",

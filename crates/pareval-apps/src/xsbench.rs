@@ -9,7 +9,7 @@
 //! cross-sections. Verification is an integer checksum (order-independent
 //! sum), so all models and schedules agree exactly.
 
-use crate::{gt_cmake_kokkos, gt_make_omp_offload, Application, TestCase};
+use crate::{gt_cmake_kokkos, gt_make_omp_offload, share, Application, TestCase};
 use minihpc_lang::model::ExecutionModel;
 use minihpc_lang::repo::SourceRepo;
 use std::collections::BTreeMap;
@@ -419,9 +419,9 @@ pub fn xsbench() -> Application {
     );
 
     Application {
-        name: "XSBench",
-        binary: "xsbench",
-        repos,
+        name: "XSBench".into(),
+        binary: "xsbench".into(),
+        repos: share(repos),
         tests: vec![
             TestCase::new(["1000"]),
             TestCase::new(["2000", "12", "64", "1070"]),
@@ -436,6 +436,7 @@ pub fn xsbench() -> Application {
             .to_string(),
         ground_truth_build: gt,
         public_ports_exist: true,
+        gen_digest: None,
     }
 }
 
@@ -447,7 +448,7 @@ mod tests {
 
     fn run_model(model: ExecutionModel, args: &[&str]) -> minihpc_runtime::RunResult {
         let app = xsbench();
-        let out = build_repo(app.repo(model).unwrap(), &BuildRequest::new(app.binary));
+        let out = build_repo(app.repo(model).unwrap(), &BuildRequest::new(&*app.binary));
         assert!(out.succeeded(), "{model} build failed:\n{}", out.log.text());
         run(
             &out.executable.unwrap(),
@@ -480,7 +481,7 @@ mod tests {
         let app = xsbench();
         let out = build_repo(
             app.repo(ExecutionModel::OmpThreads).unwrap(),
-            &BuildRequest::new(app.binary),
+            &BuildRequest::new(&*app.binary),
         );
         let exe = out.executable.unwrap();
         let seq = run(&exe, RunConfig::with_args(["500"]));

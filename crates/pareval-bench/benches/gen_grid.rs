@@ -1,0 +1,125 @@
+//! The generated-grid bench: `minihpc-gen` synthetic applications pushed
+//! through the full harness at thousand-cell scale, comparing the two
+//! collection modes the Collector offers:
+//!
+//! - **buffered** — every `SampleRecord` retained until the end of the run
+//!   (the default; peak retained records = total samples),
+//! - **streaming** — each record folded into per-cell sufficient
+//!   statistics on arrival (peak retained records ≤ worker count).
+//!
+//! The headline run executes a ≥1000-cell threads→offload grid of ~100
+//! generated apps through `ScheduledRunner` at 1/4/8 workers, streaming,
+//! with a journal and a disk-backed build cache — and asserts all three
+//! runs' results are byte-identical (the invariant `examples/stress_grid.rs`
+//! gates on; `BENCH_gen.json` is that example's output). The criterion
+//! functions then time streaming vs buffered collection on a smaller grid
+//! so the comparison fits a bench iteration.
+//!
+//! Run with: `cargo bench --bench gen_grid` (add `-- --test` for the
+//! quick single-pass mode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minihpc_gen::GenSpec;
+use minihpc_lang::model::TranslationPair;
+use pareval_core::{
+    EvalConfig, EvalPipeline, ExperimentPlan, JournalSink, NullSink, Runner, ScheduledRunner,
+};
+use std::path::Path;
+use std::time::Instant;
+
+/// Thousand-cell scale for the headline determinism pass; the criterion
+/// functions use a quarter of it so an iteration stays sub-second.
+const HEADLINE_APPS: u64 = 100;
+const CRITERION_APPS: u64 = 25;
+
+fn specs(n: u64) -> Vec<GenSpec> {
+    (0..n)
+        .map(|i| GenSpec::new(0xBE7C_0000 + i).with_files(1 + (i as usize % 3)))
+        .collect()
+}
+
+fn grid(specs: &[GenSpec], streaming: bool, disk_cache: Option<&Path>) -> ExperimentPlan {
+    let generated = pareval_apps::suite_with_generated(specs)
+        .into_iter()
+        .filter(|app| app.gen_digest.is_some());
+    ExperimentPlan::builder()
+        .samples(1)
+        .pairs([TranslationPair::OMP_THREADS_TO_OFFLOAD])
+        .apps(["XSBench"])
+        .extend_apps(generated)
+        .eval(EvalConfig {
+            max_cases: 1,
+            disk_cache_dir: disk_cache.map(Path::to_path_buf),
+            ..EvalConfig::default()
+        })
+        .streaming(streaming)
+        .build()
+}
+
+fn bench(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let scratch =
+        std::env::temp_dir().join(format!("pareval-gen-grid-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    // Headline pass: the full generated grid, streaming, journal + disk
+    // cache, at 1/4/8 workers — byte-identical or the bench aborts.
+    let headline = specs(if test_mode { 10 } else { HEADLINE_APPS });
+    let mut baseline = None;
+    for workers in [1usize, 4, 8] {
+        let cache = scratch.join(format!("cache-{workers}"));
+        let plan = grid(&headline, true, Some(&cache));
+        let pipeline = EvalPipeline::new(plan.eval().clone());
+        let journal = scratch.join(format!("run-{workers}.journal"));
+        let sink = JournalSink::create(&journal, &plan).expect("create journal");
+        let start = Instant::now();
+        let results = ScheduledRunner::new(workers).run_with(&plan, &pipeline, &sink);
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "gen_grid: {} cells, workers={workers}: {:.1} cells/s",
+            plan.cells().len(),
+            plan.cells().len() as f64 / secs
+        );
+        match &baseline {
+            None => baseline = Some(results),
+            Some(first) => assert_eq!(
+                first, &results,
+                "generated grid diverged at {workers} workers"
+            ),
+        }
+    }
+    drop(baseline);
+
+    let bench_specs = specs(if test_mode { 5 } else { CRITERION_APPS });
+    let streaming_plan = grid(&bench_specs, true, None);
+    let buffered_plan = grid(&bench_specs, false, None);
+    c.bench_function("gen/streaming_8w", |b| {
+        b.iter(|| {
+            let pipeline = EvalPipeline::new(streaming_plan.eval().clone());
+            std::hint::black_box(ScheduledRunner::new(8).run_with(
+                &streaming_plan,
+                &pipeline,
+                &NullSink,
+            ))
+        })
+    });
+    c.bench_function("gen/buffered_8w", |b| {
+        b.iter(|| {
+            let pipeline = EvalPipeline::new(buffered_plan.eval().clone());
+            std::hint::black_box(ScheduledRunner::new(8).run_with(
+                &buffered_plan,
+                &pipeline,
+                &NullSink,
+            ))
+        })
+    });
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(5);
+    targets = bench
+}
+criterion_main!(benches);

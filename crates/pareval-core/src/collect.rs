@@ -13,6 +13,22 @@
 //! partially-filled infeasible cell — the old runner's `break` left token
 //! and error-log accumulators populated when a cell went infeasible
 //! mid-loop — is unrepresentable.
+//!
+//! ## Streaming aggregation
+//!
+//! Retaining every record is O(total samples) in memory, which a
+//! thousand-cell generated grid cannot afford. A plan built with
+//! [`streaming(true)`](crate::plan::ExperimentPlanBuilder::streaming)
+//! instead folds each record into per-cell *sufficient statistics*
+//! ([`CellStats`]) the moment it arrives. The folded form is exact, not
+//! approximate: `pass@k` needs only `(samples, successes)` counts for any
+//! k, per-round rates need one counter row per repair round (bounded by
+//! the repair budget), and token means are integer sums below 2^53 —
+//! every count/rate accessor returns bit-identical values in both modes,
+//! and folding is order-independent so work-stolen shards agree with a
+//! serial run. What streaming gives up is exactly the raw per-sample
+//! views: [`CellResult::records`] and [`CellResult::error_logs`] come
+//! back empty (categorical error counts survive via [`CellStats`]).
 
 use crate::plan::{CellKey, CellQuery, ExperimentPlan};
 use crate::runner::SampleRecord;
@@ -34,11 +50,125 @@ pub enum Metric {
     Pass,
 }
 
-/// All retained samples of one cell.
+/// Per-cell sufficient statistics: everything the count/rate accessors
+/// need, folded one sample at a time. Every field is an order-independent
+/// aggregate (integer sums, maxes, count maps), so any fold order yields
+/// the same value — the streaming analogue of the collector's
+/// sort-by-sample-index normalisation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellStats {
+    samples: u64,
+    /// Final successes, indexed `[metric][scoring]` (Build/Pass ×
+    /// CodeOnly/Overall).
+    successes: [[u64; 2]; 2],
+    race_free: u64,
+    max_round: u32,
+    token_total: u64,
+    /// One slot per repair round, `rounds[r]` = the cell's aggregate as of
+    /// round r with each sample's trajectory clamped to its own length —
+    /// the exact fold of [`CellResult::successes_at_round`] /
+    /// [`CellResult::tokens_at_round`]. Length is the deepest trajectory
+    /// seen (≤ repair budget + 1), never O(samples).
+    rounds: Vec<RoundSlot>,
+    errors: BTreeMap<ErrorCategory, u64>,
+    race_rules: BTreeMap<minihpc_analyze::Rule, u64>,
+}
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct RoundSlot {
+    successes: [[u64; 2]; 2],
+    token_total: u64,
+}
+
+fn metric_index(metric: Metric) -> usize {
+    match metric {
+        Metric::Build => 0,
+        Metric::Pass => 1,
+    }
+}
+
+fn scoring_index(scoring: Scoring) -> usize {
+    match scoring {
+        Scoring::CodeOnly => 0,
+        Scoring::Overall => 1,
+    }
+}
+
+/// `[built, passed]` counts of one optional outcome.
+fn outcome_flags(o: Option<&EvalOutcome>) -> [u64; 2] {
+    match o {
+        Some(o) => [u64::from(o.built), u64::from(o.passed)],
+        None => [0, 0],
+    }
+}
+
+impl CellStats {
+    fn fold(&mut self, result: &crate::task::SampleResult) {
+        self.samples += 1;
+        let co = outcome_flags(result.code_only.as_ref());
+        let ov = outcome_flags(result.overall.as_ref());
+        for m in 0..2 {
+            self.successes[m][0] += co[m];
+            self.successes[m][1] += ov[m];
+        }
+        self.race_free += u64::from(result.race_free());
+        self.max_round = self
+            .max_round
+            .max(result.rounds.last().map_or(0, |r| r.round));
+        self.token_total += result.tokens.total();
+        // The sample's per-round trajectory; a sample without one (build
+        // succeeded, or budget 0) reports its final outcome at every
+        // round, i.e. a constant length-1 trajectory.
+        let traj: Vec<([[u64; 2]; 2], u64)> = if result.rounds.is_empty() {
+            vec![([[co[0], ov[0]], [co[1], ov[1]]], result.tokens.total())]
+        } else {
+            result
+                .rounds
+                .iter()
+                .map(|r| {
+                    let co = outcome_flags(Some(&r.code_only));
+                    let ov = outcome_flags(Some(&r.overall));
+                    ([[co[0], ov[0]], [co[1], ov[1]]], r.tokens.total())
+                })
+                .collect()
+        };
+        // Beyond its own trajectory a sample's outcome is constant, so
+        // slots grown later start as a copy of the current last slot —
+        // every previously folded sample is already clamped there.
+        while self.rounds.len() < traj.len() {
+            let carried = self.rounds.last().cloned().unwrap_or_default();
+            self.rounds.push(carried);
+        }
+        for (r, slot) in self.rounds.iter_mut().enumerate() {
+            let (succ, tokens) = &traj[r.min(traj.len() - 1)];
+            for (acc, add) in slot
+                .successes
+                .iter_mut()
+                .flatten()
+                .zip(succ.iter().flatten())
+            {
+                *acc += add;
+            }
+            slot.token_total += tokens;
+        }
+        if let Some(o) = result.overall.as_ref().filter(|o| !o.built) {
+            if let Some(category) = o.error_category {
+                *self.errors.entry(category).or_default() += 1;
+            }
+        }
+        for finding in &result.analysis {
+            *self.race_rules.entry(finding.rule).or_default() += 1;
+        }
+    }
+}
+
+/// All retained samples of one cell — or, under streaming aggregation,
+/// their folded sufficient statistics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CellResult {
     feasible: bool,
     records: Vec<SampleRecord>,
+    stats: Option<CellStats>,
 }
 
 impl CellResult {
@@ -46,7 +176,24 @@ impl CellResult {
         CellResult {
             feasible: false,
             records: Vec::new(),
+            stats: None,
         }
+    }
+
+    /// Fold one record in streaming mode: the aggregate-only counterpart
+    /// of pushing onto `records`, with identical feasibility semantics
+    /// (an infeasible record demotes the whole cell atomically).
+    pub(crate) fn fold_record(&mut self, record: &SampleRecord) {
+        if !record.result.feasible {
+            *self = CellResult::infeasible();
+            return;
+        }
+        if !self.feasible {
+            return;
+        }
+        self.stats
+            .get_or_insert_with(CellStats::default)
+            .fold(&record.result);
     }
 
     /// Was this configuration runnable at all?
@@ -55,10 +202,14 @@ impl CellResult {
     }
 
     pub fn samples(&self) -> u64 {
-        self.records.len() as u64
+        match &self.stats {
+            Some(s) => s.samples,
+            None => self.records.len() as u64,
+        }
     }
 
-    /// The raw per-sample records, ordered by sample index.
+    /// The raw per-sample records, ordered by sample index. Empty under
+    /// streaming aggregation — the records were folded, not retained.
     pub fn records(&self) -> &[SampleRecord] {
         &self.records
     }
@@ -72,6 +223,9 @@ impl CellResult {
 
     /// Successful samples under one metric and scoring.
     pub fn successes(&self, metric: Metric, scoring: Scoring) -> u64 {
+        if let Some(s) = &self.stats {
+            return s.successes[metric_index(metric)][scoring_index(scoring)];
+        }
         self.records
             .iter()
             .filter_map(|r| Self::outcome(r, scoring))
@@ -123,6 +277,13 @@ impl CellResult {
     /// Successful samples under one metric and scoring, as of repair round
     /// `round`.
     pub fn successes_at_round(&self, metric: Metric, scoring: Scoring, round: u32) -> u64 {
+        if let Some(s) = &self.stats {
+            if s.rounds.is_empty() {
+                return s.successes[metric_index(metric)][scoring_index(scoring)];
+            }
+            let slot = &s.rounds[(round as usize).min(s.rounds.len() - 1)];
+            return slot.successes[metric_index(metric)][scoring_index(scoring)];
+        }
         self.records
             .iter()
             .filter_map(|r| Self::outcome_at_round(r, scoring, round))
@@ -147,6 +308,9 @@ impl CellResult {
     /// The deepest repair round any retained sample recorded (0 when no
     /// sample entered the repair loop).
     pub fn max_repair_round(&self) -> u32 {
+        if let Some(s) = &self.stats {
+            return s.max_round;
+        }
         self.records
             .iter()
             .filter_map(|r| r.result.rounds.last())
@@ -159,6 +323,14 @@ impl CellResult {
     /// repair tokens count toward E_kappa (paper Eq. 2), so the round-R
     /// token cost pairs with the round-R pass rate.
     pub fn tokens_at_round(&self, round: u32) -> MeanAccumulator {
+        if let Some(s) = &self.stats {
+            let total = if s.rounds.is_empty() {
+                s.token_total
+            } else {
+                s.rounds[(round as usize).min(s.rounds.len() - 1)].token_total
+            };
+            return MeanAccumulator::from_sum_count(total as f64, s.samples);
+        }
         let mut acc = MeanAccumulator::default();
         for r in &self.records {
             let rounds = &r.result.rounds;
@@ -183,6 +355,9 @@ impl CellResult {
     /// Samples that built and carried no error-severity analysis finding.
     /// Zero unless the grid ran with `EvalConfig::analyze` on.
     pub fn race_free_samples(&self) -> u64 {
+        if let Some(s) = &self.stats {
+            return s.race_free;
+        }
         self.records.iter().filter(|r| r.result.race_free()).count() as u64
     }
 
@@ -194,6 +369,9 @@ impl CellResult {
 
     /// Mean total inference tokens per sample, accumulated in sample order.
     pub fn tokens(&self) -> MeanAccumulator {
+        if let Some(s) = &self.stats {
+            return MeanAccumulator::from_sum_count(s.token_total as f64, s.samples);
+        }
         let mut acc = MeanAccumulator::default();
         for r in &self.records {
             acc.add(r.result.tokens.total() as f64);
@@ -202,7 +380,9 @@ impl CellResult {
     }
 
     /// Failed-build logs with ground-truth categories (Fig. 3 input),
-    /// in sample order.
+    /// in sample order. Empty under streaming aggregation — log text is a
+    /// raw per-sample view; use [`Self::error_category_counts`] for the
+    /// categorical summary, which survives folding.
     pub fn error_logs(&self) -> impl Iterator<Item = LogEntry> + '_ {
         self.records.iter().filter_map(|r| {
             let overall = r.result.overall.as_ref()?;
@@ -215,6 +395,38 @@ impl CellResult {
                 truth,
             })
         })
+    }
+
+    /// Per-category counts of failed overall builds — available in both
+    /// collection modes.
+    pub fn error_category_counts(&self) -> BTreeMap<ErrorCategory, u64> {
+        if let Some(s) = &self.stats {
+            return s.errors.clone();
+        }
+        let mut out: BTreeMap<ErrorCategory, u64> = BTreeMap::new();
+        for r in &self.records {
+            if let Some(o) = r.result.overall.as_ref().filter(|o| !o.built) {
+                if let Some(category) = o.error_category {
+                    *out.entry(category).or_default() += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-rule counts of static-analysis findings — available in both
+    /// collection modes.
+    pub fn finding_rule_counts(&self) -> BTreeMap<minihpc_analyze::Rule, u64> {
+        if let Some(s) = &self.stats {
+            return s.race_rules.clone();
+        }
+        let mut out: BTreeMap<minihpc_analyze::Rule, u64> = BTreeMap::new();
+        for r in &self.records {
+            for finding in &r.result.analysis {
+                *out.entry(finding.rule).or_default() += 1;
+            }
+        }
+        out
     }
 }
 
@@ -252,24 +464,16 @@ impl ExperimentResults {
         plan: &ExperimentPlan,
         records: impl IntoIterator<Item = SampleRecord>,
     ) -> Self {
-        let mut cells: BTreeMap<CellKey, CellResult> = plan
-            .cells()
-            .iter()
-            .map(|spec| {
-                // Feasibility starts from the plan (a feasible cell scheduled
-                // with zero samples is still feasible); an infeasible record
-                // demotes its cell below.
-                let cell = if spec.feasible {
-                    CellResult {
-                        feasible: true,
-                        records: Vec::new(),
-                    }
-                } else {
-                    CellResult::infeasible()
-                };
-                (spec.key, cell)
-            })
-            .collect();
+        let mut cells = Self::seeded_cells(plan);
+        if plan.streaming() {
+            for record in records {
+                cells
+                    .get_mut(&record.key)
+                    .expect("runner produced a record for a cell not in the plan")
+                    .fold_record(&record);
+            }
+            return ExperimentResults { cells };
+        }
         for record in records {
             let cell = cells
                 .get_mut(&record.key)
@@ -290,6 +494,28 @@ impl ExperimentResults {
             cell.records.sort_by_key(|r| r.sample_index);
         }
         ExperimentResults { cells }
+    }
+
+    /// The per-cell map every collection path starts from: one entry per
+    /// plan cell with the plan's feasibility and no samples. (A feasible
+    /// cell scheduled with zero samples is still feasible; an infeasible
+    /// record demotes its cell during collection.)
+    pub(crate) fn seeded_cells(plan: &ExperimentPlan) -> BTreeMap<CellKey, CellResult> {
+        plan.cells()
+            .iter()
+            .map(|spec| {
+                let cell = if spec.feasible {
+                    CellResult {
+                        feasible: true,
+                        records: Vec::new(),
+                        stats: None,
+                    }
+                } else {
+                    CellResult::infeasible()
+                };
+                (spec.key, cell)
+            })
+            .collect()
     }
 
     pub fn cell(
@@ -333,20 +559,12 @@ impl ExperimentResults {
     }
 
     /// Per-(model, category) counts of build failures (the ground-truth
-    /// counterpart of Fig. 3).
+    /// counterpart of Fig. 3). Available in both collection modes.
     pub fn error_counts(&self) -> BTreeMap<(String, ErrorCategory), usize> {
         let mut out: BTreeMap<(String, ErrorCategory), usize> = BTreeMap::new();
         for (key, cell) in &self.cells {
-            for record in cell.records() {
-                let failed_category = record
-                    .result
-                    .overall
-                    .as_ref()
-                    .filter(|o| !o.built)
-                    .and_then(|o| o.error_category);
-                if let Some(truth) = failed_category {
-                    *out.entry((key.model.to_string(), truth)).or_default() += 1;
-                }
+            for (truth, n) in cell.error_category_counts() {
+                *out.entry((key.model.to_string(), truth)).or_default() += n as usize;
             }
         }
         out
@@ -354,14 +572,12 @@ impl ExperimentResults {
 
     /// Per-(model, rule) counts of static-analysis findings across the
     /// grid. Empty unless the grid ran with `EvalConfig::analyze` on.
+    /// Available in both collection modes.
     pub fn race_finding_counts(&self) -> BTreeMap<(String, minihpc_analyze::Rule), usize> {
         let mut out: BTreeMap<(String, minihpc_analyze::Rule), usize> = BTreeMap::new();
         for (key, cell) in &self.cells {
-            for record in cell.records() {
-                for finding in &record.result.analysis {
-                    *out.entry((key.model.to_string(), finding.rule))
-                        .or_default() += 1;
-                }
+            for (rule, n) in cell.finding_rule_counts() {
+                *out.entry((key.model.to_string(), rule)).or_default() += n as usize;
             }
         }
         out
@@ -552,6 +768,7 @@ mod proptests {
         CellResult {
             feasible: true,
             records,
+            stats: None,
         }
     }
 

@@ -444,27 +444,36 @@ impl EvalPipeline {
         seed: u64,
         sample: u32,
     ) -> SampleResult {
-        // The one clone of the app's source repo for this sample; the
-        // spec, the job, and the attempt all share it from here.
-        let source_repo = Arc::new(
-            task.app
-                .repo(task.pair.from)
-                .expect("task implies source repo")
-                .clone(),
-        );
+        // The registry serves the repo as a shared handle — no per-sample
+        // deep clone — and a task whose source model the app does not
+        // implement becomes a typed infeasible result, not a panic.
+        let source_repo = match task.app.repo_arc(task.pair.from) {
+            Ok(repo) => repo,
+            Err(err) => {
+                return SampleResult {
+                    feasible: false,
+                    failure_reason: Some(err.to_string()),
+                    code_only: None,
+                    overall: None,
+                    tokens: pareval_llm::TokenUsage::default(),
+                    rounds: Vec::new(),
+                    analysis: Vec::new(),
+                }
+            }
+        };
         let spec = AttemptSpec {
             model,
             technique,
             pair: task.pair,
-            app_name: task.app.name,
+            app_name: &task.app.name,
             source_repo: Arc::clone(&source_repo),
             seed,
             sample,
         };
         let mut attempt = backend.start_attempt(&spec);
         let job = TranslationJob {
-            app_name: task.app.name,
-            binary: task.app.binary,
+            app_name: &task.app.name,
+            binary: &task.app.binary,
             source_repo: &source_repo,
             pair: task.pair,
             cli_spec: &task.app.cli_spec,
@@ -723,7 +732,7 @@ fn repair_context(outcome: &EvalOutcome, round: u32, max_lines: usize) -> Repair
 /// The cold path: build, enforce the target-model rule, run the developer
 /// tests (right answers, on the specified hardware).
 fn evaluate_uncached(task: &Task, repo: &SourceRepo, eval: &EvalConfig) -> EvalOutcome {
-    let outcome = build_repo(repo, &BuildRequest::new(task.app.binary));
+    let outcome = build_repo(repo, &BuildRequest::new(&*task.app.binary));
     let build_log = outcome.log.text();
     let Some(exe) = outcome.executable else {
         return EvalOutcome {

@@ -13,11 +13,37 @@
 
 use crate::task::{all_tasks, EvalConfig, Task};
 use minihpc_lang::model::TranslationPair;
+use pareval_apps::Application;
 use pareval_llm::{all_models, ModelProfile, SimulatedBackend, TranslationBackend};
 use pareval_translate::Technique;
-use std::borrow::Borrow;
+use std::borrow::{Borrow, Cow};
 use std::cmp::Ordering;
-use std::sync::Arc;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+/// [`CellKey`] carries `&'static str` names so keys stay `Copy` and
+/// comparisons never allocate. The hand-written suite's names are string
+/// literals already; generated-app names are owned, so the first plan that
+/// enumerates one leaks a deduplicated copy here. The table is global and
+/// append-only: re-planning the same generated family costs nothing new,
+/// and the leak is bounded by the number of *distinct* generated names in
+/// the process lifetime.
+// The parameter really is `&Cow`, not `&str`: the `Borrowed` arm must
+// pass its `&'static str` through without touching the intern table.
+#[allow(clippy::ptr_arg)]
+fn intern_name(name: &Cow<'static, str>) -> &'static str {
+    if let Cow::Borrowed(s) = name {
+        return s;
+    }
+    static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut table = INTERNED.lock().expect("name interner poisoned");
+    if let Some(s) = table.get(name.as_ref()) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.as_ref().to_owned().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
 
 /// Typed key of one experiment cell.
 ///
@@ -197,6 +223,7 @@ pub struct ExperimentPlan {
     models: Vec<ModelProfile>,
     backends: Vec<Arc<dyn TranslationBackend>>,
     cells: Vec<CellSpec>,
+    streaming: bool,
 }
 
 impl ExperimentPlan {
@@ -261,6 +288,13 @@ impl ExperimentPlan {
         self.cells.iter().map(|c| c.samples as usize).sum()
     }
 
+    /// Whether collection folds samples into per-cell sufficient statistics
+    /// as they arrive instead of retaining every raw [`crate::SampleRecord`]
+    /// (see [`ExperimentPlanBuilder::streaming`]).
+    pub fn streaming(&self) -> bool {
+        self.streaming
+    }
+
     /// Content fingerprint of the plan, pinned in a journal header (see
     /// [`crate::journal`]) so a resume can refuse a journal written by a
     /// different grid. Hashes everything that determines the result set:
@@ -289,6 +323,15 @@ impl ExperimentPlan {
             h.write(cell.key.technique.name().as_bytes());
             h.write(cell.key.model.as_bytes());
             h.write(cell.key.app.as_bytes());
+            // Generated apps additionally pin their GenSpec digest (seed +
+            // every generator knob): regenerating the family differently
+            // under the same names must invalidate old journals. Hashed
+            // conditionally so hand-written-suite fingerprints stay
+            // byte-identical to the pre-generator format.
+            if let Some(digest) = self.tasks[cell.task].app.gen_digest {
+                h.write(b"gen");
+                h.write(&digest.to_le_bytes());
+            }
             h.write(&[cell.feasible as u8]);
             h.write(&cell.samples.to_le_bytes());
             h.write(self.backends[cell.backend].name().as_bytes());
@@ -334,9 +377,11 @@ pub struct ExperimentPlanBuilder {
     techniques: Vec<Technique>,
     models: Vec<ModelProfile>,
     apps: Vec<String>,
+    extra_apps: Vec<Application>,
     eval: EvalConfig,
     backend: Arc<dyn TranslationBackend>,
     backend_overrides: Vec<(CellFilter, Arc<dyn TranslationBackend>)>,
+    streaming: bool,
 }
 
 impl Default for ExperimentPlanBuilder {
@@ -348,9 +393,11 @@ impl Default for ExperimentPlanBuilder {
             techniques: Technique::ALL.to_vec(),
             models: all_models(),
             apps: Vec::new(),
+            extra_apps: Vec::new(),
             eval: default_eval(),
             backend: Arc::new(SimulatedBackend),
             backend_overrides: Vec::new(),
+            streaming: false,
         }
     }
 }
@@ -398,6 +445,30 @@ impl ExperimentPlanBuilder {
         self
     }
 
+    /// Register additional applications beyond the hand-written suite —
+    /// the open-registry path `pareval_apps::suite_with_generated` feeds.
+    /// Extra apps are explicitly requested, so the [`Self::apps`] name
+    /// filter does not apply to them; their tasks enumerate after the
+    /// built-in suite's, pair-major, in the order given here.
+    pub fn extend_apps(mut self, apps: impl IntoIterator<Item = Application>) -> Self {
+        self.extra_apps.extend(apps);
+        self
+    }
+
+    /// Fold each sample into per-cell sufficient statistics on arrival
+    /// instead of retaining every raw [`crate::SampleRecord`]: peak
+    /// retained records become O(in-flight samples) instead of O(total
+    /// samples), which is what makes thousand-cell generated grids
+    /// tractable. All rate/count accessors stay exact; only the raw
+    /// per-sample views ([`crate::CellResult::records`], `error_logs`) come
+    /// back empty. Collection-mode only — journal bytes and fingerprints
+    /// are unchanged, so a streaming run can resume a non-streaming
+    /// journal and vice versa.
+    pub fn streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
     /// The default [`TranslationBackend`] for every cell
     /// ([`SimulatedBackend`] unless set). `Arc<ConcreteBackend>` coerces,
     /// so `.backend(Arc::new(OracleBackend))` just works; pass a clone of
@@ -422,11 +493,26 @@ impl ExperimentPlanBuilder {
     /// technique or model entries enumerate each cell once (first wins), so
     /// a sloppy input cannot double-schedule — and double-count — a cell.
     pub fn build(self) -> ExperimentPlan {
-        let tasks: Vec<Task> = all_tasks()
+        let mut tasks: Vec<Task> = all_tasks()
             .into_iter()
             .filter(|t| self.pairs.contains(&t.pair))
-            .filter(|t| self.apps.is_empty() || self.apps.iter().any(|a| a == t.app.name))
+            .filter(|t| self.apps.is_empty() || self.apps.iter().any(|a| *a == *t.app.name))
             .collect();
+        // Extra (generated) apps enumerate after the built-in suite,
+        // pair-major like `all_tasks`, filtered only by repo presence.
+        for pair in TranslationPair::ALL {
+            if !self.pairs.contains(&pair) {
+                continue;
+            }
+            for app in &self.extra_apps {
+                if app.repo(pair.from).is_some() {
+                    tasks.push(Task {
+                        app: app.clone(),
+                        pair,
+                    });
+                }
+            }
+        }
         let mut backends: Vec<Arc<dyn TranslationBackend>> = vec![self.backend];
         backends.extend(self.backend_overrides.iter().map(|(_, b)| Arc::clone(b)));
         let mut seen = std::collections::BTreeSet::new();
@@ -438,7 +524,7 @@ impl ExperimentPlanBuilder {
                         pair: task.pair,
                         technique: *technique,
                         model: model.name,
-                        app: task.app.name,
+                        app: intern_name(&task.app.name),
                     };
                     if !seen.insert(key) {
                         continue;
@@ -454,7 +540,7 @@ impl ExperimentPlanBuilder {
                         task.pair,
                         *technique,
                         model.name,
-                        task.app.name,
+                        &task.app.name,
                     );
                     cells.push(CellSpec {
                         key,
@@ -475,6 +561,7 @@ impl ExperimentPlanBuilder {
             models: self.models,
             backends,
             cells,
+            streaming: self.streaming,
         }
     }
 }
@@ -615,6 +702,99 @@ mod tests {
             assert_eq!(spec.cost_hint, cell.cost_hint);
             assert!(cell.feasible && spec.cost_hint > 0);
         }
+    }
+
+    #[test]
+    fn generated_apps_extend_the_grid() {
+        use minihpc_gen::GenSpec;
+
+        let specs: Vec<GenSpec> = (0..4).map(GenSpec::new).collect();
+        let base = ExperimentPlan::builder()
+            .samples(1)
+            .pairs([TranslationPair::OMP_THREADS_TO_OFFLOAD])
+            .techniques([Technique::NonAgentic]);
+        let plain = base.clone().build();
+        let extended = base
+            .clone()
+            .extend_apps(pareval_apps::suite_with_generated(&specs).split_off(6))
+            .build();
+        // 4 generated apps × 1 technique × 5 models of new cells, appended
+        // after the built-in suite's.
+        assert_eq!(extended.cells().len(), plain.cells().len() + 20);
+        let gen_cells: Vec<_> = extended
+            .cells()
+            .iter()
+            .filter(|c| c.key.app.starts_with("gen-"))
+            .collect();
+        assert_eq!(gen_cells.len(), 20);
+        // Generated names intern to stable &'static strs: re-planning the
+        // same family yields pointer-identical keys.
+        let again = base
+            .extend_apps(pareval_apps::suite_with_generated(&specs).split_off(6))
+            .build();
+        for (a, b) in extended.cells().iter().zip(again.cells()) {
+            assert_eq!(a.key, b.key);
+        }
+        assert_eq!(extended.fingerprint(), again.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_pins_generator_digest_but_not_collection_mode() {
+        use minihpc_gen::GenSpec;
+
+        let with_specs = |seed: u64, streaming: bool| {
+            ExperimentPlan::builder()
+                .samples(1)
+                .pairs([TranslationPair::OMP_THREADS_TO_OFFLOAD])
+                .techniques([Technique::NonAgentic])
+                .extend_apps([pareval_apps::generated_app(&GenSpec::new(seed))])
+                .streaming(streaming)
+                .build()
+        };
+        // Same generated family → same fingerprint; different generator
+        // seed → drift a resume must detect. (The app *name* embeds the
+        // seed too, so also check two specs that differ only in a knob
+        // that does not change the name.)
+        assert_eq!(
+            with_specs(7, false).fingerprint(),
+            with_specs(7, false).fingerprint()
+        );
+        assert_ne!(
+            with_specs(7, false).fingerprint(),
+            with_specs(8, false).fingerprint()
+        );
+        let knob_a = pareval_apps::generated_app(&GenSpec::new(7).with_files(2));
+        let knob_b = pareval_apps::generated_app(
+            &GenSpec::new(7)
+                .with_files(2)
+                .with_kernels([minihpc_gen::KernelKind::Stencil]),
+        );
+        assert_eq!(knob_a.name, knob_b.name);
+        let plan_of = |app: pareval_apps::Application| {
+            ExperimentPlan::builder()
+                .samples(1)
+                .pairs([TranslationPair::OMP_THREADS_TO_OFFLOAD])
+                .techniques([Technique::NonAgentic])
+                .extend_apps([app])
+                .build()
+        };
+        assert_ne!(
+            plan_of(knob_a).fingerprint(),
+            plan_of(knob_b).fingerprint(),
+            "same name, different generator knobs must not share a fingerprint"
+        );
+        // Streaming is collection-mode only: fingerprints (and thus
+        // journals) are interchangeable between modes.
+        assert_eq!(
+            with_specs(7, false).fingerprint(),
+            with_specs(7, true).fingerprint()
+        );
+        // And the hand-written suite's fingerprint is untouched by the
+        // gen-digest block (no generated apps → no block).
+        assert_eq!(
+            ExperimentPlan::quick().fingerprint(),
+            ExperimentPlan::quick().fingerprint()
+        );
     }
 
     #[test]

@@ -20,15 +20,16 @@
 //! multi-threaded runners is nondeterministic even though the final
 //! results are not.
 
-use crate::collect::ExperimentResults;
+use crate::collect::{CellResult, ExperimentResults};
 use crate::eval::EvalPipeline;
 use crate::journal::{self, JournalError, JournalReader};
 use crate::plan::{CellKey, ExperimentPlan, SampleSpec};
 use crate::sched::{round_robin_map, ScheduledRunner};
 use crate::task::SampleResult;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// One completed sample: the cell it belongs to, its index within the cell,
 /// and the raw evaluation result. Records are what the collector retains,
@@ -78,6 +79,57 @@ impl ProgressSink for CountingSink {
     }
 }
 
+/// The streaming collector: folds each completed sample into per-cell
+/// sufficient statistics the moment a worker reports it, so no raw record
+/// outlives its `on_sample` call. Folding is order-independent, so the
+/// nondeterministic completion order of multi-threaded runners still
+/// yields results byte-identical to a serial run.
+pub(crate) struct StreamingCollector {
+    cells: Mutex<BTreeMap<CellKey, CellResult>>,
+}
+
+impl StreamingCollector {
+    pub(crate) fn new(plan: &ExperimentPlan) -> Self {
+        StreamingCollector {
+            cells: Mutex::new(ExperimentResults::seeded_cells(plan)),
+        }
+    }
+
+    pub(crate) fn finish(self) -> ExperimentResults {
+        ExperimentResults {
+            cells: self
+                .cells
+                .into_inner()
+                .expect("streaming collector poisoned"),
+        }
+    }
+}
+
+impl ProgressSink for StreamingCollector {
+    fn on_sample(&self, record: &SampleRecord) {
+        self.cells
+            .lock()
+            .expect("streaming collector poisoned")
+            .get_mut(&record.key)
+            .expect("runner produced a record for a cell not in the plan")
+            .fold_record(record);
+    }
+}
+
+/// Forwards each sample to the caller's sink (e.g. a journal) and then
+/// folds it into the streaming collector.
+struct TeeSink<'a> {
+    user: &'a dyn ProgressSink,
+    collector: &'a StreamingCollector,
+}
+
+impl ProgressSink for TeeSink<'_> {
+    fn on_sample(&self, record: &SampleRecord) {
+        self.user.on_sample(record);
+        self.collector.on_sample(record);
+    }
+}
+
 /// An execution strategy for a plan.
 pub trait Runner {
     /// Execute `specs` (a subset of `plan.sample_specs()`) through
@@ -95,16 +147,48 @@ pub trait Runner {
         sink: &dyn ProgressSink,
     ) -> Vec<SampleRecord>;
 
+    /// Like [`Runner::run_specs`] but without returning (or accumulating)
+    /// the records: each record's only life is its `on_sample` delivery.
+    /// This is the streaming-aggregation execution path — peak retained
+    /// records are the in-flight samples (≤ worker count), not O(total).
+    ///
+    /// The default delegates to `run_specs` and drops the buffer, which is
+    /// correct but keeps the O(total) allocation; the shipped strategies
+    /// override it to never collect.
+    fn run_specs_discarding(
+        &self,
+        plan: &ExperimentPlan,
+        specs: Vec<SampleSpec>,
+        pipeline: &EvalPipeline,
+        sink: &dyn ProgressSink,
+    ) {
+        let _ = self.run_specs(plan, specs, pipeline, sink);
+    }
+
     /// Execute every sample of `plan` through `pipeline`, streaming records
     /// to `sink`. The pipeline (and with it the build cache) is shared by
     /// every worker of this run; pass one in explicitly to inspect
     /// [`EvalPipeline::cache_stats`] afterwards.
+    ///
+    /// A plan built with
+    /// [`streaming(true)`](crate::plan::ExperimentPlanBuilder::streaming)
+    /// takes the fold-on-arrival path instead of buffering records; `sink`
+    /// still sees every sample first, so journaling composes unchanged.
     fn run_with(
         &self,
         plan: &ExperimentPlan,
         pipeline: &EvalPipeline,
         sink: &dyn ProgressSink,
     ) -> ExperimentResults {
+        if plan.streaming() {
+            let collector = StreamingCollector::new(plan);
+            let tee = TeeSink {
+                user: sink,
+                collector: &collector,
+            };
+            self.run_specs_discarding(plan, plan.sample_specs(), pipeline, &tee);
+            return collector.finish();
+        }
         let records = self.run_specs(plan, plan.sample_specs(), pipeline, sink);
         ExperimentResults::from_records(plan, records)
     }
@@ -164,6 +248,24 @@ pub trait Runner {
                     .contains(&(plan.cells()[spec.cell].key, spec.sample_index))
             })
             .collect();
+        if plan.streaming() {
+            // Fold the journaled prefix straight into the collector (one
+            // record in flight, deduplicated exactly like the buffered
+            // path), then stream the remainder on top.
+            let collector = StreamingCollector::new(plan);
+            let mut seen = HashSet::new();
+            for record in JournalReader::open(journal, plan)?.take(replay.records as usize) {
+                if seen.insert((record.key, record.sample_index)) {
+                    collector.on_sample(&record);
+                }
+            }
+            let tee = TeeSink {
+                user: sink,
+                collector: &collector,
+            };
+            self.run_specs_discarding(plan, remainder, pipeline, &tee);
+            return Ok(collector.finish());
+        }
         let fresh = self.run_specs(plan, remainder, pipeline, sink);
         // Second pass: replay exactly the records the scan saw (`take`
         // stops before anything `sink` appended during `run_specs`),
@@ -196,6 +298,19 @@ impl Runner for SerialRunner {
                 record
             })
             .collect()
+    }
+
+    fn run_specs_discarding(
+        &self,
+        plan: &ExperimentPlan,
+        specs: Vec<SampleSpec>,
+        pipeline: &EvalPipeline,
+        sink: &dyn ProgressSink,
+    ) {
+        for spec in &specs {
+            let record = pipeline.execute(plan, spec);
+            sink.on_sample(&record);
+        }
     }
 }
 
@@ -245,6 +360,19 @@ impl Runner for RoundRobinRunner {
             sink.on_sample(&record);
             record
         })
+    }
+
+    fn run_specs_discarding(
+        &self,
+        plan: &ExperimentPlan,
+        specs: Vec<SampleSpec>,
+        pipeline: &EvalPipeline,
+        sink: &dyn ProgressSink,
+    ) {
+        round_robin_map(&specs, self.workers, |spec| {
+            let record = pipeline.execute(plan, spec);
+            sink.on_sample(&record);
+        });
     }
 }
 
@@ -375,6 +503,173 @@ mod tests {
         assert_eq!(uncached_pipeline.cache_stats().misses, 0);
         assert_eq!(cached, uncached);
         assert_eq!(format!("{cached:?}"), format!("{uncached:?}"));
+    }
+
+    /// A grid that exercises every statistic the streaming collector must
+    /// reproduce: repair rounds (per-round slots), analysis findings (race
+    /// rule counts), build/run failures (error categories), infeasible
+    /// cells, and generated apps alongside a built-in.
+    fn streaming_probe_plan(streaming: bool) -> ExperimentPlan {
+        use crate::task::EvalConfig;
+        use minihpc_gen::GenSpec;
+
+        let eval = EvalConfig {
+            max_cases: 1,
+            repair_budget: 2,
+            analyze: true,
+            ..EvalConfig::default()
+        };
+        ExperimentPlan::builder()
+            .samples(3)
+            .pairs([
+                TranslationPair::CUDA_TO_OMP_OFFLOAD,
+                TranslationPair::OMP_THREADS_TO_OFFLOAD,
+            ])
+            .techniques(Technique::ALL)
+            .models(
+                all_models()
+                    .into_iter()
+                    .filter(|m| m.name == "o4-mini" || m.name == "gemini-1.5-flash"),
+            )
+            .apps(["nanoXOR"])
+            .extend_apps([
+                pareval_apps::generated_app(&GenSpec::new(0x51)),
+                pareval_apps::generated_app(&GenSpec::new(0x52).with_files(3)),
+            ])
+            .eval(eval)
+            .streaming(streaming)
+            .build()
+    }
+
+    #[test]
+    fn streaming_matches_buffered_on_every_accessor() {
+        use crate::task::Scoring;
+        use crate::Metric;
+
+        let buffered = SerialRunner.run(&streaming_probe_plan(false));
+        let streamed = ScheduledRunner::new(4).run(&streaming_probe_plan(true));
+
+        // Results-level views agree wholesale.
+        assert_eq!(buffered.max_repair_round(), streamed.max_repair_round());
+        assert_eq!(buffered.error_counts(), streamed.error_counts());
+        assert_eq!(
+            buffered.race_finding_counts(),
+            streamed.race_finding_counts()
+        );
+
+        let plan = streaming_probe_plan(false);
+        assert!(plan.cells().len() > 20);
+        for cell in plan.cells() {
+            let k = cell.key;
+            let b = buffered.cell(k.pair, k.technique, k.model, k.app).unwrap();
+            let s = streamed.cell(k.pair, k.technique, k.model, k.app).unwrap();
+            assert_eq!(b.feasible(), s.feasible(), "{k:?}");
+            assert_eq!(b.samples(), s.samples(), "{k:?}");
+            assert_eq!(b.max_repair_round(), s.max_repair_round(), "{k:?}");
+            assert_eq!(b.race_free_samples(), s.race_free_samples(), "{k:?}");
+            assert_eq!(
+                b.error_category_counts(),
+                s.error_category_counts(),
+                "{k:?}"
+            );
+            assert_eq!(b.finding_rule_counts(), s.finding_rule_counts(), "{k:?}");
+            assert_eq!(b.tokens().mean(), s.tokens().mean(), "{k:?}");
+            assert_eq!(b.tokens().count(), s.tokens().count(), "{k:?}");
+            for metric in [Metric::Build, Metric::Pass] {
+                for scoring in [Scoring::CodeOnly, Scoring::Overall] {
+                    assert_eq!(
+                        b.successes(metric, scoring),
+                        s.successes(metric, scoring),
+                        "{k:?}"
+                    );
+                    for kk in 1..=3 {
+                        assert_eq!(
+                            b.rate(metric, scoring, kk),
+                            s.rate(metric, scoring, kk),
+                            "{k:?} k={kk}"
+                        );
+                    }
+                    for round in 0..=buffered.max_repair_round() + 1 {
+                        assert_eq!(
+                            b.successes_at_round(metric, scoring, round),
+                            s.successes_at_round(metric, scoring, round),
+                            "{k:?} round={round}"
+                        );
+                        assert_eq!(
+                            b.rate_at_round(metric, scoring, 2, round),
+                            s.rate_at_round(metric, scoring, 2, round),
+                            "{k:?} round={round}"
+                        );
+                    }
+                }
+            }
+            for round in 0..=buffered.max_repair_round() + 1 {
+                assert_eq!(
+                    b.tokens_at_round(round).mean(),
+                    s.tokens_at_round(round).mean(),
+                    "{k:?} round={round}"
+                );
+            }
+            // The one intended divergence: streaming retains no raw records.
+            if b.feasible() {
+                assert!(!b.records().is_empty(), "{k:?}");
+                assert!(s.records().is_empty(), "{k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_resume_matches_uninterrupted_buffered_run() {
+        use crate::journal::JournalSink;
+
+        let dir =
+            std::env::temp_dir().join(format!("pareval-stream-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let journal = dir.join("run.journal");
+
+        let plan = streaming_probe_plan(true);
+        let pipeline = EvalPipeline::new(plan.eval().clone());
+
+        // Simulate a crash: journal only a prefix of the samples, then
+        // resume in streaming mode and compare against a buffered run.
+        let sink = JournalSink::create(&journal, &plan).expect("create journal");
+        let prefix: Vec<SampleSpec> = plan.sample_specs().into_iter().take(17).collect();
+        SerialRunner.run_specs_discarding(&plan, prefix, &pipeline, &sink);
+        sink.sync().expect("sync journal");
+        assert_eq!(sink.records_written(), 17);
+        drop(sink);
+
+        let append = JournalSink::append(&journal, &plan).expect("append journal");
+        let resumed = ScheduledRunner::new(4)
+            .resume(&plan, &journal, &pipeline, &append)
+            .expect("resume");
+        let buffered = SerialRunner.run(&streaming_probe_plan(false));
+        assert_eq!(
+            format!("{:?}", resumed.error_counts()),
+            format!("{:?}", buffered.error_counts())
+        );
+        for cell in plan.cells() {
+            let k = cell.key;
+            let r = resumed.cell(k.pair, k.technique, k.model, k.app).unwrap();
+            let b = buffered.cell(k.pair, k.technique, k.model, k.app).unwrap();
+            assert_eq!(r.samples(), b.samples(), "{k:?}");
+            for metric in [crate::Metric::Build, crate::Metric::Pass] {
+                for scoring in [
+                    crate::task::Scoring::CodeOnly,
+                    crate::task::Scoring::Overall,
+                ] {
+                    assert_eq!(
+                        r.successes(metric, scoring),
+                        b.successes(metric, scoring),
+                        "{k:?}"
+                    );
+                }
+            }
+            assert_eq!(r.tokens().mean(), b.tokens().mean(), "{k:?}");
+            assert!(r.records().is_empty(), "{k:?}");
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -276,6 +276,24 @@ impl Runner for ScheduledRunner {
     ) -> Vec<SampleRecord> {
         self.schedule(plan, specs, pipeline, sink).0
     }
+
+    fn run_specs_discarding(
+        &self,
+        plan: &ExperimentPlan,
+        mut specs: Vec<SampleSpec>,
+        pipeline: &EvalPipeline,
+        sink: &dyn ProgressSink,
+    ) {
+        // Same LPT seeding as `schedule`, but the worker closure returns
+        // unit: no record outlives its `on_sample` delivery, so the
+        // streaming path's peak retained records are the in-flight
+        // samples (≤ worker count).
+        specs.sort_by_key(|spec| std::cmp::Reverse(spec.cost_hint));
+        stealing_map(specs, self.workers, |spec: &SampleSpec| {
+            let record = pipeline.execute(plan, spec);
+            sink.on_sample(&record);
+        });
+    }
 }
 
 #[cfg(test)]

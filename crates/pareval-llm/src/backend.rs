@@ -576,7 +576,7 @@ mod tests {
         sample: u32,
     ) -> (pareval_translate::TranslationRun, TokenUsage) {
         let app = pareval_apps::by_name(app_name).unwrap();
-        let repo = Arc::new(app.repo(pair.from).unwrap().clone());
+        let repo = app.repo_arc(pair.from).unwrap();
         let mut backend = SimulatedModel::new(
             model_by_name(model).unwrap(),
             technique,
@@ -587,8 +587,8 @@ mod tests {
             sample,
         );
         let job = TranslationJob {
-            app_name: app.name,
-            binary: app.binary,
+            app_name: &app.name,
+            binary: &app.binary,
             source_repo: &repo,
             pair,
             cli_spec: &app.cli_spec,
@@ -723,8 +723,8 @@ mod tests {
                 sample,
             );
             let job = TranslationJob {
-                app_name: app.name,
-                binary: app.binary,
+                app_name: &app.name,
+                binary: &app.binary,
                 source_repo: &repo,
                 pair: TranslationPair::CUDA_TO_OMP_OFFLOAD,
                 cli_spec: &app.cli_spec,
@@ -775,7 +775,7 @@ mod tests {
         // must emit a building repo whose clause is gone.
         let app = pareval_apps::by_name("XSBench").unwrap();
         let pair = TranslationPair::OMP_THREADS_TO_OFFLOAD;
-        let repo = Arc::new(app.repo(pair.from).unwrap().clone());
+        let repo = app.repo_arc(pair.from).unwrap();
         let mut repaired_any = false;
         for sample in 0..6 {
             let mut backend = SimulatedModel::new(
@@ -788,8 +788,8 @@ mod tests {
                 sample,
             );
             let job = TranslationJob {
-                app_name: app.name,
-                binary: app.binary,
+                app_name: &app.name,
+                binary: &app.binary,
                 source_repo: &repo,
                 pair,
                 cli_spec: &app.cli_spec,
@@ -801,7 +801,7 @@ mod tests {
                 !translated.iter().any(|(_, t)| t.contains("reduction(")),
                 "sample {sample} kept its reduction clause"
             );
-            let out = build_repo(&translated, &BuildRequest::new(app.binary));
+            let out = build_repo(&translated, &BuildRequest::new(&*app.binary));
             assert!(out.succeeded(), "racy sample {sample} must still build");
             // The analyzer's findings arrive under OmpInvalidDirective; a
             // successful repair restores the clause verbatim.

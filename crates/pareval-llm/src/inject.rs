@@ -283,7 +283,7 @@ mod tests {
         transpile_repo(
             app.repo(ExecutionModel::Cuda).unwrap(),
             TranslationPair::CUDA_TO_OMP_OFFLOAD,
-            app.binary,
+            &app.binary,
         )
     }
 
@@ -311,7 +311,7 @@ mod tests {
                 repo = transpile_repo(
                     app.repo(ExecutionModel::Cuda).unwrap(),
                     TranslationPair::CUDA_TO_OMP_OFFLOAD,
-                    app.binary,
+                    &app.binary,
                 );
                 "src/main.cpp".to_string()
             } else {
@@ -350,7 +350,7 @@ mod tests {
         let mut repo = transpile_repo(
             app.repo(ExecutionModel::Cuda).unwrap(),
             TranslationPair::CUDA_TO_KOKKOS,
-            app.binary,
+            &app.binary,
         );
         let cm = repo.get("CMakeLists.txt").unwrap();
         let mutated = inject_buildfile_error(cm, CMakeConfig, ExecutionModel::Kokkos).unwrap();
@@ -390,7 +390,7 @@ mod tests {
         let mut repo = transpile_repo(
             app.repo(ExecutionModel::OmpThreads).unwrap(),
             TranslationPair::OMP_THREADS_TO_OFFLOAD,
-            app.binary,
+            &app.binary,
         );
         let target = repo
             .paths()

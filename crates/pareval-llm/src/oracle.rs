@@ -182,21 +182,21 @@ mod tests {
         technique: Technique,
     ) -> (pareval_translate::TranslationRun, TokenUsage) {
         let app = pareval_apps::by_name(app_name).unwrap();
-        let repo = Arc::new(app.repo(pair.from).unwrap().clone());
+        let repo = app.repo_arc(pair.from).unwrap();
         let model = model_by_name("gpt-4o-mini").unwrap();
         let spec = AttemptSpec {
             model: &model,
             technique,
             pair,
-            app_name: app.name,
+            app_name: &app.name,
             source_repo: Arc::clone(&repo),
             seed: 1,
             sample: 0,
         };
         let mut attempt = OracleBackend.start_attempt(&spec);
         let job = TranslationJob {
-            app_name: app.name,
-            binary: app.binary,
+            app_name: &app.name,
+            binary: &app.binary,
             source_repo: &repo,
             pair,
             cli_spec: &app.cli_spec,

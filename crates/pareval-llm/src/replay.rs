@@ -384,8 +384,8 @@ mod tests {
     ) -> (pareval_translate::TranslationRun, TokenUsage) {
         let app = pareval_apps::by_name(spec.app_name).unwrap();
         let job = TranslationJob {
-            app_name: app.name,
-            binary: app.binary,
+            app_name: &app.name,
+            binary: &app.binary,
             source_repo: &spec.source_repo,
             pair: spec.pair,
             cli_spec: &app.cli_spec,

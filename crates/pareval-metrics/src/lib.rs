@@ -104,6 +104,13 @@ pub struct MeanAccumulator {
 }
 
 impl MeanAccumulator {
+    /// Reconstitute an accumulator from pre-aggregated sufficient
+    /// statistics (streaming collection folds samples into `(sum, n)`
+    /// pairs; integer-valued sums below 2^53 reconstitute exactly).
+    pub fn from_sum_count(sum: f64, n: u64) -> Self {
+        MeanAccumulator { sum, n }
+    }
+
     pub fn add(&mut self, v: f64) {
         self.sum += v;
         self.n += 1;

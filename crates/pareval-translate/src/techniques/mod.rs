@@ -441,8 +441,8 @@ mod tests {
 
     fn job<'a>(app: &'a pareval_apps::Application, pair: TranslationPair) -> TranslationJob<'a> {
         TranslationJob {
-            app_name: app.name,
-            binary: app.binary,
+            app_name: &app.name,
+            binary: &app.binary,
             source_repo: app.repo(pair.from).unwrap(),
             pair,
             cli_spec: &app.cli_spec,
@@ -490,7 +490,7 @@ mod tests {
         let run = translate_with(Technique::TopDownAgentic, &job(&app, pair), &mut backend);
         let repo = run.repo.expect("completes");
         let outcome =
-            minihpc_build::build_repo(&repo, &minihpc_build::BuildRequest::new(app.binary));
+            minihpc_build::build_repo(&repo, &minihpc_build::BuildRequest::new(&*app.binary));
         assert!(outcome.succeeded(), "{}", outcome.log.text());
     }
 
@@ -510,7 +510,7 @@ mod tests {
         let mk = repo.get("Makefile").unwrap();
         assert!(!mk.contains('\t'), "tabs must be gone");
         let outcome =
-            minihpc_build::build_repo(&repo, &minihpc_build::BuildRequest::new(app.binary));
+            minihpc_build::build_repo(&repo, &minihpc_build::BuildRequest::new(&*app.binary));
         assert!(!outcome.succeeded());
         assert_eq!(
             outcome.first_error_category(),

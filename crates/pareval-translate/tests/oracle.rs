@@ -17,8 +17,8 @@ fn check_translation(app: &Application, pair: TranslationPair) -> Result<(), Str
     let source = app
         .repo(pair.from)
         .ok_or_else(|| format!("{} lacks {} implementation", app.name, pair.from))?;
-    let translated = transpile_repo(source, pair, app.binary);
-    let outcome = build_repo(&translated, &BuildRequest::new(app.binary));
+    let translated = transpile_repo(source, pair, &app.binary);
+    let outcome = build_repo(&translated, &BuildRequest::new(&*app.binary));
     let exe = outcome
         .executable
         .ok_or_else(|| format!("build failed:\n{}", outcome.log.text()))?;
@@ -154,7 +154,7 @@ fn xsbench_threads_to_offload() {
 fn translated_files_are_renamed_and_build_system_swapped() {
     let app = by_name("nanoXOR").unwrap();
     let cuda = app.repo(ExecutionModel::Cuda).unwrap();
-    let kk = transpile_repo(cuda, TranslationPair::CUDA_TO_KOKKOS, app.binary);
+    let kk = transpile_repo(cuda, TranslationPair::CUDA_TO_KOKKOS, &app.binary);
     assert!(kk.contains("CMakeLists.txt"));
     assert!(!kk.contains("Makefile"));
     assert!(kk.contains("src/main.cpp"));
@@ -164,7 +164,7 @@ fn translated_files_are_renamed_and_build_system_swapped() {
     assert!(text.contains("Kokkos::parallel_for"));
     assert!(!text.contains("<<<"));
 
-    let off = transpile_repo(cuda, TranslationPair::CUDA_TO_OMP_OFFLOAD, app.binary);
+    let off = transpile_repo(cuda, TranslationPair::CUDA_TO_OMP_OFFLOAD, &app.binary);
     let mk = off.get("Makefile").unwrap();
     assert!(mk.contains("-fopenmp-targets"));
     let text = off.get("src/main.cpp").unwrap();
@@ -176,7 +176,7 @@ fn translated_files_are_renamed_and_build_system_swapped() {
 fn curand_replaced_by_portable_rng_in_offload() {
     let app = by_name("SimpleMOC-kernel").unwrap();
     let cuda = app.repo(ExecutionModel::Cuda).unwrap();
-    let off = transpile_repo(cuda, TranslationPair::CUDA_TO_OMP_OFFLOAD, app.binary);
+    let off = transpile_repo(cuda, TranslationPair::CUDA_TO_OMP_OFFLOAD, &app.binary);
     let all: String = off.iter().map(|(_, t)| t).collect();
     assert!(!all.contains("curand_uniform"), "curand must be replaced");
     assert!(all.contains("rng_uniform"));
@@ -193,7 +193,7 @@ fn curand_replaced_by_portable_rng_in_offload() {
 fn threads_to_offload_adds_map_clauses() {
     let app = by_name("nanoXOR").unwrap();
     let omp = app.repo(ExecutionModel::OmpThreads).unwrap();
-    let off = transpile_repo(omp, TranslationPair::OMP_THREADS_TO_OFFLOAD, app.binary);
+    let off = transpile_repo(omp, TranslationPair::OMP_THREADS_TO_OFFLOAD, &app.binary);
     let text = off.get("src/main.cpp").unwrap();
     assert!(
         text.contains("omp target teams distribute parallel for"),

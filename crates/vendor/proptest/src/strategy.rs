@@ -202,6 +202,8 @@ tuple_strategy! {
     (A, B, C)
     (A, B, C, D)
     (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
 }
 
 /// Strategy for "any value of `T`" — the target of the [`any`] function.

@@ -22,7 +22,7 @@ fn main() {
     print_kernel(main_cu, "__global__ void cellsXOR");
 
     // Correct translation (paper Listing 3).
-    let translated = transpile_repo(cuda, TranslationPair::CUDA_TO_OMP_OFFLOAD, app.binary);
+    let translated = transpile_repo(cuda, TranslationPair::CUDA_TO_OMP_OFFLOAD, &app.binary);
     println!("\n=== Correct OpenMP offload translation (paper Listing 3) ===");
     let main_cpp = translated.get("src/main.cpp").unwrap();
     print_kernel(main_cpp, "void cellsXOR");
@@ -39,7 +39,7 @@ fn main() {
     let case = &app.tests[0];
     let expected = app.expected_output(case);
     for (label, repo) in [("correct", &translated), ("listing-4", &broken)] {
-        let outcome = build_repo(repo, &BuildRequest::new(app.binary));
+        let outcome = build_repo(repo, &BuildRequest::new(&*app.binary));
         let exe = outcome.executable.expect("both versions compile");
         let r = run(&exe, RunConfig::with_args(case.args.iter().cloned()));
         let output_ok = r.stdout == expected && r.error.is_none();

@@ -17,7 +17,7 @@ fn main() {
     print!("{}", source.file_tree());
 
     let pair = TranslationPair::OMP_THREADS_TO_OFFLOAD;
-    let translated = transpile_repo(source, pair, app.binary);
+    let translated = transpile_repo(source, pair, &app.binary);
     println!("\nTranslated to {} — new Makefile:", pair.to);
     println!("{}", translated.get("Makefile").unwrap());
 
@@ -28,7 +28,7 @@ fn main() {
         .unwrap_or("");
     println!("Upgraded directive:\n  {}\n", pragma.trim());
 
-    let outcome = build_repo(&translated, &BuildRequest::new(app.binary));
+    let outcome = build_repo(&translated, &BuildRequest::new(&*app.binary));
     assert!(outcome.succeeded(), "build failed:\n{}", outcome.log.text());
     let exe = outcome.executable.unwrap();
 

@@ -27,6 +27,7 @@ pub mod prelude {
         SimulatedBackend, TranslationBackend,
     };
 }
+pub use minihpc_gen as gen;
 pub use minihpc_lang as lang;
 pub use minihpc_runtime as runtime;
 pub use pareval_apps as apps;

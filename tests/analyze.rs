@@ -120,15 +120,15 @@ fn translated_repo(seed: u64, sample: u32) -> minihpc_lang::repo::SourceRepo {
         model: &model,
         technique: Technique::NonAgentic,
         pair: task.pair,
-        app_name: task.app.name,
+        app_name: &task.app.name,
         source_repo: Arc::clone(&source_repo),
         seed,
         sample,
     };
     let mut attempt = SimulatedBackend.start_attempt(&spec);
     let job = TranslationJob {
-        app_name: task.app.name,
-        binary: task.app.binary,
+        app_name: &task.app.name,
+        binary: &task.app.binary,
         source_repo: &source_repo,
         pair: task.pair,
         cli_spec: &task.app.cli_spec,
@@ -155,7 +155,7 @@ fn dynamic_recorder_confirms_no_static_false_negatives() {
     for sample in 0..4 {
         let repo = translated_repo(20250908, sample);
         let findings = minihpc_analyze::analyze_repo(&repo);
-        let outcome = build_repo(&repo, &BuildRequest::new(task.app.binary));
+        let outcome = build_repo(&repo, &BuildRequest::new(&*task.app.binary));
         let exe = outcome.executable.expect("racy translation still builds");
         let mut cfg = RunConfig::with_args(case.args.iter().cloned());
         cfg.parallel = true;

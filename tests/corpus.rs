@@ -1,0 +1,267 @@
+//! Replay harness for `tests/corpus/`: checked-in synthetic repos (in a
+//! framed text format) that every toolchain layer must keep handling the
+//! same way. Entries are snapshots of `minihpc-gen` output covering each
+//! injected-error profile, frozen so later generator changes can't
+//! silently retire a regression input.
+//!
+//! Format, one repo per `.txt` file:
+//!
+//! ```text
+//! # minihpc corpus: binary=<name> expect=<clean|build-fail|racy>
+//! ==> path/in/repo <==
+//! <file contents...>
+//! ==> next/path <==
+//! ...
+//! ```
+//!
+//! Expectations: `clean` must build and run deterministically, `build-fail`
+//! must be rejected by parse/sema/build, `racy` must build and run but be
+//! flagged by `minihpc-analyze`. Nothing may panic.
+//!
+//! Regenerate the corpus from the generator (after an intentional format
+//! change) with `PAREVAL_BLESS_CORPUS=1 cargo test --test corpus`.
+
+use minihpc_build::{build_repo, BuildRequest};
+use minihpc_lang::repo::SourceRepo;
+use minihpc_runtime::{run, RunConfig};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+}
+
+struct CorpusEntry {
+    name: String,
+    binary: String,
+    expect: String,
+    repo: SourceRepo,
+}
+
+fn parse_entry(name: &str, text: &str) -> CorpusEntry {
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or_default();
+    assert!(
+        header.starts_with("# minihpc corpus:"),
+        "{name}: missing corpus header, got {header:?}"
+    );
+    let field = |key: &str| -> String {
+        header
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("{name}: header missing {key}="))
+            .to_string()
+    };
+    let binary = field("binary");
+    let expect = field("expect");
+    assert!(
+        ["clean", "build-fail", "racy"].contains(&expect.as_str()),
+        "{name}: unknown expectation {expect:?}"
+    );
+
+    let mut repo = SourceRepo::new();
+    let mut path: Option<String> = None;
+    let mut body = String::new();
+    let mut flush = |path: &mut Option<String>, body: &mut String| {
+        if let Some(p) = path.take() {
+            repo.add(p, std::mem::take(body));
+        }
+    };
+    for line in lines {
+        if let Some(p) = line
+            .strip_prefix("==> ")
+            .and_then(|rest| rest.strip_suffix(" <=="))
+        {
+            flush(&mut path, &mut body);
+            path = Some(p.to_string());
+        } else if path.is_some() {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    flush(&mut path, &mut body);
+    assert!(!repo.is_empty(), "{name}: no framed files");
+    CorpusEntry {
+        name: name.to_string(),
+        binary,
+        expect,
+        repo,
+    }
+}
+
+fn load_corpus() -> Vec<CorpusEntry> {
+    let dir = corpus_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "empty corpus at {}", dir.display());
+    entries
+        .into_iter()
+        .map(|path| {
+            let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+            parse_entry(&name, &text)
+        })
+        .collect()
+}
+
+/// Regenerate `tests/corpus/` from `minihpc-gen` when
+/// `PAREVAL_BLESS_CORPUS=1`, then fail so a blessed run is never mistaken
+/// for a green one. Each profile (and both build systems and all three
+/// pragma models) gets at least one entry.
+fn bless_corpus() {
+    use minihpc_gen::{generate, ErrorProfile, GenSpec, PragmaModel};
+    use minihpc_lang::model::BuildSystemKind;
+
+    let specs: Vec<(&str, GenSpec)> = vec![
+        ("clean-threads-make", GenSpec::new(0xC0_01).with_files(2)),
+        (
+            "clean-serial-make",
+            GenSpec::new(0xC0_02)
+                .with_files(1)
+                .with_pragma_model(PragmaModel::Serial),
+        ),
+        (
+            "clean-offload-make",
+            GenSpec::new(0xC0_03)
+                .with_files(2)
+                .with_pragma_model(PragmaModel::Offload),
+        ),
+        (
+            "clean-threads-cmake",
+            GenSpec::new(0xC0_04)
+                .with_files(3)
+                .with_build_system(BuildSystemKind::CMake),
+        ),
+        (
+            "parse-error",
+            GenSpec::new(0xC0_05).with_errors(ErrorProfile::ParseError),
+        ),
+        (
+            "sema-error",
+            GenSpec::new(0xC0_06).with_errors(ErrorProfile::SemaError),
+        ),
+        (
+            "directive-race",
+            GenSpec::new(0xC0_07)
+                .with_files(2)
+                .with_errors(ErrorProfile::DirectiveRace),
+        ),
+    ];
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    for (name, spec) in specs {
+        let expect = match spec.errors {
+            ErrorProfile::Clean => "clean",
+            ErrorProfile::ParseError | ErrorProfile::SemaError => "build-fail",
+            ErrorProfile::DirectiveRace => "racy",
+        };
+        let app = generate(&spec);
+        let mut out = format!("# minihpc corpus: binary={} expect={expect}\n", app.binary);
+        for (path, contents) in app.repo.iter() {
+            out.push_str(&format!("==> {path} <==\n"));
+            out.push_str(contents);
+            if !contents.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        std::fs::write(dir.join(format!("{name}.txt")), out).expect("write corpus entry");
+    }
+    panic!("corpus blessed — rerun without PAREVAL_BLESS_CORPUS to verify");
+}
+
+#[test]
+fn corpus_replays_deterministically() {
+    if std::env::var("PAREVAL_BLESS_CORPUS").is_ok_and(|v| v == "1") {
+        bless_corpus();
+    }
+
+    let corpus = load_corpus();
+    let mut racy_entries = 0;
+    for entry in &corpus {
+        let request = BuildRequest::new(entry.binary.as_str());
+        let first = build_repo(&entry.repo, &request);
+        let second = build_repo(&entry.repo, &request);
+        assert_eq!(
+            first.succeeded(),
+            second.succeeded(),
+            "{}: build outcome diverged",
+            entry.name
+        );
+        assert_eq!(
+            first.log.text(),
+            second.log.text(),
+            "{}: build log diverged",
+            entry.name
+        );
+
+        match entry.expect.as_str() {
+            "build-fail" => {
+                assert!(
+                    !first.succeeded(),
+                    "{}: expected build failure, log:\n{}",
+                    entry.name,
+                    first.log.text()
+                );
+                continue;
+            }
+            _ => assert!(
+                first.succeeded(),
+                "{}: expected successful build, log:\n{}",
+                entry.name,
+                first.log.text()
+            ),
+        }
+
+        let exe = first.executable.as_ref().expect("built without executable");
+        let a = run(exe, RunConfig::with_args(["32", "2"]));
+        let b = run(exe, RunConfig::with_args(["32", "2"]));
+        assert!(
+            a.error.is_none() && a.exit_code == 0,
+            "{}: run failed: {:?}\n{}",
+            entry.name,
+            a.error,
+            a.stdout
+        );
+        assert_eq!(a.stdout, b.stdout, "{}: stdout diverged", entry.name);
+        assert!(
+            a.stdout.contains("checksum "),
+            "{}: {}",
+            entry.name,
+            a.stdout
+        );
+
+        let findings = minihpc_analyze::analyze_repo(&entry.repo);
+        let racy = findings
+            .iter()
+            .any(|f| f.rule == minihpc_analyze::Rule::RawReduction);
+        match entry.expect.as_str() {
+            "racy" => {
+                assert!(racy, "{}: expected a RawReduction finding", entry.name);
+                racy_entries += 1;
+            }
+            _ => assert!(
+                !racy,
+                "{}: clean entry flagged racy: {findings:?}",
+                entry.name
+            ),
+        }
+    }
+    assert!(racy_entries > 0, "corpus has no racy entry");
+}
+
+#[test]
+fn corpus_covers_every_expectation() {
+    let corpus = load_corpus();
+    for expect in ["clean", "build-fail", "racy"] {
+        assert!(
+            corpus.iter().any(|e| e.expect == expect),
+            "corpus lost its last {expect:?} entry"
+        );
+    }
+}

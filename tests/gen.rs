@@ -1,0 +1,120 @@
+//! Property tests for the `minihpc-gen` contract the harness leans on:
+//! a `GenSpec` is a *value* — the same spec always expands to the same
+//! bytes and the same plan fingerprint, and distinct seeds never collide.
+
+use minihpc_gen::{generate, ErrorProfile, GenSpec, KernelKind, PragmaModel};
+use minihpc_lang::model::{BuildSystemKind, TranslationPair};
+use pareval_core::{ExperimentPlan, ExperimentPlanBuilder};
+use pareval_translate::Technique;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = GenSpec> {
+    (
+        any::<u64>(),
+        1usize..5,
+        0usize..4,
+        0usize..3,
+        any::<bool>(),
+        0usize..4,
+    )
+        .prop_map(|(seed, files, kernels, pragma, cmake, errors)| {
+            let spec = GenSpec::new(seed)
+                .with_files(files)
+                .with_kernels(KernelKind::ALL.into_iter().take(kernels))
+                .with_pragma_model(PragmaModel::ALL[pragma])
+                .with_errors(ErrorProfile::ALL[errors]);
+            if cmake {
+                spec.with_build_system(BuildSystemKind::CMake)
+            } else {
+                spec
+            }
+        })
+}
+
+/// A one-pair plan whose only task is the generated app for `spec`.
+fn plan_for(spec: &GenSpec) -> ExperimentPlan {
+    ExperimentPlanBuilder::default()
+        .samples(1)
+        .pairs([TranslationPair::OMP_THREADS_TO_OFFLOAD])
+        .techniques([Technique::NonAgentic])
+        .apps(["XSBench"])
+        .extend_apps([pareval_apps::generated_app(spec)])
+        .build()
+}
+
+fn repo_bytes(spec: &GenSpec) -> Vec<(String, String)> {
+    generate(spec)
+        .repo
+        .iter()
+        .map(|(p, c)| (p.to_string(), c.to_string()))
+        .collect()
+}
+
+proptest! {
+    /// Same spec → byte-identical repo, same digest, same fingerprint.
+    #[test]
+    fn generation_is_a_pure_function_of_the_spec(spec in arb_spec()) {
+        let a = generate(&spec);
+        let b = generate(&spec);
+        prop_assert_eq!(
+            a.repo.iter().collect::<Vec<_>>(),
+            b.repo.iter().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(a.digest, b.digest);
+        prop_assert_eq!(&a.name, &b.name);
+        prop_assert_eq!(plan_for(&spec).fingerprint(), plan_for(&spec).fingerprint());
+    }
+
+    /// Distinct seeds → distinct repos, digests, and plan fingerprints
+    /// (the drift detection `Runner::resume` relies on).
+    #[test]
+    fn distinct_seeds_never_collide(spec in arb_spec(), other_seed in any::<u64>()) {
+        let mut other = spec.clone();
+        other.seed = if other_seed == spec.seed {
+            other_seed.wrapping_add(1)
+        } else {
+            other_seed
+        };
+        prop_assert_ne!(repo_bytes(&spec), repo_bytes(&other));
+        prop_assert_ne!(spec.digest(), other.digest());
+        prop_assert_ne!(
+            plan_for(&spec).fingerprint(),
+            plan_for(&other).fingerprint()
+        );
+    }
+
+    /// Every knob change lands in the digest, so a resumed run notices a
+    /// regenerated grid even when the app *name* is unchanged.
+    #[test]
+    fn digest_separates_knob_changes(spec in arb_spec()) {
+        let mut variants = vec![
+            spec.clone().with_files(spec.files + 1),
+            spec.clone().with_pragma_model(
+                PragmaModel::ALL[(PragmaModel::ALL
+                    .iter()
+                    .position(|m| *m == spec.pragma_model)
+                    .unwrap()
+                    + 1)
+                    % PragmaModel::ALL.len()],
+            ),
+            spec.clone().with_errors(
+                ErrorProfile::ALL[(ErrorProfile::ALL
+                    .iter()
+                    .position(|e| *e == spec.errors)
+                    .unwrap()
+                    + 1)
+                    % ErrorProfile::ALL.len()],
+            ),
+        ];
+        variants.push(spec.clone().with_build_system(
+            if spec.build_system == BuildSystemKind::Make {
+                BuildSystemKind::CMake
+            } else {
+                BuildSystemKind::Make
+            },
+        ));
+        for variant in variants {
+            prop_assert_ne!(spec.digest(), variant.digest());
+        }
+    }
+}
