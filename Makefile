@@ -76,7 +76,10 @@ resume-smoke: build
 # The analyzer gate: run the static race analyzer over the oracle grid
 # (must be race-clean) and an injected-race grid (every injected site must
 # be flagged), drop BENCH_analyze.json, and fail if the example's
-# assertion line or a required key is missing.
+# assertion line or a required key is missing. Then run the guided-repair
+# benchmark (analyzer fix-its vs blind regeneration on injected-race and
+# generated-racy grids), drop BENCH_analyze_v2.json, and fail if guided
+# repair regressed below blind in rounds-to-race-free.
 analyze-smoke: build
 	@PAREVAL_BENCH_JSON=$(CURDIR)/BENCH_analyze.json \
 		cargo run --release --example analyze_grid | tee /tmp/analyze_smoke.out
@@ -88,6 +91,30 @@ analyze-smoke: build
 		grep -q "$$key" BENCH_analyze.json \
 			|| { echo "analyze-smoke: BENCH_analyze.json missing key $$key"; exit 1; }; \
 	done
+	@PAREVAL_BENCH_JSON=$(CURDIR)/BENCH_analyze_v2.json \
+		cargo run --release --example guided_repair | tee /tmp/guided_smoke.out
+	@grep -q 'guided-repair-smoke: guided race-free' /tmp/guided_smoke.out \
+		|| { echo "analyze-smoke: guided-repair gate line missing"; exit 1; }
+	@for key in '"bench": "analyze_v2"' '"sim_blind_race_free"' \
+		'"sim_guided_race_free"' '"sim_blind_mean_rounds"' \
+		'"sim_guided_mean_rounds"' '"oracle_blind_race_free"' \
+		'"oracle_guided_race_free"' '"oracle_guided_mean_rounds"'; do \
+		grep -q "$$key" BENCH_analyze_v2.json \
+			|| { echo "analyze-smoke: BENCH_analyze_v2.json missing key $$key"; exit 1; }; \
+	done
+	@awk -F': ' '/"sim_blind_mean_rounds": null/ { blind_null = 1 } \
+		/"sim_blind_mean_rounds"/ { blind = $$2 + 0.0 } \
+		/"sim_guided_mean_rounds"/ { guided = $$2 + 0.0 } \
+		END { \
+			if (blind_null) { \
+				printf "analyze-smoke: guided %.2f rounds, blind never race-free\n", guided; \
+			} else if (guided > blind) { \
+				printf "analyze-smoke: guided repair regressed below blind (%.2f > %.2f rounds)\n", guided, blind; \
+				exit 1; \
+			} else { \
+				printf "analyze-smoke: guided %.2f rounds <= blind %.2f\n", guided, blind; \
+			} \
+		}' BENCH_analyze_v2.json
 
 # The generated-grid gate: run the ≥1000-cell synthetic-app stress grid
 # (streaming aggregation, journal, disk cache) at 1/4/8 workers — the
@@ -125,6 +152,8 @@ examples: build
 	cargo run --release --example repair_loop > /dev/null
 	cargo run --release --example resume_run > /dev/null
 	cargo run --release --example analyze_grid > /dev/null
+	cargo run --release --example analyze_repo > /dev/null
+	cargo run --release --example guided_repair > /dev/null
 	cargo run --release --example stress_grid > /dev/null
 	cargo run --release --example fuzz_pipeline > /dev/null
 

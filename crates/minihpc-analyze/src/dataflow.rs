@@ -1,0 +1,254 @@
+//! Classic bit-vector dataflow over [`crate::cfg::Cfg`]: backward liveness
+//! and forward reaching definitions, plus the two region-level queries the
+//! fix-it synthesizer actually asks:
+//!
+//! - [`Dataflow::live_after_region`] — gates privatization: adding
+//!   `private(x)` is only safe when `x` is dead after the region.
+//! - [`Dataflow::defined_before_region`] — picks `firstprivate` over
+//!   `private` when a definition reaches the region entry and the region
+//!   reads the variable before writing it.
+//!
+//! Both queries are conservative in the sound direction: an unknown region
+//! or variable answers "live" / "defined", which suppresses fix-its rather
+//! than emitting unsafe ones.
+
+use crate::cfg::{Cfg, RegionMark};
+
+/// A fixed-width bitset over interned variable ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    pub fn new(bits: usize) -> BitSet {
+        BitSet {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    pub fn insert(&mut self, bit: u32) {
+        self.words[bit as usize / 64] |= 1 << (bit as usize % 64);
+    }
+
+    pub fn remove(&mut self, bit: u32) {
+        self.words[bit as usize / 64] &= !(1 << (bit as usize % 64));
+    }
+
+    pub fn contains(&self, bit: u32) -> bool {
+        self.words[bit as usize / 64] & (1 << (bit as usize % 64)) != 0
+    }
+
+    /// `self |= other`; returns true when any bit changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let next = *w | *o;
+            changed |= next != *w;
+            *w = next;
+        }
+        changed
+    }
+}
+
+/// Liveness (per-block live-in/live-out) and reaching definitions (has any
+/// definition of `v` reached this point), both at variable granularity.
+#[derive(Debug)]
+pub struct Dataflow {
+    live_in: Vec<BitSet>,
+    /// For each block: set of variables with at least one definition
+    /// reaching the block entry.
+    reach_in: Vec<BitSet>,
+}
+
+impl Dataflow {
+    pub fn run(cfg: &Cfg) -> Dataflow {
+        let nvars = cfg.vars.len();
+        let nblocks = cfg.blocks.len();
+
+        // Per-block gen/kill for liveness: use[B] = vars read before any
+        // write in B; def[B] = vars written in B.
+        let mut use_b = vec![BitSet::new(nvars); nblocks];
+        let mut def_b = vec![BitSet::new(nvars); nblocks];
+        for (i, block) in cfg.blocks.iter().enumerate() {
+            for step in &block.steps {
+                for &u in &step.uses {
+                    if !def_b[i].contains(u) {
+                        use_b[i].insert(u);
+                    }
+                }
+                for &d in &step.defs {
+                    def_b[i].insert(d);
+                }
+            }
+        }
+
+        // Backward liveness: live_in[B] = use[B] | (live_out[B] - def[B]).
+        let mut live_in = vec![BitSet::new(nvars); nblocks];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..nblocks).rev() {
+                let mut live_out = BitSet::new(nvars);
+                for &s in &cfg.blocks[i].succs {
+                    live_out.union_with(&live_in[s]);
+                }
+                let mut next = use_b[i].clone();
+                for v in 0..nvars as u32 {
+                    if live_out.contains(v) && !def_b[i].contains(v) {
+                        next.insert(v);
+                    }
+                }
+                if next != live_in[i] {
+                    live_in[i] = next;
+                    changed = true;
+                }
+            }
+        }
+
+        // Forward reaching: reach_out[B] = reach_in[B] | defs(B); variable
+        // granularity (any def reaches) is all the firstprivate gate needs.
+        let mut reach_in = vec![BitSet::new(nvars); nblocks];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..nblocks {
+                let mut out = reach_in[i].clone();
+                for step in &cfg.blocks[i].steps {
+                    for &d in &step.defs {
+                        out.insert(d);
+                    }
+                }
+                for &s in &cfg.blocks[i].succs {
+                    changed |= reach_in[s].union_with(&out);
+                }
+            }
+        }
+
+        Dataflow { live_in, reach_in }
+    }
+
+    /// Is `var` live after the region whose directive starts at
+    /// `span_start`? Unknown region or variable ⇒ `true` (conservative:
+    /// suppresses the privatization fix-it).
+    pub fn live_after_region(&self, cfg: &Cfg, span_start: u32, var: &str) -> bool {
+        let (Some(mark), Some(id)) = (cfg.region(span_start), cfg.vars.get(var)) else {
+            return true;
+        };
+        self.live_after_mark(cfg, mark, id)
+    }
+
+    fn live_after_mark(&self, cfg: &Cfg, mark: &RegionMark, id: u32) -> bool {
+        // Live-in of the after-block, adjusted for steps *after* the
+        // region step in the same block (they precede the after-block).
+        let block = &cfg.blocks[mark.block];
+        let mut live = self.live_in[mark.after].contains(id);
+        for step in block.steps[mark.step + 1..].iter().rev() {
+            if step.defs.contains(&id) {
+                live = false;
+            }
+            if step.uses.contains(&id) {
+                live = true;
+            }
+        }
+        live
+    }
+
+    /// Does any definition of `var` reach the entry of the region at
+    /// `span_start`? Unknown region or variable ⇒ `true` (conservative:
+    /// prefers `firstprivate`, which preserves semantics even when
+    /// `private` would have sufficed).
+    pub fn defined_before_region(&self, cfg: &Cfg, span_start: u32, var: &str) -> bool {
+        let (Some(mark), Some(id)) = (cfg.region(span_start), cfg.vars.get(var)) else {
+            return true;
+        };
+        if self.reach_in[mark.block].contains(id) {
+            return true;
+        }
+        // Replay the block prefix before the region step.
+        cfg.blocks[mark.block].steps[..mark.step]
+            .iter()
+            .any(|s| s.defs.contains(&id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_fn_cfg;
+    use minihpc_lang::parse_file;
+
+    fn analyze(src: &str) -> (Cfg, Dataflow) {
+        let file = parse_file(src).expect("parse");
+        let f = file
+            .functions()
+            .find(|f| f.body.is_some())
+            .expect("a definition");
+        let cfg = build_fn_cfg(f);
+        let df = Dataflow::run(&cfg);
+        (cfg, df)
+    }
+
+    #[test]
+    fn dead_after_region_when_never_read_again() {
+        let (cfg, df) = analyze(
+            "int main() {\n\
+             int t = 0;\n\
+             #pragma omp parallel for\n\
+             for (int i = 0; i < 4; i++) { t = i; }\n\
+             return 0;\n\
+             }\n",
+        );
+        let span = cfg.regions[0].span_start;
+        assert!(!df.live_after_region(&cfg, span, "t"));
+        assert!(df.defined_before_region(&cfg, span, "t"));
+    }
+
+    #[test]
+    fn live_after_region_when_read_later() {
+        let (cfg, df) = analyze(
+            "int main() {\n\
+             int t = 0;\n\
+             #pragma omp parallel for\n\
+             for (int i = 0; i < 4; i++) { t = i; }\n\
+             return t;\n\
+             }\n",
+        );
+        let span = cfg.regions[0].span_start;
+        assert!(df.live_after_region(&cfg, span, "t"));
+    }
+
+    #[test]
+    fn unknown_names_answer_conservatively() {
+        let (cfg, df) = analyze("int main() { return 0; }\n");
+        assert!(df.live_after_region(&cfg, 999, "ghost"));
+        assert!(df.defined_before_region(&cfg, 999, "ghost"));
+    }
+
+    #[test]
+    fn undeclared_before_region_is_not_defined_before() {
+        // `t` first appears inside the region itself (no def before it).
+        let (cfg, df) = analyze(
+            "void f(double* a) {\n\
+             #pragma omp parallel for\n\
+             for (int i = 0; i < 4; i++) { a[i] = i; }\n\
+             }\n",
+        );
+        let span = cfg.regions[0].span_start;
+        // `a` is a parameter: defined at entry.
+        assert!(df.defined_before_region(&cfg, span, "a"));
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut b = BitSet::new(130);
+        b.insert(0);
+        b.insert(129);
+        assert!(b.contains(0) && b.contains(129) && !b.contains(64));
+        b.remove(0);
+        assert!(!b.contains(0));
+        let mut c = BitSet::new(130);
+        assert!(c.union_with(&b));
+        assert!(!c.union_with(&b));
+    }
+}

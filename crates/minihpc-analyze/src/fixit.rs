@@ -1,0 +1,208 @@
+//! Machine-applicable fix-its: structured, line-anchored textual edits a
+//! finding can carry so a repair round applies the suggested change
+//! deterministically instead of re-generating the file.
+//!
+//! Fix-its are *advisory and total*: [`FixIt::apply`] returns `None`
+//! whenever the edit no longer matches the text it targets (the file
+//! changed, the line moved, the clause is already present), never a
+//! mangled file. Appliers that get `None` simply fall back to their
+//! unguided repair path.
+
+/// The edit itself, relative to [`FixIt::line`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FixItEdit {
+    /// Append ` <clause>` to the `#pragma omp` directive on the target
+    /// line (e.g. `reduction(+: sum)`, `private(tmp)`, `map(tofrom: a)`).
+    AddClause { clause: String },
+    /// Delete the target line entirely (a misplaced standalone directive
+    /// such as a barrier inside a worksharing loop body).
+    RemoveLine,
+    /// Replace the target line with `text` (e.g. a re-printed directive
+    /// with a corrected map section).
+    ReplaceLine { text: String },
+}
+
+impl FixItEdit {
+    /// Stable wire code for the journal codec. Append-only.
+    pub fn code(&self) -> u8 {
+        match self {
+            FixItEdit::AddClause { .. } => 0,
+            FixItEdit::RemoveLine => 1,
+            FixItEdit::ReplaceLine { .. } => 2,
+        }
+    }
+
+    /// The edit's textual payload (empty for [`FixItEdit::RemoveLine`]).
+    pub fn payload(&self) -> &str {
+        match self {
+            FixItEdit::AddClause { clause } => clause,
+            FixItEdit::RemoveLine => "",
+            FixItEdit::ReplaceLine { text } => text,
+        }
+    }
+
+    /// Inverse of [`FixItEdit::code`] + [`FixItEdit::payload`].
+    pub fn from_parts(code: u8, payload: String) -> Option<FixItEdit> {
+        Some(match code {
+            0 => FixItEdit::AddClause { clause: payload },
+            1 => FixItEdit::RemoveLine,
+            2 => FixItEdit::ReplaceLine { text: payload },
+            _ => return None,
+        })
+    }
+}
+
+/// One machine-applicable edit suggested by an analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixIt {
+    /// Repository path of the file the edit targets.
+    pub file: String,
+    /// 1-based line the edit targets (the directive line for clause
+    /// edits, the offending directive itself for removals).
+    pub line: u32,
+    /// Short human-readable description, e.g. ``add `reduction(+: sum)` ``.
+    pub title: String,
+    pub edit: FixItEdit,
+}
+
+impl FixIt {
+    /// Apply this edit to `source` (the current text of [`FixIt::file`]).
+    ///
+    /// Returns the edited text, or `None` when the edit no longer applies:
+    /// the line is out of range, an [`FixItEdit::AddClause`] target is not
+    /// a `#pragma omp` line, or the clause is already present (applying a
+    /// stale fix-it must be a no-op, not a duplicate clause).
+    pub fn apply(&self, source: &str) -> Option<String> {
+        let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+        let idx = (self.line as usize).checked_sub(1)?;
+        let target = lines.get(idx)?.clone();
+        match &self.edit {
+            FixItEdit::AddClause { clause } => {
+                if !target.contains("#pragma omp") || target.contains(clause.as_str()) {
+                    return None;
+                }
+                lines[idx] = format!("{} {clause}", target.trim_end());
+            }
+            FixItEdit::RemoveLine => {
+                lines.remove(idx);
+            }
+            FixItEdit::ReplaceLine { text } => {
+                if target == *text {
+                    return None;
+                }
+                lines[idx] = text.clone();
+            }
+        }
+        let mut out = lines.join("\n");
+        if source.ends_with('\n') {
+            out.push('\n');
+        }
+        Some(out)
+    }
+}
+
+/// Apply every fix-it of `fixits` that targets the same file to `source`,
+/// last line first so earlier edits never shift later targets. Returns the
+/// edited text, or `None` when no edit applied.
+pub fn apply_all(source: &str, fixits: &[FixIt]) -> Option<String> {
+    let mut ordered: Vec<&FixIt> = fixits.iter().collect();
+    ordered.sort_by(|a, b| b.line.cmp(&a.line).then_with(|| a.title.cmp(&b.title)));
+    let mut text = source.to_string();
+    let mut applied = false;
+    for fx in ordered {
+        if let Some(edited) = fx.apply(&text) {
+            text = edited;
+            applied = true;
+        }
+    }
+    applied.then_some(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_clause(line: u32, clause: &str) -> FixIt {
+        FixIt {
+            file: "src/main.cpp".to_string(),
+            line,
+            title: format!("add `{clause}`"),
+            edit: FixItEdit::AddClause {
+                clause: clause.to_string(),
+            },
+        }
+    }
+
+    #[test]
+    fn add_clause_appends_to_pragma_line() {
+        let src = "int main() {\n#pragma omp parallel for\nfor (;;) {}\n}\n";
+        let out = add_clause(2, "reduction(+: sum)").apply(src).unwrap();
+        assert_eq!(
+            out,
+            "int main() {\n#pragma omp parallel for reduction(+: sum)\nfor (;;) {}\n}\n"
+        );
+    }
+
+    #[test]
+    fn add_clause_refuses_non_pragma_and_duplicate() {
+        let src = "int x;\n#pragma omp parallel for private(t)\n";
+        assert!(add_clause(1, "private(t)").apply(src).is_none());
+        assert!(add_clause(2, "private(t)").apply(src).is_none());
+        assert!(add_clause(9, "private(t)").apply(src).is_none());
+    }
+
+    #[test]
+    fn remove_line_and_replace_line() {
+        let src = "a\nb\nc\n";
+        let rm = FixIt {
+            file: String::new(),
+            line: 2,
+            title: "remove".to_string(),
+            edit: FixItEdit::RemoveLine,
+        };
+        assert_eq!(rm.apply(src).unwrap(), "a\nc\n");
+        let rep = FixIt {
+            file: String::new(),
+            line: 3,
+            title: "replace".to_string(),
+            edit: FixItEdit::ReplaceLine {
+                text: "z".to_string(),
+            },
+        };
+        assert_eq!(rep.apply(src).unwrap(), "a\nb\nz\n");
+    }
+
+    #[test]
+    fn apply_all_edits_bottom_up() {
+        let src = "#pragma omp parallel for\nx;\n#pragma omp barrier\n";
+        let fixits = [
+            add_clause(1, "private(t)"),
+            FixIt {
+                file: String::new(),
+                line: 3,
+                title: "remove barrier".to_string(),
+                edit: FixItEdit::RemoveLine,
+            },
+        ];
+        let out = apply_all(src, &fixits).unwrap();
+        assert_eq!(out, "#pragma omp parallel for private(t)\nx;\n");
+        assert!(apply_all(&out, &fixits[..1]).is_none(), "idempotent");
+    }
+
+    #[test]
+    fn edit_parts_roundtrip() {
+        for edit in [
+            FixItEdit::AddClause {
+                clause: "private(x)".to_string(),
+            },
+            FixItEdit::RemoveLine,
+            FixItEdit::ReplaceLine {
+                text: "#pragma omp barrier".to_string(),
+            },
+        ] {
+            let back = FixItEdit::from_parts(edit.code(), edit.payload().to_string()).unwrap();
+            assert_eq!(back, edit);
+        }
+        assert_eq!(FixItEdit::from_parts(99, String::new()), None);
+    }
+}

@@ -12,196 +12,94 @@
 //! (shared / private / firstprivate / reduction / loop-index), and emits
 //! structured [`AnalysisFinding`]s for the rule taxonomy in [`Rule`].
 //!
+//! ## Architecture (v2)
+//!
+//! The crate is a small multi-pass dataflow framework:
+//!
+//! - [`mod@cfg`] builds a per-function control-flow graph with use/def steps
+//!   and a [`cfg::RegionMark`] per worksharing region.
+//! - [`dataflow`] runs backward liveness and forward reaching definitions
+//!   over the CFG; the results gate privatization fix-its (only privatize
+//!   what is provably dead after the region).
+//! - `callgraph` summarizes which pointer parameters each function
+//!   definition writes through, to a bounded fixpoint, so the rules see
+//!   races hidden one or more helper calls deep.
+//! - `rules` drives the rule set per function and region, expanding call
+//!   sites against the summaries.
+//! - [`fixit`] and `report` define the finding/fix-it data model and the
+//!   deterministic renderings.
+//!
+//! Findings carry a [`Confidence`] tier (direct evidence vs interprocedural
+//! summary) and, when a safe deterministic edit is known, a [`FixIt`] that
+//! [`fixit::apply_all`] can apply to the source text — the analyzer-guided
+//! repair path in the eval pipeline.
+//!
 //! The analysis is *pure*: it depends only on repository content, never on
 //! execution, which lets the eval pipeline cache findings content-addressed
 //! alongside build objects and keep journaled runs byte-identical.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+mod callgraph;
+pub mod cfg;
+pub mod dataflow;
+pub mod fixit;
+mod report;
+mod rules;
+mod visit;
 
-use minihpc_build::{Diagnostic, ErrorCategory, Severity};
-use minihpc_lang::ast::{Block, Expr, ExprKind, Function, Stmt, StmtKind, Type, UnaryOp};
-use minihpc_lang::pragma::{OmpClause, OmpConstruct, OmpDirective};
-use minihpc_lang::span::line_col;
+pub use fixit::{FixIt, FixItEdit};
+pub use report::{render_findings, render_findings_with_fixits, AnalysisFinding, Confidence, Rule};
+
+use callgraph::Summaries;
 use minihpc_lang::{parse_file, FileKind, SourceRepo};
+use rules::FnAnalyzer;
 
-// ---------------------------------------------------------------------------
-// Rules and findings
-// ---------------------------------------------------------------------------
-
-/// The rule taxonomy. Each rule has a stable kebab-case id (reports, golden
-/// fixtures) and a stable u8 code (journal codec).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Rule {
-    /// A shared scalar is written, or a shared array is written at an index
-    /// not derived from any parallel loop index: concurrent iterations
-    /// conflict on the same location.
-    SharedWriteConflict,
-    /// A reduction expressed as a raw `acc += x` (or `acc = acc op x`,
-    /// `acc++`) on a shared scalar without a `reduction` clause.
-    RawReduction,
-    /// An array written at the parallel index `i` and read at `i +/- c`
-    /// (`c != 0`): a loop-carried dependency through the parallel index.
-    LoopCarriedDependency,
-    /// A pointer referenced inside a `target` region with no covering `map`
-    /// clause on the directive or an enclosing `target data` region.
-    MissingMap,
-    /// A `map` array section with more dimensions than the mapped pointer.
-    MapArity,
-    /// An `atomic` directive whose body is not a single simple update.
-    AtomicMisuse,
-    /// A `barrier` inside a worksharing-loop body or a `critical` region
-    /// (deadlock / non-conforming placement).
-    BarrierMisuse,
+/// Analysis configuration.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Run the call-graph summary pass so rules see writes hidden behind
+    /// helper calls. On by default; turning it off reproduces the v1
+    /// (intraprocedural) behaviour — kept for the regression tests that
+    /// prove the one-call-deep false negative.
+    pub interprocedural: bool,
 }
 
-impl Rule {
-    pub const ALL: [Rule; 7] = [
-        Rule::SharedWriteConflict,
-        Rule::RawReduction,
-        Rule::LoopCarriedDependency,
-        Rule::MissingMap,
-        Rule::MapArity,
-        Rule::AtomicMisuse,
-        Rule::BarrierMisuse,
-    ];
-
-    /// Stable kebab-case identifier used in reports and fixtures.
-    pub fn id(self) -> &'static str {
-        match self {
-            Rule::SharedWriteConflict => "shared-write-conflict",
-            Rule::RawReduction => "raw-reduction",
-            Rule::LoopCarriedDependency => "loop-carried-dep",
-            Rule::MissingMap => "missing-map",
-            Rule::MapArity => "map-arity",
-            Rule::AtomicMisuse => "atomic-misuse",
-            Rule::BarrierMisuse => "barrier-misuse",
-        }
-    }
-
-    /// Stable wire code for the journal codec. Append-only.
-    pub fn code(self) -> u8 {
-        match self {
-            Rule::SharedWriteConflict => 0,
-            Rule::RawReduction => 1,
-            Rule::LoopCarriedDependency => 2,
-            Rule::MissingMap => 3,
-            Rule::MapArity => 4,
-            Rule::AtomicMisuse => 5,
-            Rule::BarrierMisuse => 6,
-        }
-    }
-
-    pub fn from_code(code: u8) -> Option<Rule> {
-        Rule::ALL.into_iter().find(|r| r.code() == code)
-    }
-
-    /// Default severity. Errors mark a sample as racy for `race_free@k`;
-    /// warnings are advisory.
-    pub fn severity(self) -> Severity {
-        match self {
-            Rule::SharedWriteConflict
-            | Rule::RawReduction
-            | Rule::MapArity
-            | Rule::BarrierMisuse => Severity::Error,
-            Rule::LoopCarriedDependency | Rule::MissingMap | Rule::AtomicMisuse => {
-                Severity::Warning
-            }
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            interprocedural: true,
         }
     }
 }
 
-/// One analyzer finding: a rule violation anchored to a variable and a
-/// source location.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AnalysisFinding {
-    pub rule: Rule,
-    pub severity: Severity,
-    /// The variable at fault (array base, scalar, or mapped pointer).
-    pub variable: String,
-    pub file: String,
-    /// 1-based line, when the span is known.
-    pub line: Option<u32>,
-    pub message: String,
-}
-
-impl AnalysisFinding {
-    /// Is this finding an error (counts against `race_free@k`)?
-    pub fn is_error(&self) -> bool {
-        self.severity == Severity::Error
-    }
-
-    /// Convert into the toolchain [`Diagnostic`] shape so findings flow
-    /// through the existing log/clustering machinery. Race findings use the
-    /// paper's `OmpInvalidDirective` category: a directive whose clause set
-    /// is semantically wrong for its body.
-    pub fn diagnostic(&self) -> Diagnostic {
-        let make = match self.severity {
-            Severity::Error => Diagnostic::error,
-            Severity::Warning => Diagnostic::warning,
-        };
-        let d = make(
-            ErrorCategory::OmpInvalidDirective,
-            self.file.clone(),
-            format!("[{}] {}", self.rule.id(), self.message),
-        );
-        match self.line {
-            Some(line) => d.at_line(line),
-            None => d,
-        }
-    }
-
-    /// One-line rendering used by reports and the golden fixture.
-    pub fn render(&self) -> String {
-        let sev = match self.severity {
-            Severity::Error => "error",
-            Severity::Warning => "warning",
-        };
-        let loc = match self.line {
-            Some(line) => format!("{}:{}", self.file, line),
-            None => self.file.clone(),
-        };
-        format!(
-            "{loc}: {sev}: [{}] {}: {}",
-            self.rule.id(),
-            self.variable,
-            self.message
-        )
-    }
-}
-
-/// Render a deterministic multi-line report for a finding set (golden
-/// fixture format). Empty input renders as an explicit clean marker.
-pub fn render_findings(findings: &[AnalysisFinding]) -> String {
-    if findings.is_empty() {
-        return "analyze: clean (no findings)\n".to_string();
-    }
-    let mut out = String::new();
-    for f in findings {
-        out.push_str(&f.render());
-        out.push('\n');
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Entry point
-// ---------------------------------------------------------------------------
-
-/// Analyze every parseable code file of a repository. Unparseable files are
-/// skipped (the build pipeline owns syntax errors). Findings are returned in
-/// a deterministic order: (file, line, rule, variable, message).
+/// Analyze every parseable code file of a repository with default options.
+/// Unparseable files are skipped (the build pipeline owns syntax errors).
+/// Findings are returned in a deterministic order:
+/// (file, line, rule, variable, message).
 pub fn analyze_repo(repo: &SourceRepo) -> Vec<AnalysisFinding> {
+    analyze_repo_with(repo, &AnalyzeOptions::default())
+}
+
+/// [`analyze_repo`] with explicit [`AnalyzeOptions`].
+pub fn analyze_repo_with(repo: &SourceRepo, opts: &AnalyzeOptions) -> Vec<AnalysisFinding> {
+    // Parse everything once: the same ASTs feed the summary pass and the
+    // per-function rules.
+    let parsed: Vec<(&str, &str, minihpc_lang::ast::SourceFile)> = repo
+        .iter()
+        .filter(|(path, _)| FileKind::of(path).is_code())
+        .filter_map(|(path, text)| Some((path, text, parse_file(text).ok()?)))
+        .collect();
+
+    let summaries = if opts.interprocedural {
+        Summaries::build(parsed.iter().map(|(_, _, f)| f))
+    } else {
+        Summaries::empty()
+    };
+
     let mut findings = Vec::new();
-    for (path, text) in repo.iter() {
-        if !FileKind::of(path).is_code() {
-            continue;
-        }
-        let Ok(file) = parse_file(text) else {
-            continue;
-        };
+    for (path, text, file) in &parsed {
         for f in file.functions() {
             if f.body.is_some() {
-                FnAnalyzer::new(path, text, &mut findings).run(f);
+                FnAnalyzer::analyze(path, text, &summaries, &mut findings, f);
             }
         }
     }
@@ -225,937 +123,24 @@ pub fn analyze_repo(repo: &SourceRepo) -> Vec<AnalysisFinding> {
     findings
 }
 
-// ---------------------------------------------------------------------------
-// Per-function analysis
-// ---------------------------------------------------------------------------
-
-/// What we know about a declared variable: its pointer rank (0 = scalar).
-#[derive(Debug, Clone, Copy)]
-struct VarInfo {
-    rank: u8,
-}
-
-fn rank_of(ty: &Type) -> u8 {
-    match ty.unqualified() {
-        Type::Ptr(inner) => 1 + rank_of(inner),
-        Type::View { rank, .. } => *rank,
-        _ => 0,
-    }
-}
-
-struct FnAnalyzer<'a> {
-    file: &'a str,
-    text: &'a str,
-    /// Lexical scopes mapping names to declaration info.
-    scopes: Vec<HashMap<String, VarInfo>>,
-    /// Variables mapped by enclosing `target data` regions.
-    enclosing_maps: Vec<BTreeSet<String>>,
-    findings: &'a mut Vec<AnalysisFinding>,
-}
-
-impl<'a> FnAnalyzer<'a> {
-    fn new(file: &'a str, text: &'a str, findings: &'a mut Vec<AnalysisFinding>) -> Self {
-        FnAnalyzer {
-            file,
-            text,
-            scopes: vec![HashMap::new()],
-            enclosing_maps: Vec::new(),
-            findings,
-        }
-    }
-
-    fn run(&mut self, f: &Function) {
-        for p in &f.params {
-            self.declare(&p.name, &p.ty);
-        }
-        if let Some(body) = &f.body {
-            self.walk_block(body);
-        }
-    }
-
-    fn declare(&mut self, name: &str, ty: &Type) {
-        self.scopes
-            .last_mut()
-            .expect("scope stack never empty")
-            .insert(name.to_string(), VarInfo { rank: rank_of(ty) });
-    }
-
-    fn lookup(&self, name: &str) -> Option<VarInfo> {
-        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
-    }
-
-    fn line_of(&self, start: u32) -> Option<u32> {
-        if start == 0 && self.text.is_empty() {
-            return None;
-        }
-        Some(line_col(self.text, start).line)
-    }
-
-    fn report(&mut self, rule: Rule, variable: &str, span_start: u32, message: String) {
-        self.findings.push(AnalysisFinding {
-            rule,
-            severity: rule.severity(),
-            variable: variable.to_string(),
-            file: self.file.to_string(),
-            line: self.line_of(span_start),
-            message,
-        });
-    }
-
-    fn walk_block(&mut self, b: &Block) {
-        self.scopes.push(HashMap::new());
-        for s in &b.stmts {
-            self.walk_stmt(s);
-        }
-        self.scopes.pop();
-    }
-
-    fn walk_stmt(&mut self, s: &Stmt) {
-        match &s.kind {
-            StmtKind::Decl(d) => self.declare(&d.name, &d.ty),
-            StmtKind::Block(b) => self.walk_block(b),
-            StmtKind::If { then, els, .. } => {
-                self.walk_stmt(then);
-                if let Some(e) = els {
-                    self.walk_stmt(e);
-                }
-            }
-            StmtKind::While { body, .. } => self.walk_stmt(body),
-            StmtKind::For { init, body, .. } => {
-                self.scopes.push(HashMap::new());
-                if let Some(init) = init {
-                    self.walk_stmt(init);
-                }
-                self.walk_stmt(body);
-                self.scopes.pop();
-            }
-            StmtKind::Omp { directive, body } => self.walk_omp(directive, body.as_deref()),
-            StmtKind::Expr(_)
-            | StmtKind::Return(_)
-            | StmtKind::Break
-            | StmtKind::Continue
-            | StmtKind::RawPragma(_)
-            | StmtKind::Empty => {}
-        }
-    }
-
-    fn walk_omp(&mut self, d: &OmpDirective, body: Option<&Stmt>) {
-        // Standalone directives (`barrier`, `target update`) are fine at
-        // function/sequential level; misuse is detected inside regions.
-        let Some(body) = body else { return };
-
-        if d.has(OmpConstruct::TargetData) {
-            let mapped: BTreeSet<String> = d
-                .map_clauses()
-                .flat_map(|(_, sections)| sections.iter().map(|s| s.var.clone()))
-                .collect();
-            self.check_map_arity(d);
-            self.enclosing_maps.push(mapped);
-            self.walk_stmt(body);
-            self.enclosing_maps.pop();
-            return;
-        }
-
-        if d.has(OmpConstruct::Atomic) {
-            self.check_atomic(d, body);
-            return;
-        }
-
-        let worksharing = d.has(OmpConstruct::Parallel)
-            || d.has(OmpConstruct::Teams)
-            || d.has(OmpConstruct::For)
-            || d.has(OmpConstruct::Distribute);
-        if worksharing {
-            RegionAnalyzer::analyze(self, d, body);
-            return;
-        }
-
-        if d.has(OmpConstruct::Target) {
-            // Serial `target` region: still subject to mapping rules.
-            self.check_map_arity(d);
-            self.check_missing_maps(d, body);
-            self.walk_stmt(body);
-            return;
-        }
-
-        // `critical` / `single` / `master` / `simd` at sequential level:
-        // walk through.
-        self.walk_stmt(body);
-    }
-
-    /// An `atomic` body must be one simple update of a scalar or array
-    /// element: `x op= e`, `x = x op e`, `x++`/`x--`.
-    fn check_atomic(&mut self, d: &OmpDirective, body: &Stmt) {
-        let expr = match &body.kind {
-            StmtKind::Expr(e) => Some(e),
-            StmtKind::Block(b) if b.stmts.len() == 1 => match &b.stmts[0].kind {
-                StmtKind::Expr(e) => Some(e),
-                _ => None,
-            },
-            _ => None,
-        };
-        let simple = expr.is_some_and(is_simple_atomic_update);
-        if !simple {
-            self.report(
-                Rule::AtomicMisuse,
-                "<atomic>",
-                d.span.start,
-                "atomic body is not a single simple update (x op= e, x = x op e, x++)".to_string(),
-            );
-        }
-    }
-
-    /// `map` sections must not have more dimensions than the mapped pointer
-    /// has levels of indirection.
-    fn check_map_arity(&mut self, d: &OmpDirective) {
-        let sections: Vec<_> = d
-            .map_clauses()
-            .flat_map(|(_, s)| s.iter().cloned())
-            .collect();
-        for section in sections {
-            let dims = section.ranges.len() as u8;
-            if dims < 2 {
-                continue;
-            }
-            if let Some(info) = self.lookup(&section.var) {
-                if info.rank > 0 && dims > info.rank {
-                    self.report(
-                        Rule::MapArity,
-                        &section.var,
-                        d.span.start,
-                        format!(
-                            "map section has {dims} dimensions but '{}' has rank {}",
-                            section.var, info.rank
-                        ),
-                    );
-                }
-            }
-        }
-    }
-
-    /// Every pointer referenced inside a `target` region must be covered by
-    /// a `map` clause on the directive or an enclosing `target data`.
-    fn check_missing_maps(&mut self, d: &OmpDirective, body: &Stmt) {
-        let mut mapped: BTreeSet<String> = d
-            .map_clauses()
-            .flat_map(|(_, sections)| sections.iter().map(|s| s.var.clone()))
-            .collect();
-        for m in &self.enclosing_maps {
-            mapped.extend(m.iter().cloned());
-        }
-        let mut referenced = Vec::new();
-        collect_idents(body, &mut referenced);
-        let mut seen = HashSet::new();
-        for (name, start) in referenced {
-            if mapped.contains(&name) || !seen.insert(name.clone()) {
-                continue;
-            }
-            if let Some(info) = self.lookup(&name) {
-                if info.rank > 0 {
-                    self.report(
-                        Rule::MissingMap,
-                        &name,
-                        start,
-                        format!("pointer '{name}' used in target region without a map clause"),
-                    );
-                }
-            }
-        }
-    }
-}
-
-/// `x op= e`, `x = x op e`, `x++`/`x--` where `x` is a scalar or element.
-fn is_simple_atomic_update(e: &Expr) -> bool {
-    fn is_place(e: &Expr) -> bool {
-        matches!(
-            e.kind,
-            ExprKind::Ident(_) | ExprKind::Index { .. } | ExprKind::Member { .. }
-        ) || matches!(
-            &e.kind,
-            ExprKind::Unary {
-                op: UnaryOp::Deref,
-                ..
-            }
-        )
-    }
-    match &e.kind {
-        ExprKind::Assign {
-            op: Some(_), lhs, ..
-        } => is_place(lhs),
-        ExprKind::Assign { op: None, lhs, rhs } => {
-            // x = x op e / x = e op x
-            let ExprKind::Binary {
-                lhs: bl, rhs: br, ..
-            } = &rhs.kind
-            else {
-                return false;
-            };
-            is_place(lhs) && (same_place(lhs, bl) || same_place(lhs, br))
-        }
-        ExprKind::Unary { op, expr } => {
-            matches!(
-                op,
-                UnaryOp::PreInc | UnaryOp::PreDec | UnaryOp::PostInc | UnaryOp::PostDec
-            ) && is_place(expr)
-        }
-        _ => false,
-    }
-}
-
-fn same_place(a: &Expr, b: &Expr) -> bool {
-    match (&a.kind, &b.kind) {
-        (ExprKind::Ident(x), ExprKind::Ident(y)) => x == y,
-        (
-            ExprKind::Index {
-                base: ab,
-                index: ai,
-            },
-            ExprKind::Index {
-                base: bb,
-                index: bi,
-            },
-        ) => same_place(ab, bb) && ai.kind == bi.kind,
-        _ => false,
-    }
-}
-
-/// Collect every identifier occurrence (with span start) in a statement tree.
-fn collect_idents(s: &Stmt, out: &mut Vec<(String, u32)>) {
-    visit_stmt_exprs(s, &mut |e| {
-        if let ExprKind::Ident(name) = &e.kind {
-            out.push((name.clone(), e.span.start));
-        }
-    });
-}
-
-fn visit_stmt_exprs(s: &Stmt, f: &mut impl FnMut(&Expr)) {
-    match &s.kind {
-        StmtKind::Decl(d) => {
-            for dim in &d.array_dims {
-                visit_expr(dim, f);
-            }
-            match &d.init {
-                Some(minihpc_lang::ast::Init::Expr(e)) => visit_expr(e, f),
-                Some(minihpc_lang::ast::Init::List(es))
-                | Some(minihpc_lang::ast::Init::Ctor(es)) => {
-                    for e in es {
-                        visit_expr(e, f);
-                    }
-                }
-                None => {}
-            }
-        }
-        StmtKind::Expr(e) => visit_expr(e, f),
-        StmtKind::If { cond, then, els } => {
-            visit_expr(cond, f);
-            visit_stmt_exprs(then, f);
-            if let Some(e) = els {
-                visit_stmt_exprs(e, f);
-            }
-        }
-        StmtKind::While { cond, body } => {
-            visit_expr(cond, f);
-            visit_stmt_exprs(body, f);
-        }
-        StmtKind::For {
-            init,
-            cond,
-            step,
-            body,
-        } => {
-            if let Some(i) = init {
-                visit_stmt_exprs(i, f);
-            }
-            if let Some(c) = cond {
-                visit_expr(c, f);
-            }
-            if let Some(st) = step {
-                visit_expr(st, f);
-            }
-            visit_stmt_exprs(body, f);
-        }
-        StmtKind::Return(Some(e)) => visit_expr(e, f),
-        StmtKind::Block(b) => {
-            for s in &b.stmts {
-                visit_stmt_exprs(s, f);
-            }
-        }
-        StmtKind::Omp { body, .. } => {
-            if let Some(b) = body {
-                visit_stmt_exprs(b, f);
-            }
-        }
-        StmtKind::Return(None)
-        | StmtKind::Break
-        | StmtKind::Continue
-        | StmtKind::RawPragma(_)
-        | StmtKind::Empty => {}
-    }
-}
-
-fn visit_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
-    f(e);
-    match &e.kind {
-        ExprKind::Unary { expr, .. }
-        | ExprKind::Cast { expr, .. }
-        | ExprKind::SizeOfExpr(expr)
-        | ExprKind::Paren(expr) => visit_expr(expr, f),
-        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
-            visit_expr(lhs, f);
-            visit_expr(rhs, f);
-        }
-        ExprKind::Ternary { cond, then, els } => {
-            visit_expr(cond, f);
-            visit_expr(then, f);
-            visit_expr(els, f);
-        }
-        ExprKind::Call { callee, args } => {
-            visit_expr(callee, f);
-            for a in args {
-                visit_expr(a, f);
-            }
-        }
-        ExprKind::KernelLaunch {
-            grid, block, args, ..
-        } => {
-            visit_expr(grid, f);
-            visit_expr(block, f);
-            for a in args {
-                visit_expr(a, f);
-            }
-        }
-        ExprKind::Index { base, index } => {
-            visit_expr(base, f);
-            visit_expr(index, f);
-        }
-        ExprKind::Member { base, .. } => visit_expr(base, f),
-        ExprKind::Lambda { body, .. } => {
-            for s in &body.stmts {
-                visit_stmt_exprs(s, f);
-            }
-        }
-        ExprKind::IntLit(_)
-        | ExprKind::FloatLit(_)
-        | ExprKind::StrLit(_)
-        | ExprKind::CharLit(_)
-        | ExprKind::BoolLit(_)
-        | ExprKind::Ident(_)
-        | ExprKind::Path(_)
-        | ExprKind::SizeOfType(_) => {}
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Parallel-region analysis
-// ---------------------------------------------------------------------------
-
-/// How a scalar write updates its target.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum WriteKind {
-    /// `v = e` with `e` not referencing `v`.
-    Plain,
-    /// `v op= e`, `v = v op e`, `v++` — a reduction-shaped self-update.
-    SelfUpdate,
-}
-
-#[derive(Debug)]
-struct ScalarWrite {
-    name: String,
-    kind: WriteKind,
-    span_start: u32,
-}
-
-#[derive(Debug)]
-struct ArrayAccess {
-    base: String,
-    index: Expr,
-    span_start: u32,
-}
-
-struct RegionAnalyzer<'f, 'a> {
-    cx: &'f mut FnAnalyzer<'a>,
-    directive: OmpDirective,
-    loop_indices: HashSet<String>,
-    private: HashSet<String>,
-    reduction: HashSet<String>,
-    /// Names declared inside the region body (thread-private storage).
-    declared: HashSet<String>,
-    scalar_writes: Vec<ScalarWrite>,
-    array_writes: Vec<ArrayAccess>,
-    array_reads: Vec<ArrayAccess>,
-    /// Depth of enclosing `atomic`/`critical` protection while walking.
-    protected: u32,
-    /// Depth of enclosing `critical`/`master` (for barrier placement).
-    serial_section: u32,
-}
-
-impl<'f, 'a> RegionAnalyzer<'f, 'a> {
-    fn analyze(cx: &'f mut FnAnalyzer<'a>, d: &OmpDirective, body: &Stmt) {
-        let mut private = HashSet::new();
-        let mut reduction = HashSet::new();
-        for clause in &d.clauses {
-            match clause {
-                OmpClause::Private(vars) | OmpClause::FirstPrivate(vars) => {
-                    private.extend(vars.iter().cloned());
-                }
-                OmpClause::Reduction { vars, .. } => {
-                    reduction.extend(vars.iter().cloned());
-                }
-                _ => {}
-            }
-        }
-
-        let mut this = RegionAnalyzer {
-            cx,
-            directive: d.clone(),
-            loop_indices: HashSet::new(),
-            private,
-            reduction,
-            declared: HashSet::new(),
-            scalar_writes: Vec::new(),
-            array_writes: Vec::new(),
-            array_reads: Vec::new(),
-            protected: 0,
-            serial_section: 0,
-        };
-        this.collect_loop_indices(body);
-
-        if d.targets_device() {
-            this.cx.check_map_arity(d);
-            this.cx.check_missing_maps(d, body);
-        }
-
-        this.walk(body, /* in_loop_body: */ d.is_loop_directive());
-        this.emit();
-    }
-
-    /// Loop-index variables of the canonical nest, up to `collapse` depth.
-    fn collect_loop_indices(&mut self, body: &Stmt) {
-        let depth = self.directive.collapse().max(1) as usize;
-        let mut current = body;
-        for _ in 0..depth {
-            let StmtKind::For { init, body, .. } = &current.kind else {
-                return;
-            };
-            match init.as_deref().map(|s| &s.kind) {
-                Some(StmtKind::Decl(d)) => {
-                    self.loop_indices.insert(d.name.clone());
-                }
-                Some(StmtKind::Expr(e)) => {
-                    if let ExprKind::Assign { lhs, .. } = &e.kind {
-                        if let ExprKind::Ident(n) = &lhs.kind {
-                            self.loop_indices.insert(n.clone());
-                        }
-                    }
-                }
-                _ => return,
-            }
-            current = match &body.kind {
-                StmtKind::Block(b) if b.stmts.len() == 1 => &b.stmts[0],
-                _ => body,
-            };
-        }
-    }
-
-    fn walk(&mut self, s: &Stmt, in_loop_body: bool) {
-        match &s.kind {
-            StmtKind::Decl(d) => {
-                self.declared.insert(d.name.clone());
-                match &d.init {
-                    Some(minihpc_lang::ast::Init::Expr(e)) => self.collect_reads(e),
-                    Some(minihpc_lang::ast::Init::List(es))
-                    | Some(minihpc_lang::ast::Init::Ctor(es)) => {
-                        for e in es {
-                            self.collect_reads(e);
-                        }
-                    }
-                    None => {}
-                }
-            }
-            StmtKind::Expr(e) => self.walk_expr(e),
-            StmtKind::If { cond, then, els } => {
-                self.collect_reads(cond);
-                self.walk(then, in_loop_body);
-                if let Some(e) = els {
-                    self.walk(e, in_loop_body);
-                }
-            }
-            StmtKind::While { cond, body } => {
-                self.collect_reads(cond);
-                self.walk(body, in_loop_body);
-            }
-            StmtKind::For {
-                init,
-                cond,
-                step,
-                body,
-            } => {
-                if let Some(i) = init {
-                    // A nested sequential loop's index is thread-private.
-                    if let StmtKind::Decl(d) = &i.kind {
-                        self.declared.insert(d.name.clone());
-                    }
-                    self.walk(i, in_loop_body);
-                }
-                if let Some(c) = cond {
-                    self.collect_reads(c);
-                }
-                if let Some(st) = step {
-                    self.walk_expr(st);
-                }
-                self.walk(body, in_loop_body);
-            }
-            StmtKind::Return(e) => {
-                if let Some(e) = e {
-                    self.collect_reads(e);
-                }
-            }
-            StmtKind::Block(b) => {
-                for s in &b.stmts {
-                    self.walk(s, in_loop_body);
-                }
-            }
-            StmtKind::Omp { directive, body } => {
-                self.walk_nested_omp(directive, body.as_deref(), in_loop_body);
-            }
-            StmtKind::Break | StmtKind::Continue | StmtKind::RawPragma(_) | StmtKind::Empty => {}
-        }
-    }
-
-    fn walk_nested_omp(&mut self, d: &OmpDirective, body: Option<&Stmt>, in_loop_body: bool) {
-        if d.has(OmpConstruct::Barrier) {
-            if in_loop_body || self.serial_section > 0 {
-                let place = if self.serial_section > 0 {
-                    "a critical/master section"
-                } else {
-                    "a worksharing loop body"
-                };
-                self.cx.report(
-                    Rule::BarrierMisuse,
-                    "<barrier>",
-                    d.span.start,
-                    format!("barrier inside {place}"),
-                );
-            }
-            return;
-        }
-        let Some(body) = body else { return };
-        if d.has(OmpConstruct::Atomic) {
-            self.cx.check_atomic(d, body);
-            self.protected += 1;
-            self.walk(body, in_loop_body);
-            self.protected -= 1;
-            return;
-        }
-        if d.has(OmpConstruct::Critical) {
-            self.protected += 1;
-            self.serial_section += 1;
-            self.walk(body, in_loop_body);
-            self.serial_section -= 1;
-            self.protected -= 1;
-            return;
-        }
-        if d.has(OmpConstruct::Master) || d.has(OmpConstruct::Single) {
-            self.serial_section += 1;
-            self.walk(body, in_loop_body);
-            self.serial_section -= 1;
-            return;
-        }
-        // A nested worksharing/loop directive: fold its clause privatisation
-        // and its loop indices into this region's sets and keep walking — a
-        // conservative merge that avoids double-reporting.
-        for clause in &d.clauses {
-            match clause {
-                OmpClause::Private(vars) | OmpClause::FirstPrivate(vars) => {
-                    self.declared.extend(vars.iter().cloned());
-                }
-                OmpClause::Reduction { vars, .. } => {
-                    self.reduction.extend(vars.iter().cloned());
-                }
-                _ => {}
-            }
-        }
-        if d.is_loop_directive() {
-            if let StmtKind::For {
-                init: Some(init), ..
-            } = &body.kind
-            {
-                if let StmtKind::Decl(decl) = &init.kind {
-                    self.loop_indices.insert(decl.name.clone());
-                }
-            }
-        }
-        self.walk(body, in_loop_body || d.is_loop_directive());
-    }
-
-    /// Walk an expression statement, classifying writes and reads.
-    fn walk_expr(&mut self, e: &Expr) {
-        match &e.kind {
-            ExprKind::Assign { op, lhs, rhs } => {
-                self.collect_reads(rhs);
-                self.record_write(lhs, op.is_some(), Some(rhs), e.span.start);
-            }
-            ExprKind::Unary {
-                op: UnaryOp::PreInc | UnaryOp::PreDec | UnaryOp::PostInc | UnaryOp::PostDec,
-                expr,
-            } => {
-                self.record_write(expr, true, None, e.span.start);
-            }
-            ExprKind::Paren(inner) => self.walk_expr(inner),
-            _ => self.collect_reads(e),
-        }
-    }
-
-    fn record_write(&mut self, lhs: &Expr, compound: bool, rhs: Option<&Expr>, span_start: u32) {
-        if self.protected > 0 || self.serial_section > 0 {
-            // Atomic/critical-protected and single/master writes do not
-            // conflict (master/single still read-shares; good enough here).
-            if let Some(r) = rhs {
-                self.collect_reads(r);
-            }
-            return;
-        }
-        match &lhs.kind {
-            ExprKind::Ident(name) => {
-                let kind = if compound || rhs.is_some_and(|r| expr_references(r, name)) {
-                    WriteKind::SelfUpdate
-                } else {
-                    WriteKind::Plain
-                };
-                self.scalar_writes.push(ScalarWrite {
-                    name: name.clone(),
-                    kind,
-                    span_start,
-                });
-            }
-            ExprKind::Index { base, index } => {
-                self.collect_reads(index);
-                if let Some(root) = index_root(base) {
-                    self.array_writes.push(ArrayAccess {
-                        base: root.to_string(),
-                        index: (**index).clone(),
-                        span_start,
-                    });
-                }
-            }
-            ExprKind::Unary {
-                op: UnaryOp::Deref,
-                expr,
-            } => {
-                // `*p = e`: a fixed location, same as indexing with a
-                // loop-invariant index.
-                if let ExprKind::Ident(name) = &expr.kind {
-                    self.array_writes.push(ArrayAccess {
-                        base: name.clone(),
-                        index: Expr::int(0),
-                        span_start,
-                    });
-                }
-            }
-            ExprKind::Member { base, .. } => {
-                if let Some(root) = index_root(base) {
-                    self.scalar_writes.push(ScalarWrite {
-                        name: root.to_string(),
-                        kind: if compound {
-                            WriteKind::SelfUpdate
-                        } else {
-                            WriteKind::Plain
-                        },
-                        span_start,
-                    });
-                }
-            }
-            ExprKind::Paren(inner) => self.record_write(inner, compound, rhs, span_start),
-            _ => {}
-        }
-    }
-
-    /// Record array reads appearing anywhere in an expression.
-    fn collect_reads(&mut self, e: &Expr) {
-        visit_expr(e, &mut |sub| {
-            if let ExprKind::Index { base, index } = &sub.kind {
-                if let Some(root) = index_root(base) {
-                    self.array_reads.push(ArrayAccess {
-                        base: root.to_string(),
-                        index: (**index).clone(),
-                        span_start: sub.span.start,
-                    });
-                }
-            }
-        });
-    }
-
-    fn is_thread_private(&self, name: &str) -> bool {
-        self.loop_indices.contains(name)
-            || self.private.contains(name)
-            || self.declared.contains(name)
-    }
-
-    fn emit(mut self) {
-        let has_parallel_semantics = self.directive.has(OmpConstruct::Parallel)
-            || self.directive.has(OmpConstruct::Teams)
-            || self.directive.has(OmpConstruct::For)
-            || self.directive.has(OmpConstruct::Distribute);
-        if !has_parallel_semantics {
-            return;
-        }
-
-        // Scalar writes: raw reductions take precedence over plain
-        // conflicting writes so the fix suggestion is actionable.
-        let scalar_writes = std::mem::take(&mut self.scalar_writes);
-        let mut reported: HashSet<(String, u8)> = HashSet::new();
-        for w in scalar_writes {
-            if self.is_thread_private(&w.name) || self.reduction.contains(&w.name) {
-                continue;
-            }
-            let (rule, message) = match w.kind {
-                WriteKind::SelfUpdate => (
-                    Rule::RawReduction,
-                    format!(
-                        "shared variable '{}' is updated as a raw reduction without a \
-                         reduction clause",
-                        w.name
-                    ),
-                ),
-                WriteKind::Plain => (
-                    Rule::SharedWriteConflict,
-                    format!(
-                        "shared variable '{}' is written by every iteration without \
-                         privatization or atomics",
-                        w.name
-                    ),
-                ),
-            };
-            if reported.insert((w.name.clone(), rule.code())) {
-                self.cx.report(rule, &w.name, w.span_start, message);
-            }
-        }
-
-        // Array writes: conflicting when the index does not involve any
-        // parallel loop index; loop-carried when written at `i` and read at
-        // `i +/- c`.
-        let array_writes = std::mem::take(&mut self.array_writes);
-        let array_reads = std::mem::take(&mut self.array_reads);
-        for w in &array_writes {
-            if self.is_thread_private(&w.base) {
-                continue;
-            }
-            let uses_index = self
-                .loop_indices
-                .iter()
-                .any(|ix| expr_references(&w.index, ix));
-            if !uses_index {
-                if reported.insert((w.base.clone(), Rule::SharedWriteConflict.code())) {
-                    self.cx.report(
-                        Rule::SharedWriteConflict,
-                        &w.base,
-                        w.span_start,
-                        format!(
-                            "array '{}' is written at an index that does not depend on \
-                             the parallel loop index",
-                            w.base
-                        ),
-                    );
-                }
-                continue;
-            }
-            // Loop-carried: write exactly at `i`, read at `i +/- c` (c != 0).
-            let Some(write_ix) = plain_index_var(&w.index) else {
-                continue;
-            };
-            if !self.loop_indices.contains(write_ix) {
-                continue;
-            }
-            for r in &array_reads {
-                if r.base != w.base {
-                    continue;
-                }
-                if let Some(offset) = shifted_index_offset(&r.index, write_ix) {
-                    if offset != 0
-                        && reported.insert((w.base.clone(), Rule::LoopCarriedDependency.code()))
-                    {
-                        self.cx.report(
-                            Rule::LoopCarriedDependency,
-                            &w.base,
-                            w.span_start,
-                            format!(
-                                "array '{}' is written at {write_ix} and read at \
-                                 {write_ix}{offset:+}: loop-carried dependency across \
-                                 parallel iterations",
-                                w.base
-                            ),
-                        );
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// The root identifier of a (possibly nested) indexing base.
-fn index_root(base: &Expr) -> Option<&str> {
-    match &base.kind {
-        ExprKind::Ident(name) => Some(name),
-        ExprKind::Index { base, .. } | ExprKind::Paren(base) => index_root(base),
-        ExprKind::Member { base, .. } => index_root(base),
-        ExprKind::Unary {
-            op: UnaryOp::Deref,
-            expr,
-        } => index_root(expr),
-        _ => None,
-    }
-}
-
-/// Does `e` reference identifier `name` anywhere?
-fn expr_references(e: &Expr, name: &str) -> bool {
-    let mut found = false;
-    visit_expr(e, &mut |sub| {
-        if matches!(&sub.kind, ExprKind::Ident(n) if n == name) {
-            found = true;
-        }
-    });
-    found
-}
-
-/// `Some(var)` when the index expression is exactly a bare identifier.
-fn plain_index_var(e: &Expr) -> Option<&str> {
-    match &e.kind {
-        ExprKind::Ident(n) => Some(n),
-        ExprKind::Paren(inner) => plain_index_var(inner),
-        _ => None,
-    }
-}
-
-/// `Some(c)` when the expression is `var + c`, `c + var`, or `var - c`.
-fn shifted_index_offset(e: &Expr, var: &str) -> Option<i64> {
-    use minihpc_lang::ast::BinOp;
-    match &e.kind {
-        ExprKind::Paren(inner) => shifted_index_offset(inner, var),
-        ExprKind::Ident(n) if n == var => Some(0),
-        ExprKind::Binary { op, lhs, rhs } => {
-            let (ident, lit, negate) = match (&lhs.kind, &rhs.kind, op) {
-                (ExprKind::Ident(n), ExprKind::IntLit(c), BinOp::Add) => (n, *c, false),
-                (ExprKind::IntLit(c), ExprKind::Ident(n), BinOp::Add) => (n, *c, false),
-                (ExprKind::Ident(n), ExprKind::IntLit(c), BinOp::Sub) => (n, *c, true),
-                _ => return None,
-            };
-            if ident == var {
-                Some(if negate { -lit } else { lit })
-            } else {
-                None
-            }
-        }
-        _ => None,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use minihpc_build::ErrorCategory;
 
     fn analyze_src(src: &str) -> Vec<AnalysisFinding> {
         let repo = SourceRepo::new().with_file("src/main.cpp", src);
         analyze_repo(&repo)
+    }
+
+    fn analyze_src_v1(src: &str) -> Vec<AnalysisFinding> {
+        let repo = SourceRepo::new().with_file("src/main.cpp", src);
+        analyze_repo_with(
+            &repo,
+            &AnalyzeOptions {
+                interprocedural: false,
+            },
+        )
     }
 
     fn rules(findings: &[AnalysisFinding]) -> Vec<Rule> {
@@ -1178,6 +163,33 @@ mod tests {
         assert_eq!(f[0].variable, "sum");
         assert_eq!(f[0].line, Some(5));
         assert!(f[0].is_error());
+        assert_eq!(f[0].confidence, Confidence::High);
+    }
+
+    #[test]
+    fn raw_reduction_carries_an_applicable_fixit() {
+        let src = "int main() {\n\
+                   double sum = 0.0;\n\
+                   #pragma omp parallel for\n\
+                   for (int i = 0; i < 100; i++) {\n\
+                   sum += i;\n\
+                   }\n\
+                   return 0;\n\
+                   }\n";
+        let f = analyze_src(src);
+        let fx = f[0].fixit.as_ref().expect("reduction fix-it");
+        assert_eq!(fx.line, 3);
+        assert_eq!(
+            fx.edit,
+            FixItEdit::AddClause {
+                clause: "reduction(+: sum)".to_string()
+            }
+        );
+        let fixed = fx.apply(src).expect("applies");
+        assert!(fixed.contains("#pragma omp parallel for reduction(+: sum)"));
+        // The fixed source is clean.
+        let repo = SourceRepo::new().with_file("src/main.cpp", &fixed);
+        assert!(analyze_repo(&repo).is_empty());
     }
 
     #[test]
@@ -1208,6 +220,63 @@ mod tests {
              }\n",
         );
         assert_eq!(rules(&f), vec![Rule::SharedWriteConflict], "{f:#?}");
+        // `last` is read after the region: privatizing would change the
+        // result, so no fix-it may be offered.
+        assert!(f[0].fixit.is_none(), "{f:#?}");
+    }
+
+    #[test]
+    fn dead_scalar_conflict_gets_a_privatization_fixit() {
+        let src = "int main() {\n\
+                   int tmp = 0;\n\
+                   #pragma omp parallel for\n\
+                   for (int i = 0; i < 100; i++) {\n\
+                   tmp = i;\n\
+                   }\n\
+                   return 0;\n\
+                   }\n";
+        let f = analyze_src(src);
+        assert_eq!(rules(&f), vec![Rule::SharedWriteConflict], "{f:#?}");
+        let fx = f[0].fixit.as_ref().expect("privatization fix-it");
+        assert_eq!(
+            fx.edit,
+            FixItEdit::AddClause {
+                clause: "private(tmp)".to_string()
+            }
+        );
+        let fixed = fx.apply(src).expect("applies");
+        let repo = SourceRepo::new().with_file("src/main.cpp", &fixed);
+        assert!(analyze_repo(&repo).is_empty());
+    }
+
+    #[test]
+    fn read_before_write_dead_scalar_gets_firstprivate() {
+        // `scale` is read (initialized before the region) and overwritten
+        // per iteration; dead after. firstprivate preserves the initial
+        // read, private would not.
+        let f = analyze_src(
+            "int main() {\n\
+             int scale = 3;\n\
+             int out = 0;\n\
+             #pragma omp parallel for\n\
+             for (int i = 0; i < 100; i++) {\n\
+             int y = scale * i;\n\
+             scale = y - i;\n\
+             }\n\
+             return out;\n\
+             }\n",
+        );
+        let conflict = f
+            .iter()
+            .find(|x| x.rule == Rule::SharedWriteConflict && x.variable == "scale")
+            .expect("conflict on scale");
+        let fx = conflict.fixit.as_ref().expect("fix-it");
+        assert_eq!(
+            fx.edit,
+            FixItEdit::AddClause {
+                clause: "firstprivate(scale)".to_string()
+            }
+        );
     }
 
     #[test]
@@ -1316,17 +385,22 @@ mod tests {
     }
 
     #[test]
-    fn barrier_in_worksharing_loop_is_flagged() {
-        let f = analyze_src(
-            "void k(double* a) {\n\
-             #pragma omp parallel for\n\
-             for (int i = 0; i < 8; i++) {\n\
-             a[i] = 0.0;\n\
-             #pragma omp barrier\n\
-             }\n\
-             }\n",
-        );
+    fn barrier_in_worksharing_loop_is_flagged_with_removal_fixit() {
+        let src = "void k(double* a) {\n\
+                   #pragma omp parallel for\n\
+                   for (int i = 0; i < 8; i++) {\n\
+                   a[i] = 0.0;\n\
+                   #pragma omp barrier\n\
+                   }\n\
+                   }\n";
+        let f = analyze_src(src);
         assert_eq!(rules(&f), vec![Rule::BarrierMisuse], "{f:#?}");
+        let fx = f[0].fixit.as_ref().expect("removal fix-it");
+        assert_eq!(fx.edit, FixItEdit::RemoveLine);
+        let fixed = fx.apply(src).expect("applies");
+        assert!(!fixed.contains("barrier"));
+        let repo = SourceRepo::new().with_file("src/main.cpp", &fixed);
+        assert!(analyze_repo(&repo).is_empty());
     }
 
     #[test]
@@ -1341,6 +415,14 @@ mod tests {
         );
         assert_eq!(rules(&f), vec![Rule::MissingMap], "{f:#?}");
         assert_eq!(f[0].variable, "b");
+        assert_eq!(f[0].confidence, Confidence::Medium);
+        let fx = f[0].fixit.as_ref().expect("map fix-it");
+        assert_eq!(
+            fx.edit,
+            FixItEdit::AddClause {
+                clause: "map(tofrom: b)".to_string()
+            }
+        );
     }
 
     #[test]
@@ -1361,15 +443,27 @@ mod tests {
 
     #[test]
     fn map_arity_mismatch_is_flagged() {
-        let f = analyze_src(
-            "void k(double* a) {\n\
-             #pragma omp target teams distribute parallel for map(tofrom: a[0:4][0:4])\n\
-             for (int i = 0; i < 4; i++) {\n\
-             a[i] = 1.0;\n\
-             }\n\
-             }\n",
+        let src = "void k(double* a) {\n\
+                   #pragma omp target teams distribute parallel for map(tofrom: a[0:4][0:4])\n\
+                   for (int i = 0; i < 4; i++) {\n\
+                   a[i] = 1.0;\n\
+                   }\n\
+                   }\n";
+        let f = analyze_src(src);
+        let arity = f
+            .iter()
+            .find(|x| x.rule == Rule::MapArity)
+            .expect("map-arity finding");
+        let fx = arity.fixit.as_ref().expect("replace-line fix-it");
+        let fixed = fx.apply(src).expect("applies");
+        // The truncated directive keeps one range and is itself clean.
+        assert!(fixed.contains("a[0:4]"), "{fixed}");
+        assert!(!fixed.contains("[0:4][0:4]"), "{fixed}");
+        let repo = SourceRepo::new().with_file("src/main.cpp", &fixed);
+        assert!(
+            analyze_repo(&repo).iter().all(|x| x.rule != Rule::MapArity),
+            "{fixed}"
         );
-        assert!(rules(&f).contains(&Rule::MapArity), "{f:#?}");
     }
 
     #[test]
@@ -1386,6 +480,89 @@ mod tests {
              verification += lookup(grid, i);\n\
              }\n\
              return verification;\n\
+             }\n",
+        );
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn interprocedural_raw_reduction_was_a_v1_false_negative() {
+        // A race hidden one call deep: the region calls `accumulate(&sum, x)`
+        // and the helper does `*acc += x`. v1 (intraprocedural) sees only a
+        // read of `sum` — the frozen false negative. v2's summary pass
+        // catches it with Medium confidence and the same reduction fix-it.
+        let src = "void accumulate(double* acc, double x) { *acc += x; }\n\
+                   double run(int n) {\n\
+                   double sum = 0.0;\n\
+                   #pragma omp parallel for\n\
+                   for (int i = 0; i < n; i++) {\n\
+                   accumulate(&sum, i * 0.5);\n\
+                   }\n\
+                   return sum;\n\
+                   }\n";
+        let v1 = analyze_src_v1(src);
+        assert!(v1.is_empty(), "v1 must miss the hidden race: {v1:#?}");
+
+        let v2 = analyze_src(src);
+        assert_eq!(rules(&v2), vec![Rule::RawReduction], "{v2:#?}");
+        assert_eq!(v2[0].variable, "sum");
+        assert_eq!(v2[0].confidence, Confidence::Medium);
+        let fx = v2[0].fixit.as_ref().expect("reduction fix-it");
+        assert_eq!(
+            fx.edit,
+            FixItEdit::AddClause {
+                clause: "reduction(+: sum)".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn interprocedural_fixed_index_write_is_flagged() {
+        let src = "void bump_first(double* a) { a[0] = a[0] + 1.0; }\n\
+                   void run(double* data, int n) {\n\
+                   #pragma omp parallel for\n\
+                   for (int i = 0; i < n; i++) {\n\
+                   bump_first(data);\n\
+                   }\n\
+                   }\n";
+        let v1 = analyze_src_v1(src);
+        assert!(v1.is_empty(), "v1 must miss it: {v1:#?}");
+        let v2 = analyze_src(src);
+        assert_eq!(rules(&v2), vec![Rule::SharedWriteConflict], "{v2:#?}");
+        assert_eq!(v2[0].variable, "data");
+    }
+
+    #[test]
+    fn interprocedural_indexed_write_through_loop_index_is_clean() {
+        // The helper writes `a[i]` and the region passes the parallel index
+        // through: every iteration touches a distinct element. The summary
+        // expansion must not turn this into a false positive.
+        let f = analyze_src(
+            "void put(double* a, int i, double v) { a[i] = v; }\n\
+             void run(double* data, int n) {\n\
+             #pragma omp parallel for\n\
+             for (int i = 0; i < n; i++) {\n\
+             put(data, i, 1.0);\n\
+             }\n\
+             }\n",
+        );
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn interprocedural_atomic_helper_is_clean() {
+        let f = analyze_src(
+            "void bump(int* n) {\n\
+             #pragma omp atomic\n\
+             *n += 1;\n\
+             }\n\
+             int run(int m) {\n\
+             int count = 0;\n\
+             #pragma omp parallel for\n\
+             for (int i = 0; i < m; i++) {\n\
+             bump(&count);\n\
+             }\n\
+             return count;\n\
              }\n",
         );
         assert!(f.is_empty(), "{f:#?}");
@@ -1424,6 +601,10 @@ mod tests {
             assert_eq!(Rule::from_code(r.code()), Some(r));
         }
         assert_eq!(Rule::from_code(200), None);
+        for c in [Confidence::Low, Confidence::Medium, Confidence::High] {
+            assert_eq!(Confidence::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Confidence::from_code(9), None);
     }
 
     #[test]
@@ -1444,5 +625,10 @@ mod tests {
         let rendered = render_findings(&f);
         assert!(rendered.contains("src/main.cpp:4"), "{rendered}");
         assert_eq!(render_findings(&[]), "analyze: clean (no findings)\n");
+        let rich = render_findings_with_fixits(&f);
+        assert!(
+            rich.contains("fix-it (high confidence): add `reduction(+: s)`"),
+            "{rich}"
+        );
     }
 }

@@ -1,0 +1,232 @@
+//! Finding types: the rule taxonomy, severities, confidence tiers, and
+//! the deterministic report rendering shared with the golden fixtures.
+
+use crate::fixit::FixIt;
+use minihpc_build::{Diagnostic, ErrorCategory, Severity};
+
+/// The rule taxonomy. Each rule has a stable kebab-case id (reports, golden
+/// fixtures) and a stable u8 code (journal codec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// A shared scalar is written, or a shared array is written at an index
+    /// not derived from any parallel loop index: concurrent iterations
+    /// conflict on the same location.
+    SharedWriteConflict,
+    /// A reduction expressed as a raw `acc += x` (or `acc = acc op x`,
+    /// `acc++`) on a shared scalar without a `reduction` clause.
+    RawReduction,
+    /// An array written at the parallel index `i` and read at `i +/- c`
+    /// (`c != 0`): a loop-carried dependency through the parallel index.
+    LoopCarriedDependency,
+    /// A pointer referenced inside a `target` region with no covering `map`
+    /// clause on the directive or an enclosing `target data` region.
+    MissingMap,
+    /// A `map` array section with more dimensions than the mapped pointer.
+    MapArity,
+    /// An `atomic` directive whose body is not a single simple update.
+    AtomicMisuse,
+    /// A `barrier` inside a worksharing-loop body or a `critical` region
+    /// (deadlock / non-conforming placement).
+    BarrierMisuse,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 7] = [
+        Rule::SharedWriteConflict,
+        Rule::RawReduction,
+        Rule::LoopCarriedDependency,
+        Rule::MissingMap,
+        Rule::MapArity,
+        Rule::AtomicMisuse,
+        Rule::BarrierMisuse,
+    ];
+
+    /// Stable kebab-case identifier used in reports and fixtures.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::SharedWriteConflict => "shared-write-conflict",
+            Rule::RawReduction => "raw-reduction",
+            Rule::LoopCarriedDependency => "loop-carried-dep",
+            Rule::MissingMap => "missing-map",
+            Rule::MapArity => "map-arity",
+            Rule::AtomicMisuse => "atomic-misuse",
+            Rule::BarrierMisuse => "barrier-misuse",
+        }
+    }
+
+    /// Stable wire code for the journal codec. Append-only.
+    pub fn code(self) -> u8 {
+        match self {
+            Rule::SharedWriteConflict => 0,
+            Rule::RawReduction => 1,
+            Rule::LoopCarriedDependency => 2,
+            Rule::MissingMap => 3,
+            Rule::MapArity => 4,
+            Rule::AtomicMisuse => 5,
+            Rule::BarrierMisuse => 6,
+        }
+    }
+
+    pub fn from_code(code: u8) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.code() == code)
+    }
+
+    /// Default severity. Errors mark a sample as racy for `race_free@k`;
+    /// warnings are advisory.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::SharedWriteConflict
+            | Rule::RawReduction
+            | Rule::MapArity
+            | Rule::BarrierMisuse => Severity::Error,
+            Rule::LoopCarriedDependency | Rule::MissingMap | Rule::AtomicMisuse => {
+                Severity::Warning
+            }
+        }
+    }
+}
+
+/// How sure the analyzer is that a finding is a real defect — the
+/// guided-repair gate: only [`Confidence::High`] error findings with a
+/// fix-it are applied deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Confidence {
+    /// Heuristic pattern match; plausible but easily spoofed.
+    Low,
+    /// Indirect evidence: interprocedural summaries or index heuristics.
+    Medium,
+    /// Direct syntactic evidence inside the region itself.
+    High,
+}
+
+impl Confidence {
+    /// Stable wire code for the journal codec. Append-only.
+    pub fn code(self) -> u8 {
+        match self {
+            Confidence::Low => 0,
+            Confidence::Medium => 1,
+            Confidence::High => 2,
+        }
+    }
+
+    pub fn from_code(code: u8) -> Option<Confidence> {
+        Some(match code {
+            0 => Confidence::Low,
+            1 => Confidence::Medium,
+            2 => Confidence::High,
+            _ => return None,
+        })
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Confidence::Low => "low",
+            Confidence::Medium => "medium",
+            Confidence::High => "high",
+        }
+    }
+}
+
+/// One analyzer finding: a rule violation anchored to a variable and a
+/// source location, with a confidence tier and an optional
+/// machine-applicable [`FixIt`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisFinding {
+    pub rule: Rule,
+    pub severity: Severity,
+    /// The variable at fault (array base, scalar, or mapped pointer).
+    pub variable: String,
+    pub file: String,
+    /// 1-based line, when the span is known.
+    pub line: Option<u32>,
+    pub message: String,
+    /// How sure the analyzer is (direct evidence vs summary/heuristic).
+    pub confidence: Confidence,
+    /// A deterministic edit that would resolve the finding, when one is
+    /// known and safe (e.g. privatization only when dataflow proves the
+    /// variable dead after the region).
+    pub fixit: Option<FixIt>,
+}
+
+impl AnalysisFinding {
+    /// Is this finding an error (counts against `race_free@k`)?
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Convert into the toolchain [`Diagnostic`] shape so findings flow
+    /// through the existing log/clustering machinery. Race findings use the
+    /// paper's `OmpInvalidDirective` category: a directive whose clause set
+    /// is semantically wrong for its body.
+    pub fn diagnostic(&self) -> Diagnostic {
+        let make = match self.severity {
+            Severity::Error => Diagnostic::error,
+            Severity::Warning => Diagnostic::warning,
+        };
+        let d = make(
+            ErrorCategory::OmpInvalidDirective,
+            self.file.clone(),
+            format!("[{}] {}", self.rule.id(), self.message),
+        );
+        match self.line {
+            Some(line) => d.at_line(line),
+            None => d,
+        }
+    }
+
+    /// One-line rendering used by reports and the golden fixture.
+    pub fn render(&self) -> String {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let loc = match self.line {
+            Some(line) => format!("{}:{}", self.file, line),
+            None => self.file.clone(),
+        };
+        format!(
+            "{loc}: {sev}: [{}] {}: {}",
+            self.rule.id(),
+            self.variable,
+            self.message
+        )
+    }
+}
+
+/// Render a deterministic multi-line report for a finding set (golden
+/// fixture format). Empty input renders as an explicit clean marker.
+pub fn render_findings(findings: &[AnalysisFinding]) -> String {
+    if findings.is_empty() {
+        return "analyze: clean (no findings)\n".to_string();
+    }
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Like [`render_findings`] but with a trailing `  fix-it: ...` line under
+/// every finding that carries one (the CLI and the interprocedural golden
+/// fixture use this richer form).
+pub fn render_findings_with_fixits(findings: &[AnalysisFinding]) -> String {
+    if findings.is_empty() {
+        return "analyze: clean (no findings)\n".to_string();
+    }
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.render());
+        out.push('\n');
+        if let Some(fx) = &f.fixit {
+            out.push_str(&format!(
+                "  fix-it ({} confidence): {} at {}:{}\n",
+                f.confidence.label(),
+                fx.title,
+                fx.file,
+                fx.line
+            ));
+        }
+    }
+    out
+}

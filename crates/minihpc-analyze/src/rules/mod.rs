@@ -1,0 +1,382 @@
+//! Per-function rule driving: lexical scope tracking, directive dispatch,
+//! and the non-region rules (atomic shape, map arity, missing maps).
+//! Worksharing regions hand off to [`region::RegionAnalyzer`].
+
+pub(crate) mod region;
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::callgraph::Summaries;
+use crate::cfg::{build_fn_cfg, Cfg};
+use crate::dataflow::Dataflow;
+use crate::fixit::{FixIt, FixItEdit};
+use crate::report::{AnalysisFinding, Confidence, Rule};
+use crate::visit::{collect_idents, rank_of};
+use minihpc_lang::ast::{Block, Expr, ExprKind, Function, Stmt, StmtKind, Type, UnaryOp};
+use minihpc_lang::pragma::{OmpClause, OmpConstruct, OmpDirective};
+use minihpc_lang::span::line_col;
+
+/// What we know about a declared variable: its pointer rank (0 = scalar).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct VarInfo {
+    pub rank: u8,
+}
+
+pub(crate) struct FnAnalyzer<'a> {
+    pub file: &'a str,
+    pub text: &'a str,
+    /// Lexical scopes mapping names to declaration info.
+    scopes: Vec<HashMap<String, VarInfo>>,
+    /// Variables mapped by enclosing `target data` regions.
+    enclosing_maps: Vec<BTreeSet<String>>,
+    /// Interprocedural write summaries (empty when the pass is disabled).
+    pub summaries: &'a Summaries,
+    /// This function's CFG and dataflow solution, for fix-it gating.
+    pub cfg: Cfg,
+    pub df: Dataflow,
+    findings: &'a mut Vec<AnalysisFinding>,
+}
+
+impl<'a> FnAnalyzer<'a> {
+    pub fn analyze(
+        file: &'a str,
+        text: &'a str,
+        summaries: &'a Summaries,
+        findings: &'a mut Vec<AnalysisFinding>,
+        f: &Function,
+    ) {
+        let cfg = build_fn_cfg(f);
+        let df = Dataflow::run(&cfg);
+        let mut this = FnAnalyzer {
+            file,
+            text,
+            scopes: vec![HashMap::new()],
+            enclosing_maps: Vec::new(),
+            summaries,
+            cfg,
+            df,
+            findings,
+        };
+        this.run(f);
+    }
+
+    fn run(&mut self, f: &Function) {
+        for p in &f.params {
+            self.declare(&p.name, &p.ty);
+        }
+        if let Some(body) = &f.body {
+            self.walk_block(body);
+        }
+    }
+
+    fn declare(&mut self, name: &str, ty: &Type) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), VarInfo { rank: rank_of(ty) });
+    }
+
+    pub(crate) fn lookup(&self, name: &str) -> Option<VarInfo> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    pub(crate) fn line_of(&self, start: u32) -> Option<u32> {
+        if start == 0 && self.text.is_empty() {
+            return None;
+        }
+        Some(line_col(self.text, start).line)
+    }
+
+    /// The leading whitespace of the (1-based) source line.
+    fn indent_of(&self, line: u32) -> String {
+        self.text
+            .lines()
+            .nth(line as usize - 1)
+            .map(|l| l[..l.len() - l.trim_start().len()].to_string())
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn report(&mut self, rule: Rule, variable: &str, span_start: u32, message: String) {
+        self.report_with(rule, variable, span_start, message, Confidence::High, None);
+    }
+
+    /// Report a finding with an explicit confidence and optional fix-it.
+    /// The fix-it is kept only when it applies cleanly to the *current*
+    /// text — every emitted fix-it is guaranteed applicable.
+    pub(crate) fn report_with(
+        &mut self,
+        rule: Rule,
+        variable: &str,
+        span_start: u32,
+        message: String,
+        confidence: Confidence,
+        fixit: Option<FixIt>,
+    ) {
+        let fixit = fixit.filter(|fx| fx.apply(self.text).is_some());
+        self.findings.push(AnalysisFinding {
+            rule,
+            severity: rule.severity(),
+            variable: variable.to_string(),
+            file: self.file.to_string(),
+            line: self.line_of(span_start),
+            message,
+            confidence,
+            fixit,
+        });
+    }
+
+    /// An `AddClause` fix-it targeting a directive's own line.
+    pub(crate) fn add_clause_fixit(&self, d: &OmpDirective, clause: String) -> Option<FixIt> {
+        let line = self.line_of(d.span.start)?;
+        Some(FixIt {
+            file: self.file.to_string(),
+            line,
+            title: format!("add `{clause}`"),
+            edit: FixItEdit::AddClause { clause },
+        })
+    }
+
+    fn walk_block(&mut self, b: &Block) {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.walk_stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn walk_stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Decl(d) => self.declare(&d.name, &d.ty),
+            StmtKind::Block(b) => self.walk_block(b),
+            StmtKind::If { then, els, .. } => {
+                self.walk_stmt(then);
+                if let Some(e) = els {
+                    self.walk_stmt(e);
+                }
+            }
+            StmtKind::While { body, .. } => self.walk_stmt(body),
+            StmtKind::For { init, body, .. } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.walk_stmt(init);
+                }
+                self.walk_stmt(body);
+                self.scopes.pop();
+            }
+            StmtKind::Omp { directive, body } => self.walk_omp(directive, body.as_deref()),
+            StmtKind::Expr(_)
+            | StmtKind::Return(_)
+            | StmtKind::Break
+            | StmtKind::Continue
+            | StmtKind::RawPragma(_)
+            | StmtKind::Empty => {}
+        }
+    }
+
+    fn walk_omp(&mut self, d: &OmpDirective, body: Option<&Stmt>) {
+        // Standalone directives (`barrier`, `target update`) are fine at
+        // function/sequential level; misuse is detected inside regions.
+        let Some(body) = body else { return };
+
+        if d.has(OmpConstruct::TargetData) {
+            let mapped: BTreeSet<String> = d
+                .map_clauses()
+                .flat_map(|(_, sections)| sections.iter().map(|s| s.var.clone()))
+                .collect();
+            self.check_map_arity(d);
+            self.enclosing_maps.push(mapped);
+            self.walk_stmt(body);
+            self.enclosing_maps.pop();
+            return;
+        }
+
+        if d.has(OmpConstruct::Atomic) {
+            self.check_atomic(d, body);
+            return;
+        }
+
+        let worksharing = d.has(OmpConstruct::Parallel)
+            || d.has(OmpConstruct::Teams)
+            || d.has(OmpConstruct::For)
+            || d.has(OmpConstruct::Distribute);
+        if worksharing {
+            region::RegionAnalyzer::analyze(self, d, body);
+            return;
+        }
+
+        if d.has(OmpConstruct::Target) {
+            // Serial `target` region: still subject to mapping rules.
+            self.check_map_arity(d);
+            self.check_missing_maps(d, body);
+            self.walk_stmt(body);
+            return;
+        }
+
+        // `critical` / `single` / `master` / `simd` at sequential level:
+        // walk through.
+        self.walk_stmt(body);
+    }
+
+    /// An `atomic` body must be one simple update of a scalar or array
+    /// element: `x op= e`, `x = x op e`, `x++`/`x--`.
+    pub(crate) fn check_atomic(&mut self, d: &OmpDirective, body: &Stmt) {
+        let expr = match &body.kind {
+            StmtKind::Expr(e) => Some(e),
+            StmtKind::Block(b) if b.stmts.len() == 1 => match &b.stmts[0].kind {
+                StmtKind::Expr(e) => Some(e),
+                _ => None,
+            },
+            _ => None,
+        };
+        let simple = expr.is_some_and(is_simple_atomic_update);
+        if !simple {
+            self.report(
+                Rule::AtomicMisuse,
+                "<atomic>",
+                d.span.start,
+                "atomic body is not a single simple update (x op= e, x = x op e, x++)".to_string(),
+            );
+        }
+    }
+
+    /// `map` sections must not have more dimensions than the mapped pointer
+    /// has levels of indirection. The fix-it reprints the directive with
+    /// the offending section truncated to the pointer's rank.
+    pub(crate) fn check_map_arity(&mut self, d: &OmpDirective) {
+        let sections: Vec<_> = d
+            .map_clauses()
+            .flat_map(|(_, s)| s.iter().cloned())
+            .collect();
+        for section in sections {
+            let dims = section.ranges.len() as u8;
+            if dims < 2 {
+                continue;
+            }
+            if let Some(info) = self.lookup(&section.var) {
+                if info.rank > 0 && dims > info.rank {
+                    let fixit = self.map_arity_fixit(d, &section.var, info.rank);
+                    self.report_with(
+                        Rule::MapArity,
+                        &section.var,
+                        d.span.start,
+                        format!(
+                            "map section has {dims} dimensions but '{}' has rank {}",
+                            section.var, info.rank
+                        ),
+                        Confidence::High,
+                        fixit,
+                    );
+                }
+            }
+        }
+    }
+
+    fn map_arity_fixit(&self, d: &OmpDirective, var: &str, rank: u8) -> Option<FixIt> {
+        let line = self.line_of(d.span.start)?;
+        let mut fixed = d.clone();
+        for cl in &mut fixed.clauses {
+            if let OmpClause::Map { sections, .. } = cl {
+                for s in sections.iter_mut() {
+                    if s.var == var && s.ranges.len() > rank as usize {
+                        s.ranges.truncate(rank as usize);
+                    }
+                }
+            }
+        }
+        let text = format!("{}{fixed}", self.indent_of(line));
+        Some(FixIt {
+            file: self.file.to_string(),
+            line,
+            title: format!("truncate map section of '{var}' to rank {rank}"),
+            edit: FixItEdit::ReplaceLine { text },
+        })
+    }
+
+    /// Every pointer referenced inside a `target` region must be covered by
+    /// a `map` clause on the directive or an enclosing `target data`.
+    pub(crate) fn check_missing_maps(&mut self, d: &OmpDirective, body: &Stmt) {
+        let mut mapped: BTreeSet<String> = d
+            .map_clauses()
+            .flat_map(|(_, sections)| sections.iter().map(|s| s.var.clone()))
+            .collect();
+        for m in &self.enclosing_maps {
+            mapped.extend(m.iter().cloned());
+        }
+        let mut referenced = Vec::new();
+        collect_idents(body, &mut referenced);
+        let mut seen = HashSet::new();
+        for (name, start) in referenced {
+            if mapped.contains(&name) || !seen.insert(name.clone()) {
+                continue;
+            }
+            if let Some(info) = self.lookup(&name) {
+                if info.rank > 0 {
+                    let fixit = self.add_clause_fixit(d, format!("map(tofrom: {name})"));
+                    self.report_with(
+                        Rule::MissingMap,
+                        &name,
+                        start,
+                        format!("pointer '{name}' used in target region without a map clause"),
+                        Confidence::Medium,
+                        fixit,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `x op= e`, `x = x op e`, `x++`/`x--` where `x` is a scalar or element.
+fn is_simple_atomic_update(e: &Expr) -> bool {
+    fn is_place(e: &Expr) -> bool {
+        matches!(
+            e.kind,
+            ExprKind::Ident(_) | ExprKind::Index { .. } | ExprKind::Member { .. }
+        ) || matches!(
+            &e.kind,
+            ExprKind::Unary {
+                op: UnaryOp::Deref,
+                ..
+            }
+        )
+    }
+    match &e.kind {
+        ExprKind::Assign {
+            op: Some(_), lhs, ..
+        } => is_place(lhs),
+        ExprKind::Assign { op: None, lhs, rhs } => {
+            // x = x op e / x = e op x
+            let ExprKind::Binary {
+                lhs: bl, rhs: br, ..
+            } = &rhs.kind
+            else {
+                return false;
+            };
+            is_place(lhs) && (same_place(lhs, bl) || same_place(lhs, br))
+        }
+        ExprKind::Unary { op, expr } => {
+            matches!(
+                op,
+                UnaryOp::PreInc | UnaryOp::PreDec | UnaryOp::PostInc | UnaryOp::PostDec
+            ) && is_place(expr)
+        }
+        _ => false,
+    }
+}
+
+fn same_place(a: &Expr, b: &Expr) -> bool {
+    match (&a.kind, &b.kind) {
+        (ExprKind::Ident(x), ExprKind::Ident(y)) => x == y,
+        (
+            ExprKind::Index {
+                base: ab,
+                index: ai,
+            },
+            ExprKind::Index {
+                base: bb,
+                index: bi,
+            },
+        ) => same_place(ab, bb) && ai.kind == bi.kind,
+        _ => false,
+    }
+}

@@ -1,0 +1,211 @@
+//! Shared AST walkers and small expression classifiers used by every pass
+//! (rules, CFG construction, call-graph summaries).
+
+use minihpc_lang::ast::{BinOp, Expr, ExprKind, Stmt, StmtKind, Type, UnaryOp};
+use minihpc_lang::pragma::ReductionOp;
+
+/// Pointer rank of a type (0 = scalar): levels of indirection for raw
+/// pointers, the declared rank for Kokkos-style views.
+pub(crate) fn rank_of(ty: &Type) -> u8 {
+    match ty.unqualified() {
+        Type::Ptr(inner) => 1 + rank_of(inner),
+        Type::View { rank, .. } => *rank,
+        _ => 0,
+    }
+}
+
+/// Collect every identifier occurrence (with span start) in a statement tree.
+pub(crate) fn collect_idents(s: &Stmt, out: &mut Vec<(String, u32)>) {
+    visit_stmt_exprs(s, &mut |e| {
+        if let ExprKind::Ident(name) = &e.kind {
+            out.push((name.clone(), e.span.start));
+        }
+    });
+}
+
+pub(crate) fn visit_stmt_exprs(s: &Stmt, f: &mut impl FnMut(&Expr)) {
+    match &s.kind {
+        StmtKind::Decl(d) => {
+            for dim in &d.array_dims {
+                visit_expr(dim, f);
+            }
+            match &d.init {
+                Some(minihpc_lang::ast::Init::Expr(e)) => visit_expr(e, f),
+                Some(minihpc_lang::ast::Init::List(es))
+                | Some(minihpc_lang::ast::Init::Ctor(es)) => {
+                    for e in es {
+                        visit_expr(e, f);
+                    }
+                }
+                None => {}
+            }
+        }
+        StmtKind::Expr(e) => visit_expr(e, f),
+        StmtKind::If { cond, then, els } => {
+            visit_expr(cond, f);
+            visit_stmt_exprs(then, f);
+            if let Some(e) = els {
+                visit_stmt_exprs(e, f);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            visit_expr(cond, f);
+            visit_stmt_exprs(body, f);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(i) = init {
+                visit_stmt_exprs(i, f);
+            }
+            if let Some(c) = cond {
+                visit_expr(c, f);
+            }
+            if let Some(st) = step {
+                visit_expr(st, f);
+            }
+            visit_stmt_exprs(body, f);
+        }
+        StmtKind::Return(Some(e)) => visit_expr(e, f),
+        StmtKind::Block(b) => {
+            for s in &b.stmts {
+                visit_stmt_exprs(s, f);
+            }
+        }
+        StmtKind::Omp { body, .. } => {
+            if let Some(b) = body {
+                visit_stmt_exprs(b, f);
+            }
+        }
+        StmtKind::Return(None)
+        | StmtKind::Break
+        | StmtKind::Continue
+        | StmtKind::RawPragma(_)
+        | StmtKind::Empty => {}
+    }
+}
+
+pub(crate) fn visit_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match &e.kind {
+        ExprKind::Unary { expr, .. }
+        | ExprKind::Cast { expr, .. }
+        | ExprKind::SizeOfExpr(expr)
+        | ExprKind::Paren(expr) => visit_expr(expr, f),
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            visit_expr(lhs, f);
+            visit_expr(rhs, f);
+        }
+        ExprKind::Ternary { cond, then, els } => {
+            visit_expr(cond, f);
+            visit_expr(then, f);
+            visit_expr(els, f);
+        }
+        ExprKind::Call { callee, args } => {
+            visit_expr(callee, f);
+            for a in args {
+                visit_expr(a, f);
+            }
+        }
+        ExprKind::KernelLaunch {
+            grid, block, args, ..
+        } => {
+            visit_expr(grid, f);
+            visit_expr(block, f);
+            for a in args {
+                visit_expr(a, f);
+            }
+        }
+        ExprKind::Index { base, index } => {
+            visit_expr(base, f);
+            visit_expr(index, f);
+        }
+        ExprKind::Member { base, .. } => visit_expr(base, f),
+        ExprKind::Lambda { body, .. } => {
+            for s in &body.stmts {
+                visit_stmt_exprs(s, f);
+            }
+        }
+        ExprKind::IntLit(_)
+        | ExprKind::FloatLit(_)
+        | ExprKind::StrLit(_)
+        | ExprKind::CharLit(_)
+        | ExprKind::BoolLit(_)
+        | ExprKind::Ident(_)
+        | ExprKind::Path(_)
+        | ExprKind::SizeOfType(_) => {}
+    }
+}
+
+/// The root identifier of a (possibly nested) indexing base.
+pub(crate) fn index_root(base: &Expr) -> Option<&str> {
+    match &base.kind {
+        ExprKind::Ident(name) => Some(name),
+        ExprKind::Index { base, .. } | ExprKind::Paren(base) => index_root(base),
+        ExprKind::Member { base, .. } => index_root(base),
+        ExprKind::Unary {
+            op: UnaryOp::Deref,
+            expr,
+        } => index_root(expr),
+        _ => None,
+    }
+}
+
+/// Does `e` reference identifier `name` anywhere?
+pub(crate) fn expr_references(e: &Expr, name: &str) -> bool {
+    let mut found = false;
+    visit_expr(e, &mut |sub| {
+        if matches!(&sub.kind, ExprKind::Ident(n) if n == name) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// `Some(var)` when the index expression is exactly a bare identifier.
+pub(crate) fn plain_index_var(e: &Expr) -> Option<&str> {
+    match &e.kind {
+        ExprKind::Ident(n) => Some(n),
+        ExprKind::Paren(inner) => plain_index_var(inner),
+        _ => None,
+    }
+}
+
+/// `Some(c)` when the expression is `var + c`, `c + var`, or `var - c`.
+pub(crate) fn shifted_index_offset(e: &Expr, var: &str) -> Option<i64> {
+    match &e.kind {
+        ExprKind::Paren(inner) => shifted_index_offset(inner, var),
+        ExprKind::Ident(n) if n == var => Some(0),
+        ExprKind::Binary { op, lhs, rhs } => {
+            let (ident, lit, negate) = match (&lhs.kind, &rhs.kind, op) {
+                (ExprKind::Ident(n), ExprKind::IntLit(c), BinOp::Add) => (n, *c, false),
+                (ExprKind::IntLit(c), ExprKind::Ident(n), BinOp::Add) => (n, *c, false),
+                (ExprKind::Ident(n), ExprKind::IntLit(c), BinOp::Sub) => (n, *c, true),
+                _ => return None,
+            };
+            if ident == var {
+                Some(if negate { -lit } else { lit })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The OpenMP reduction operator matching a self-update's binary operator,
+/// when one exists (`x -= e` and shift updates have no reduction form the
+/// fix-it synthesizer can emit).
+pub(crate) fn reduction_op_of(op: BinOp) -> Option<ReductionOp> {
+    Some(match op {
+        BinOp::Add => ReductionOp::Add,
+        BinOp::Mul => ReductionOp::Mul,
+        BinOp::BitAnd => ReductionOp::BitAnd,
+        BinOp::BitOr => ReductionOp::BitOr,
+        BinOp::BitXor => ReductionOp::BitXor,
+        _ => return None,
+    })
+}

@@ -131,6 +131,10 @@ pub struct RunResult {
     pub error: Option<RuntimeError>,
     pub telemetry: TelemetrySnapshot,
     pub races: Vec<String>,
+    /// Distinct shared-scalar names the dynamic recorder saw conflict
+    /// (sorted, deduped). Empty unless `RunConfig::record_shared_writes`
+    /// — the per-variable ground truth for analyzer differential tests.
+    pub race_vars: Vec<String>,
 }
 
 impl RunResult {
@@ -339,6 +343,7 @@ impl<'e> Interp<'e> {
         let outcome = self.exec_program();
         let telemetry = self.telemetry.snapshot();
         let races = self.mem.detector.races();
+        let race_vars = self.mem.detector.shared_conflict_vars();
         let stdout = std::mem::take(&mut *self.out.lock());
         match outcome {
             Ok(code) => RunResult {
@@ -347,6 +352,7 @@ impl<'e> Interp<'e> {
                 error: None,
                 telemetry,
                 races,
+                race_vars,
             },
             Err(Interrupt::Exit(code)) => RunResult {
                 stdout,
@@ -354,6 +360,7 @@ impl<'e> Interp<'e> {
                 error: None,
                 telemetry,
                 races,
+                race_vars,
             },
             Err(Interrupt::Rt(e)) => RunResult {
                 stdout,
@@ -361,6 +368,7 @@ impl<'e> Interp<'e> {
                 error: Some(e),
                 telemetry,
                 races,
+                race_vars,
             },
         }
     }

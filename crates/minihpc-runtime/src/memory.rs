@@ -150,6 +150,22 @@ impl RaceDetector {
     pub fn races(&self) -> Vec<String> {
         self.races.lock().clone()
     }
+
+    /// Distinct shared-scalar names that conflicted (sorted, deduped) —
+    /// the variables `record_shared_write` marked with `u64::MAX`. This is
+    /// the dynamic ground truth the differential tests compare against the
+    /// static analyzer's per-variable error findings.
+    pub fn shared_conflict_vars(&self) -> Vec<String> {
+        let writes = self.shared_writes.lock();
+        let mut vars: Vec<String> = writes
+            .iter()
+            .filter(|(_, &thread)| thread == u64::MAX)
+            .map(|((_, name), _)| name.clone())
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
 }
 
 /// Host + device memory.

@@ -72,6 +72,8 @@ pub struct CellStats {
     rounds: Vec<RoundSlot>,
     errors: BTreeMap<ErrorCategory, u64>,
     race_rules: BTreeMap<minihpc_analyze::Rule, u64>,
+    /// Findings that carried a machine-applicable fix-it.
+    fixits: u64,
 }
 
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -158,6 +160,7 @@ impl CellStats {
         }
         for finding in &result.analysis {
             *self.race_rules.entry(finding.rule).or_default() += 1;
+            self.fixits += u64::from(finding.fixit.is_some());
         }
     }
 }
@@ -412,6 +415,20 @@ impl CellResult {
             }
         }
         out
+    }
+
+    /// Findings that carried a machine-applicable fix-it — available in
+    /// both collection modes. Zero unless the grid ran with
+    /// `EvalConfig::analyze` on.
+    pub fn fixit_count(&self) -> u64 {
+        if let Some(s) = &self.stats {
+            return s.fixits;
+        }
+        self.records
+            .iter()
+            .flat_map(|r| &r.result.analysis)
+            .filter(|f| f.fixit.is_some())
+            .count() as u64
     }
 
     /// Per-rule counts of static-analysis findings — available in both

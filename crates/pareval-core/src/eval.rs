@@ -34,7 +34,7 @@ use crate::journal::codec;
 use crate::plan::{ExperimentPlan, SampleSpec};
 use crate::runner::SampleRecord;
 use crate::task::{EvalConfig, EvalOutcome, RepairRound, SampleResult, Task};
-use minihpc_analyze::AnalysisFinding;
+use minihpc_analyze::{AnalysisFinding, Confidence};
 use minihpc_build::{build_repo, BuildRequest, ErrorCategory};
 use minihpc_lang::repo::{FileKind, SourceRepo};
 use minihpc_runtime::{run, RunConfig};
@@ -311,6 +311,7 @@ impl BuildCache {
             disk_cache_budget: _,
             analyze,
             analyze_max_findings,
+            repair_guided,
         } = eval;
         let mut h = ContentHash::new();
         h.write(task.app.binary.as_bytes());
@@ -326,6 +327,12 @@ impl BuildCache {
         if *analyze {
             h.write(b"analyze");
             h.write(&analyze_max_findings.to_le_bytes());
+        }
+        // Same append-only discipline: guided repair changes what repair
+        // rounds produce, but default-config (blind) keys keep the old
+        // byte format.
+        if *repair_guided {
+            h.write(b"repair-guided");
         }
         for (path, contents) in repo.iter() {
             h.write(path.as_bytes());
@@ -534,6 +541,25 @@ impl EvalPipeline {
                     ctx.categories.push(ErrorCategory::OmpInvalidDirective);
                 }
                 ctx.race_findings = race;
+                // Guided repair: hand the backend the analyzer's
+                // high-confidence error fix-its plus the current text of
+                // every file they target, so it can apply them
+                // deterministically instead of regenerating.
+                if self.eval.repair_guided {
+                    ctx.fixits = analysis
+                        .iter()
+                        .filter(|f| f.is_error() && f.confidence == Confidence::High)
+                        .filter_map(|f| f.fixit.clone())
+                        .collect();
+                    let mut targets: Vec<&str> =
+                        ctx.fixits.iter().map(|fx| fx.file.as_str()).collect();
+                    targets.sort_unstable();
+                    targets.dedup();
+                    ctx.fixit_sources = targets
+                        .into_iter()
+                        .filter_map(|p| repo.get(p).map(|t| (p.to_string(), t.to_string())))
+                        .collect();
+                }
                 match attempt.repair(&ctx) {
                     RepairOutcome::GaveUp => {
                         rounds.push(RepairRound {
@@ -726,6 +752,8 @@ fn repair_context(outcome: &EvalOutcome, round: u32, max_lines: usize) -> Repair
         files,
         diagnostics,
         race_findings: Vec::new(),
+        fixits: Vec::new(),
+        fixit_sources: Vec::new(),
     }
 }
 

@@ -102,7 +102,7 @@ impl From<std::io::Error> for JournalError {
 pub(crate) mod codec {
     use crate::runner::SampleRecord;
     use crate::task::{EvalOutcome, RepairRound, SampleResult};
-    use minihpc_analyze::{AnalysisFinding, Rule};
+    use minihpc_analyze::{AnalysisFinding, Confidence, FixIt, FixItEdit, Rule};
     use minihpc_build::{Diagnostic, ErrorCategory, Severity};
     use pareval_llm::TokenUsage;
 
@@ -240,6 +240,18 @@ pub(crate) mod codec {
                 None => self.u8(0),
             }
             self.str(&f.message);
+            self.u8(f.confidence.code());
+            match &f.fixit {
+                Some(fx) => {
+                    self.u8(1);
+                    self.str(&fx.file);
+                    self.u32(fx.line);
+                    self.str(&fx.title);
+                    self.u8(fx.edit.code());
+                    self.str(fx.edit.payload());
+                }
+                None => self.u8(0),
+            }
         }
     }
 
@@ -361,6 +373,24 @@ pub(crate) mod codec {
                 _ => return None,
             };
             let message = self.str()?;
+            let confidence = Confidence::from_code(self.u8()?)?;
+            let fixit = match self.u8()? {
+                0 => None,
+                1 => {
+                    let file = self.str()?;
+                    let line = self.u32()?;
+                    let title = self.str()?;
+                    let code = self.u8()?;
+                    let payload = self.str()?;
+                    Some(FixIt {
+                        file,
+                        line,
+                        title,
+                        edit: FixItEdit::from_parts(code, payload)?,
+                    })
+                }
+                _ => return None,
+            };
             Some(AnalysisFinding {
                 rule,
                 severity,
@@ -368,6 +398,8 @@ pub(crate) mod codec {
                 file,
                 line,
                 message,
+                confidence,
+                fixit,
             })
         }
 

@@ -72,7 +72,9 @@ pub mod task;
 pub use collect::{CellResult, ExperimentResults, Metric};
 pub use eval::{BuildCache, CacheStats, EvalPipeline};
 pub use journal::{JournalError, JournalReader, JournalSink, Replay};
-pub use minihpc_analyze::{AnalysisFinding, Rule as AnalysisRule};
+pub use minihpc_analyze::{
+    AnalysisFinding, Confidence as AnalysisConfidence, FixIt, FixItEdit, Rule as AnalysisRule,
+};
 pub use plan::{
     CellFilter, CellKey, CellQuery, CellSpec, ExperimentPlan, ExperimentPlanBuilder, SampleSpec,
 };

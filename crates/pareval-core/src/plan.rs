@@ -318,6 +318,9 @@ impl ExperimentPlan {
             h.write(b"analyze");
             h.write(&(self.eval.analyze_max_findings as u64).to_le_bytes());
         }
+        if self.eval.repair_guided {
+            h.write(b"repair-guided");
+        }
         for cell in &self.cells {
             h.write(cell.key.pair.id().as_bytes());
             h.write(cell.key.technique.name().as_bytes());

@@ -155,6 +155,12 @@ pub struct EvalConfig {
     /// guard; the analyzer itself is not truncated mid-file, the finding
     /// list is).
     pub analyze_max_findings: usize,
+    /// Analyzer-guided repair: repair rounds carry the analyzer's
+    /// high-confidence fix-its (with current file text) so backends can
+    /// apply the suggested edits deterministically instead of regenerating.
+    /// Requires [`EvalConfig::analyze`]; off by default so default-config
+    /// runs stay byte-identical to blind repair.
+    pub repair_guided: bool,
 }
 
 impl Default for EvalConfig {
@@ -169,6 +175,7 @@ impl Default for EvalConfig {
             disk_cache_budget: 64 << 20,
             analyze: false,
             analyze_max_findings: 64,
+            repair_guided: false,
         }
     }
 }

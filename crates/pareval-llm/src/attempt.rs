@@ -20,6 +20,7 @@
 
 use crate::backend::TokenUsage;
 use crate::profiles::ModelProfile;
+use minihpc_analyze::FixIt;
 use minihpc_build::ErrorCategory;
 use minihpc_lang::model::TranslationPair;
 use minihpc_lang::repo::SourceRepo;
@@ -74,6 +75,15 @@ pub struct RepairContext {
     /// runs with the analyzer on, so analyzer-off repair prompts are
     /// byte-identical to the pre-analyzer format.
     pub race_findings: Vec<String>,
+    /// Machine-applicable analyzer fix-its (high-confidence errors only),
+    /// populated by the harness under `EvalConfig::repair_guided`. A
+    /// backend may apply them deterministically via [`apply_fixits`]
+    /// instead of regenerating the files. Empty under blind repair, so
+    /// blind prompts and outcomes are byte-identical to before.
+    pub fixits: Vec<FixIt>,
+    /// Current `(path, contents)` text of every file the fix-its target —
+    /// what the edits apply against.
+    pub fixit_sources: Vec<(String, String)>,
 }
 
 impl RepairContext {
@@ -102,8 +112,38 @@ impl RepairContext {
                 out.push('\n');
             }
         }
+        if !self.fixits.is_empty() {
+            out.push_str("Suggested fixes (machine-applicable):\n");
+            for fx in &self.fixits {
+                out.push_str(&format!("{} at {}:{}\n", fx.title, fx.file, fx.line));
+            }
+        }
         out
     }
+}
+
+/// Apply a repair context's fix-its to its carried file texts, grouped per
+/// file. Returns the revised `(path, contents)` files — only files where at
+/// least one edit applied — ready to return as
+/// [`RepairOutcome::Revised`]. Deterministic: order follows
+/// `fixit_sources`, and the edits themselves are line-anchored.
+pub fn apply_fixits(ctx: &RepairContext) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for (path, text) in &ctx.fixit_sources {
+        let for_file: Vec<FixIt> = ctx
+            .fixits
+            .iter()
+            .filter(|fx| fx.file == *path)
+            .cloned()
+            .collect();
+        if for_file.is_empty() {
+            continue;
+        }
+        if let Some(edited) = minihpc_analyze::fixit::apply_all(text, &for_file) {
+            out.push((path.clone(), edited));
+        }
+    }
+    out
 }
 
 /// What one repair round produced.

@@ -300,6 +300,22 @@ impl Attempt for SimulatedModel {
     fn repair(&mut self, ctx: &RepairContext) -> RepairOutcome {
         // The model reads the structured feedback whether or not it helps.
         self.usage.input += self.profile.count_tokens(&ctx.prompt_text());
+        // Guided repair: machine-applicable analyzer fix-its are applied
+        // deterministically — no probability roll, no regeneration. The
+        // injected directive race those edits cure is retired from the
+        // pending list so a later blind round cannot "fix" it again.
+        if !ctx.fixits.is_empty() {
+            let revised = crate::attempt::apply_fixits(ctx);
+            if !revised.is_empty() {
+                let emitted: usize = revised.iter().map(|(_, t)| t.len()).sum();
+                self.pending.retain(|p| {
+                    !(p.category == ErrorCategory::OmpInvalidDirective
+                        && revised.iter().any(|(path, _)| *path == p.path))
+                });
+                self.charge_output(emitted);
+                return RepairOutcome::Revised(revised);
+            }
+        }
         let addressable = self
             .pending
             .iter()
@@ -746,6 +762,8 @@ mod tests {
                     files,
                     diagnostics: out.log.errors().map(|d| d.to_string()).collect(),
                     race_findings: Vec::new(),
+                    fixits: Vec::new(),
+                    fixit_sources: Vec::new(),
                 };
                 match backend.repair(&ctx) {
                     RepairOutcome::GaveUp => break,
@@ -811,6 +829,8 @@ mod tests {
                 files: Vec::new(),
                 diagnostics: Vec::new(),
                 race_findings: vec!["[raw-reduction] verification".to_string()],
+                fixits: Vec::new(),
+                fixit_sources: Vec::new(),
             };
             if let RepairOutcome::Revised(files) = backend.repair(&ctx) {
                 if files.iter().any(|(_, t)| t.contains("reduction(")) {

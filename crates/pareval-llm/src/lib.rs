@@ -30,7 +30,9 @@ pub mod oracle;
 pub mod profiles;
 pub mod replay;
 
-pub use attempt::{Attempt, AttemptSpec, RepairContext, RepairOutcome, TranslationBackend};
+pub use attempt::{
+    apply_fixits, Attempt, AttemptSpec, RepairContext, RepairOutcome, TranslationBackend,
+};
 pub use backend::{SimulatedBackend, SimulatedModel, TokenUsage};
 pub use calibration::{app_index, cell_feasible, paper_cell, CellScores};
 pub use oracle::OracleBackend;

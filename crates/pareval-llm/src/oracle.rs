@@ -152,6 +152,19 @@ impl Attempt for OracleAttempt {
     /// undoes completely.
     fn repair(&mut self, ctx: &RepairContext) -> RepairOutcome {
         self.usage.input += self.model.count_tokens(&ctx.prompt_text());
+        // Guided repair: when the harness hands over analyzer fix-its,
+        // apply them deterministically. The oracle faithfully transpiles
+        // whatever source it is given — a racy generated app stays racy
+        // through any number of blind re-emits — so the fix-it path is the
+        // only way it ever cures a source-level directive race.
+        if !ctx.fixits.is_empty() {
+            let revised = crate::attempt::apply_fixits(ctx);
+            if !revised.is_empty() {
+                let emitted: usize = revised.iter().map(|(_, c)| c.len()).sum();
+                self.usage.output += ((emitted as f64) * self.model.tokens_per_char).ceil() as u64;
+                return RepairOutcome::Revised(revised);
+            }
+        }
         let Some(reference) = self.translated.as_ref() else {
             return RepairOutcome::GaveUp;
         };

@@ -54,6 +54,21 @@ pub fn race_free_at_k(n: u64, race_free: u64, k: u64) -> f64 {
     pass_at_k(n, race_free, k)
 }
 
+/// Mean number of repair rounds spent reaching a success state, over the
+/// samples that reached it. Each entry is the final round index of one
+/// successful sample (0 = succeeded without repair). `None` when no sample
+/// succeeded — a mean over nothing would hide total failure as 0.0.
+///
+/// This is the guided-vs-blind repair benchmark's second axis: two
+/// configurations can both end race-free while one spends strictly fewer
+/// rounds (and therefore tokens) getting there.
+pub fn mean_rounds_to_success(final_rounds: &[u32]) -> Option<f64> {
+    if final_rounds.is_empty() {
+        return None;
+    }
+    Some(final_rounds.iter().map(|&r| f64::from(r)).sum::<f64>() / final_rounds.len() as f64)
+}
+
 /// Average of a per-task metric over a task set (the paper reports both the
 /// per-task values and this average).
 pub fn average(values: &[f64]) -> f64 {
@@ -137,6 +152,13 @@ impl fmt::Display for MeanAccumulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mean_rounds_distinguishes_no_success_from_free_success() {
+        assert_eq!(mean_rounds_to_success(&[]), None);
+        assert_eq!(mean_rounds_to_success(&[0, 0]), Some(0.0));
+        assert_eq!(mean_rounds_to_success(&[1, 3]), Some(2.0));
+    }
 
     #[test]
     fn pass_at_1_is_fraction() {

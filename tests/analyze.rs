@@ -177,6 +177,141 @@ fn dynamic_recorder_confirms_no_static_false_negatives() {
     );
 }
 
+/// The injected-race grid with the repair loop on, blind or guided.
+fn repair_plan(samples: u32, guided: bool) -> ExperimentPlan {
+    ExperimentPlan::builder()
+        .samples(samples)
+        .pairs([TranslationPair::OMP_THREADS_TO_OFFLOAD])
+        .techniques([Technique::NonAgentic])
+        .models(
+            all_models()
+                .into_iter()
+                .filter(|m| m.name == "o4-mini")
+                .map(|m| m.with_race_rate(1.0)),
+        )
+        .apps(["XSBench"])
+        .eval(EvalConfig {
+            max_cases: 1,
+            analyze: true,
+            repair_budget: 3,
+            repair_guided: guided,
+            ..EvalConfig::default()
+        })
+        .build()
+}
+
+#[test]
+fn guided_repair_applies_fixits_and_ends_race_free() {
+    // Every injected sample drops a reduction clause; the analyzer's
+    // high-confidence fix-it restores it, so guided repair must end every
+    // sample race-free in exactly one round — no probability roll.
+    let results = SerialRunner.run(&repair_plan(4, true));
+    let mut samples = 0;
+    for cell in results.cells.values() {
+        for record in cell.records() {
+            let r = &record.result;
+            samples += 1;
+            assert!(
+                r.race_free(),
+                "guided repair left sample racy: {:?}",
+                r.analysis
+            );
+            let last = r
+                .rounds
+                .last()
+                .expect("racy sample entered the repair loop");
+            assert_eq!(last.round, 1, "guided repair took more than one round");
+            assert!(!last.gave_up);
+        }
+        assert_eq!(cell.race_free_at_k(1), 1.0);
+        assert_eq!(
+            cell.fixit_count(),
+            0,
+            "post-repair analysis still carries fix-its"
+        );
+    }
+    assert!(samples > 0, "grid produced no samples");
+
+    // Blind repair on the same grid is the control: it may or may not fix
+    // each sample (per-category probability), but it can never beat the
+    // guided run's deterministic single round.
+    let blind = SerialRunner.run(&repair_plan(4, false));
+    let blind_race_free: u64 = blind.cells.values().map(|c| c.race_free_samples()).sum();
+    assert!(
+        blind_race_free <= samples,
+        "blind repair fixed more samples than exist"
+    );
+}
+
+#[test]
+fn guided_repair_is_deterministic_and_journal_stable() {
+    // Same plan, twice: guided repair's fix-it application is pure, so the
+    // runs are byte-identical; and a guided run's journal resumes to the
+    // same results, fix-its riding the finding codec.
+    let plan = repair_plan(2, true);
+    let first = SerialRunner.run(&plan);
+    let second = ScheduledRunner::new(4).run(&plan);
+    assert_eq!(first, second);
+    assert_eq!(format!("{first:?}"), format!("{second:?}"));
+
+    let dir = TestDir::new("guided-journal");
+    let journal_path = dir.file("run.journal");
+    let sink = journal::JournalSink::create(&journal_path, &plan).unwrap();
+    let journaled = SerialRunner.run_with(&plan, &EvalPipeline::new(plan.eval().clone()), &sink);
+    drop(sink);
+    let resumed = SerialRunner
+        .resume(
+            &plan,
+            &journal_path,
+            &EvalPipeline::new(plan.eval().clone()),
+            &NullSink,
+        )
+        .unwrap();
+    assert_eq!(journaled, resumed);
+    assert_eq!(format!("{journaled:?}"), format!("{resumed:?}"));
+}
+
+#[test]
+fn journaled_fixits_roundtrip() {
+    // A blind analyzer-on run keeps its findings (and their fix-its) in
+    // the final result; the journal codec must carry both verbatim.
+    let dir = TestDir::new("fixit-journal");
+    let journal_path = dir.file("run.journal");
+    let plan = injected_plan(2);
+    let sink = journal::JournalSink::create(&journal_path, &plan).unwrap();
+    let live = SerialRunner.run_with(&plan, &EvalPipeline::new(plan.eval().clone()), &sink);
+    drop(sink);
+    let resumed = SerialRunner
+        .resume(
+            &plan,
+            &journal_path,
+            &EvalPipeline::new(plan.eval().clone()),
+            &NullSink,
+        )
+        .unwrap();
+    assert_eq!(live, resumed);
+    let mut fixits = 0;
+    for cell in resumed.cells.values() {
+        assert_eq!(cell.fixit_count() as usize, {
+            cell.records()
+                .iter()
+                .flat_map(|r| &r.result.analysis)
+                .filter(|f| f.fixit.is_some())
+                .count()
+        });
+        for record in cell.records() {
+            for f in &record.result.analysis {
+                if let Some(fx) = &f.fixit {
+                    fixits += 1;
+                    assert!(!fx.title.is_empty());
+                    assert_eq!(fx.file, f.file, "fix-it drifted to another file");
+                }
+            }
+        }
+    }
+    assert!(fixits > 0, "journal round-trip dropped every fix-it");
+}
+
 #[test]
 fn race_report_matches_golden() {
     // Golden capture of the analyzer report on the injected-race grid.
@@ -229,8 +364,69 @@ fn journaled_findings_survive_resume() {
     assert!(any_findings, "journal round-trip dropped the findings");
 }
 
+#[test]
+fn truncated_findings_are_a_prefix_of_the_full_list() {
+    // `analyze_max_findings` truncates *after* the deterministic sort, so
+    // a tighter budget yields exactly the head of the looser run's list.
+    let full = SerialRunner.run(&injected_plan(2));
+    let mut truncated_plan = injected_plan(2);
+    {
+        // Rebuild with the tighter budget (EvalConfig is set at build time).
+        let mut eval = truncated_plan.eval().clone();
+        eval.analyze_max_findings = 1;
+        truncated_plan = ExperimentPlan::builder()
+            .samples(2)
+            .pairs([TranslationPair::OMP_THREADS_TO_OFFLOAD])
+            .techniques([Technique::NonAgentic])
+            .models(
+                all_models()
+                    .into_iter()
+                    .filter(|m| m.name == "o4-mini")
+                    .map(|m| m.with_race_rate(1.0)),
+            )
+            .apps(["XSBench"])
+            .eval(eval)
+            .build();
+    }
+    let truncated = SerialRunner.run(&truncated_plan);
+    for (key, cell) in &truncated.cells {
+        let full_cell = &full.cells[key];
+        for (t, f) in cell.records().iter().zip(full_cell.records()) {
+            assert_eq!(t.sample_index, f.sample_index);
+            let n = t.result.analysis.len();
+            assert!(n <= 1, "{key:?}: truncation budget exceeded");
+            assert_eq!(
+                t.result.analysis[..],
+                f.result.analysis[..n],
+                "{key:?}: truncated findings are not a prefix of the full list"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Findings come back sorted by (file, line, rule, variable): the
+    /// stable order that makes `analyze_max_findings` truncation
+    /// deterministic, for any translated sample.
+    #[test]
+    fn finding_order_is_deterministic(seed in 1u64..1000, sample in 0u32..4) {
+        let repo = translated_repo(seed, sample);
+        let findings = minihpc_analyze::analyze_repo(&repo);
+        let keys: Vec<_> = findings
+            .iter()
+            .map(|f| (
+                f.file.clone(),
+                f.line.unwrap_or(0),
+                f.rule.code(),
+                f.variable.clone(),
+            ))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        prop_assert_eq!(keys, sorted, "finding order is not the canonical sort");
+    }
 
     /// The analyzer verdict is pure and scheduler-invisible: the same grid
     /// yields byte-identical findings at any worker count, and re-analyzing
