@@ -188,7 +188,7 @@ mod tests {
         let fixed = fx.apply(src).expect("applies");
         assert!(fixed.contains("#pragma omp parallel for reduction(+: sum)"));
         // The fixed source is clean.
-        let repo = SourceRepo::new().with_file("src/main.cpp", &fixed);
+        let repo = SourceRepo::new().with_file("src/main.cpp", &*fixed);
         assert!(analyze_repo(&repo).is_empty());
     }
 
@@ -245,7 +245,7 @@ mod tests {
             }
         );
         let fixed = fx.apply(src).expect("applies");
-        let repo = SourceRepo::new().with_file("src/main.cpp", &fixed);
+        let repo = SourceRepo::new().with_file("src/main.cpp", &*fixed);
         assert!(analyze_repo(&repo).is_empty());
     }
 
@@ -399,7 +399,7 @@ mod tests {
         assert_eq!(fx.edit, FixItEdit::RemoveLine);
         let fixed = fx.apply(src).expect("applies");
         assert!(!fixed.contains("barrier"));
-        let repo = SourceRepo::new().with_file("src/main.cpp", &fixed);
+        let repo = SourceRepo::new().with_file("src/main.cpp", &*fixed);
         assert!(analyze_repo(&repo).is_empty());
     }
 
@@ -459,7 +459,7 @@ mod tests {
         // The truncated directive keeps one range and is itself clean.
         assert!(fixed.contains("a[0:4]"), "{fixed}");
         assert!(!fixed.contains("[0:4][0:4]"), "{fixed}");
-        let repo = SourceRepo::new().with_file("src/main.cpp", &fixed);
+        let repo = SourceRepo::new().with_file("src/main.cpp", &*fixed);
         assert!(
             analyze_repo(&repo).iter().all(|x| x.rule != Rule::MapArity),
             "{fixed}"

@@ -55,6 +55,45 @@ impl ErrorCategory {
         ErrorCategory::LinkerError,
     ];
 
+    /// Stable on-disk code of this category, shared by every persisted
+    /// format (the journal and the disk build cache). Exhaustive match:
+    /// adding a category refuses to compile until it gets a code.
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorCategory::BuildFileSyntax => 0,
+            ErrorCategory::MakefileMissingTarget => 1,
+            ErrorCategory::CMakeConfig => 2,
+            ErrorCategory::InvalidCompilerFlag => 3,
+            ErrorCategory::MissingHeader => 4,
+            ErrorCategory::CodeSyntax => 5,
+            ErrorCategory::UndeclaredIdentifier => 6,
+            ErrorCategory::ArgTypeMismatch => 7,
+            ErrorCategory::OmpInvalidDirective => 8,
+            ErrorCategory::LinkerError => 9,
+            ErrorCategory::MissingFile => 10,
+            ErrorCategory::Other => 11,
+        }
+    }
+
+    /// Inverse of [`ErrorCategory::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<ErrorCategory> {
+        Some(match code {
+            0 => ErrorCategory::BuildFileSyntax,
+            1 => ErrorCategory::MakefileMissingTarget,
+            2 => ErrorCategory::CMakeConfig,
+            3 => ErrorCategory::InvalidCompilerFlag,
+            4 => ErrorCategory::MissingHeader,
+            5 => ErrorCategory::CodeSyntax,
+            6 => ErrorCategory::UndeclaredIdentifier,
+            7 => ErrorCategory::ArgTypeMismatch,
+            8 => ErrorCategory::OmpInvalidDirective,
+            9 => ErrorCategory::LinkerError,
+            10 => ErrorCategory::MissingFile,
+            11 => ErrorCategory::Other,
+            _ => return None,
+        })
+    }
+
     /// The label used in paper Fig. 3.
     pub fn label(self) -> &'static str {
         match self {

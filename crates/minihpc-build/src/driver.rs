@@ -11,8 +11,11 @@ use crate::object::{Executable, ObjectCode};
 use crate::preprocess;
 use crate::sema;
 use crate::toolchain::{parse_invocation, Invocation};
+use crate::unit::{unit_key, CompiledUnit, UnitCache};
+use minihpc_lang::parser;
 use minihpc_lang::repo::{FileKind, SourceRepo};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// What to build.
 #[derive(Debug, Clone)]
@@ -51,8 +54,24 @@ impl BuildOutcome {
 }
 
 /// Build the repository per its build system (Makefile preferred, else
-/// CMakeLists.txt).
+/// CMakeLists.txt), parsing and compiling every unit from scratch.
 pub fn build_repo(repo: &SourceRepo, request: &BuildRequest) -> BuildOutcome {
+    build_repo_with(repo, request, None)
+}
+
+/// [`build_repo`] with an optional per-file compile-unit cache.
+///
+/// When `cache` is present, each compiler input's include closure is
+/// rediscovered (parses memoized through [`UnitCache::parse_file`]) and
+/// sema runs only for units whose closure content changed — everything
+/// else replays the cached object + diagnostics byte-identically. The
+/// link and binary-contract stages always run: they see cross-unit state
+/// the per-unit key deliberately excludes.
+pub fn build_repo_with(
+    repo: &SourceRepo,
+    request: &BuildRequest,
+    cache: Option<&dyn UnitCache>,
+) -> BuildOutcome {
     let mut log = BuildLog::new();
     let Some((build_path, build_text)) = repo.build_file() else {
         log.diagnostic(Diagnostic::error(
@@ -68,8 +87,8 @@ pub fn build_repo(repo: &SourceRepo, request: &BuildRequest) -> BuildOutcome {
     let build_text = build_text.to_string();
 
     match FileKind::of(build_path) {
-        FileKind::Makefile => build_with_make(repo, &build_text, request, log),
-        FileKind::CMakeLists => build_with_cmake(repo, &build_text, request, log),
+        FileKind::Makefile => build_with_make(repo, &build_text, request, cache, log),
+        FileKind::CMakeLists => build_with_cmake(repo, &build_text, request, cache, log),
         _ => unreachable!("build_file returns only build files"),
     }
 }
@@ -78,6 +97,7 @@ fn build_with_make(
     repo: &SourceRepo,
     text: &str,
     request: &BuildRequest,
+    cache: Option<&dyn UnitCache>,
     mut log: BuildLog,
 ) -> BuildOutcome {
     let target_desc = request.make_target.clone().unwrap_or_default();
@@ -128,7 +148,7 @@ fn build_with_make(
                 };
             }
         };
-        if let Err(()) = run_invocation(repo, &inv, &mut state, &mut log) {
+        if let Err(()) = run_invocation(repo, &inv, cache, &mut state, &mut log) {
             log.note(format!("make: *** [Makefile:{}] Error 1", cmd.line));
             return BuildOutcome {
                 log,
@@ -143,6 +163,7 @@ fn build_with_cmake(
     repo: &SourceRepo,
     text: &str,
     request: &BuildRequest,
+    cache: Option<&dyn UnitCache>,
     mut log: BuildLog,
 ) -> BuildOutcome {
     log.note("$ cmake -B build . && cmake --build build".to_string());
@@ -163,7 +184,7 @@ fn build_with_cmake(
     let mut state = ExecState::default();
     for (name, inv) in &cfg.invocations {
         log.note(format!("[build] Building CXX executable {name}"));
-        if let Err(()) = run_invocation(repo, inv, &mut state, &mut log) {
+        if let Err(()) = run_invocation(repo, inv, cache, &mut state, &mut log) {
             log.note(format!(
                 "gmake[2]: *** [CMakeFiles/{name}.dir/build.make] Error 1"
             ));
@@ -176,11 +197,58 @@ fn build_with_cmake(
     finish(request, state, log)
 }
 
-/// Virtual filesystem of build products.
+/// Virtual filesystem of build products. Objects are `Arc`-shared: a
+/// cache-replayed unit and the cache's own copy are the same allocation.
 #[derive(Default)]
 struct ExecState {
-    objects: BTreeMap<String, ObjectCode>,
+    objects: BTreeMap<String, Arc<ObjectCode>>,
     executables: BTreeMap<String, Executable>,
+}
+
+/// Compile one source input to a unit, consulting `cache` when present.
+///
+/// Assembly always runs — it is what discovers the include closure the
+/// unit key hashes — but parses inside it are memoized by the cache, and
+/// a key hit skips sema entirely, replaying the stored object and
+/// diagnostics. Assembly failures (missing file/header, syntax error) are
+/// reported directly and never cached: they are cheap to recompute and
+/// have no object to store.
+fn compile_input(
+    repo: &SourceRepo,
+    input: &str,
+    inv: &Invocation,
+    cache: Option<&dyn UnitCache>,
+) -> Result<CompiledUnit, Vec<Diagnostic>> {
+    let tu = match cache {
+        Some(c) => preprocess::assemble_with(repo, input, &inv.features, &|t| c.parse_file(t))?,
+        None => preprocess::assemble_with(repo, input, &inv.features, &parser::parse_file)?,
+    };
+    let obj_name = object_name_for(input);
+    if let Some(c) = cache {
+        let key = unit_key(
+            input,
+            &obj_name,
+            &inv.features,
+            tu.files
+                .iter()
+                .map(|p| (p.as_str(), repo.get(p).unwrap_or(""))),
+        );
+        if let Some(unit) = c.lookup_unit(key) {
+            return Ok(unit);
+        }
+        let result = sema::check(&tu, input, &obj_name, &inv.features);
+        let unit = CompiledUnit {
+            object: result.object.map(Arc::new),
+            diagnostics: result.diagnostics,
+        };
+        c.store_unit(key, &unit);
+        return Ok(unit);
+    }
+    let result = sema::check(&tu, input, &obj_name, &inv.features);
+    Ok(CompiledUnit {
+        object: result.object.map(Arc::new),
+        diagnostics: result.diagnostics,
+    })
 }
 
 /// Execute one compiler invocation: compile each input (source files inline,
@@ -188,14 +256,15 @@ struct ExecState {
 fn run_invocation(
     repo: &SourceRepo,
     inv: &Invocation,
+    cache: Option<&dyn UnitCache>,
     state: &mut ExecState,
     log: &mut BuildLog,
 ) -> Result<(), ()> {
-    let mut objects: Vec<ObjectCode> = Vec::new();
+    let mut objects: Vec<Arc<ObjectCode>> = Vec::new();
     for input in &inv.inputs {
         if input.ends_with(".o") {
             match state.objects.get(input) {
-                Some(o) => objects.push(o.clone()),
+                Some(o) => objects.push(Arc::clone(o)),
                 None => {
                     log.diagnostic(Diagnostic::error(
                         ErrorCategory::MissingFile,
@@ -219,18 +288,16 @@ fn run_invocation(
             ));
             return Err(());
         }
-        let tu = match preprocess::assemble(repo, input, &inv.features) {
-            Ok(tu) => tu,
+        let unit = match compile_input(repo, input, inv, cache) {
+            Ok(unit) => unit,
             Err(diags) => {
                 log.extend_diagnostics(diags);
                 return Err(());
             }
         };
-        let obj_name = object_name_for(input);
-        let result = sema::check(&tu, input, &obj_name, &inv.features);
-        let had_errors = result.diagnostics.iter().any(Diagnostic::is_error);
-        log.extend_diagnostics(result.diagnostics);
-        match result.object {
+        let had_errors = unit.diagnostics.iter().any(Diagnostic::is_error);
+        log.extend_diagnostics(unit.diagnostics);
+        match unit.object {
             Some(obj) if !had_errors => objects.push(obj),
             _ => return Err(()),
         }
@@ -240,8 +307,16 @@ fn run_invocation(
         // Register each object under its `-o` name (single input) or its
         // default `<stem>.o` name.
         if let (Some(out), true) = (&inv.output, objects.len() == 1) {
-            let mut obj = objects.pop().unwrap();
-            obj.name = out.clone();
+            let obj = objects.pop().unwrap();
+            // Rename only when the `-o` name differs from the default;
+            // cached units keep their default name, so the clone is rare.
+            let obj = if obj.name == *out {
+                obj
+            } else {
+                let mut renamed = (*obj).clone();
+                renamed.name = out.clone();
+                Arc::new(renamed)
+            };
             state.objects.insert(out.clone(), obj);
         } else {
             for obj in objects {

@@ -22,8 +22,10 @@ pub mod object;
 pub mod preprocess;
 pub mod sema;
 pub mod toolchain;
+pub mod unit;
 
 pub use diag::{BuildLog, Diagnostic, ErrorCategory, Severity};
-pub use driver::{build_repo, BuildOutcome, BuildRequest};
+pub use driver::{build_repo, build_repo_with, BuildOutcome, BuildRequest};
 pub use object::{Executable, ObjectCode};
 pub use toolchain::{CompileFeatures, CompilerKind};
+pub use unit::{CompiledUnit, UnitCache};

@@ -13,8 +13,8 @@ use std::collections::BTreeMap;
 /// `compiler` is the driver doing the link (nvcc bundles libm and the CUDA
 /// runtime; gcc/clang need `-lm` for math usage, which is the classic
 /// missing-flag linker failure).
-pub fn link(
-    objects: &[ObjectCode],
+pub fn link<B: std::borrow::Borrow<ObjectCode>>(
+    objects: &[B],
     output: &str,
     compiler: CompilerKind,
     link_features: &CompileFeatures,
@@ -28,6 +28,7 @@ pub fn link(
     let mut uses_libm = false;
 
     for obj in objects {
+        let obj = obj.borrow();
         for (name, f) in &obj.functions {
             if f.quals.is_static {
                 // Internal linkage: visible only within its own unit; the
@@ -59,6 +60,7 @@ pub fn link(
 
     // Resolve undefined symbols across units.
     for obj in objects {
+        let obj = obj.borrow();
         for sym in &obj.undefined {
             if !functions.contains_key(sym) {
                 diags.push(Diagnostic::error(

@@ -53,11 +53,29 @@ pub struct TranslationUnit {
     pub files: Vec<String>,
 }
 
-/// Assemble the translation unit rooted at `main_path`.
+/// The outcome of parsing one file — what the [`assemble_with`] parse hook
+/// returns, letting callers memoize parses by file content.
+pub type ParsedFile = Result<SourceFile, minihpc_lang::parser::ParseError>;
+
+/// Assemble the translation unit rooted at `main_path`, parsing every file
+/// fresh.
 pub fn assemble(
     repo: &SourceRepo,
     main_path: &str,
     features: &CompileFeatures,
+) -> Result<TranslationUnit, Vec<Diagnostic>> {
+    assemble_with(repo, main_path, features, &parser::parse_file)
+}
+
+/// Assemble the translation unit rooted at `main_path`, obtaining each
+/// file's AST through `parse` — typically a content-addressed memo, so a
+/// header shared by many units (or unchanged across re-evaluations) is
+/// parsed once.
+pub fn assemble_with(
+    repo: &SourceRepo,
+    main_path: &str,
+    features: &CompileFeatures,
+    parse: &dyn Fn(&str) -> ParsedFile,
 ) -> Result<TranslationUnit, Vec<Diagnostic>> {
     let mut included: HashSet<String> = HashSet::new();
     let mut files = Vec::new();
@@ -67,6 +85,7 @@ pub fn assemble(
         repo,
         main_path,
         features,
+        parse,
         &mut included,
         &mut files,
         &mut items,
@@ -81,10 +100,12 @@ pub fn assemble(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn expand_file(
     repo: &SourceRepo,
     path: &str,
     features: &CompileFeatures,
+    parse: &dyn Fn(&str) -> ParsedFile,
     included: &mut HashSet<String>,
     files: &mut Vec<String>,
     items: &mut Vec<Item>,
@@ -102,7 +123,7 @@ fn expand_file(
         return;
     };
     files.push(path.to_string());
-    let parsed = match parser::parse_file(text) {
+    let parsed = match parse(text) {
         Ok(p) => p,
         Err(e) => {
             let line = span::line_col(text, e.span.start).line;
@@ -123,7 +144,9 @@ fn expand_file(
             } => match repo.resolve_include(path, inc) {
                 Some(resolved) => {
                     let resolved = resolved.to_string();
-                    expand_file(repo, &resolved, features, included, files, items, diags);
+                    expand_file(
+                        repo, &resolved, features, parse, included, files, items, diags,
+                    );
                 }
                 None => {
                     let line = span::line_col(text, item.span.start).line;

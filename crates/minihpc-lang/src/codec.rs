@@ -1,0 +1,1431 @@
+//! A stable byte codec for the MiniHPC AST.
+//!
+//! The build cache's per-file tier persists compiled translation units —
+//! whose payload is an AST — on disk, across processes whose `std` hashers
+//! and allocation layouts differ. This module gives every AST node a
+//! versionless little-endian encoding in the same style as the journal
+//! codec: u8 tags with exhaustive matches (adding an enum variant refuses
+//! to compile until it gets a code), u32 length prefixes, and total
+//! decoders that return `None` on any malformed input instead of
+//! panicking — corrupt bytes must read as "no entry", never as a wrong
+//! AST.
+//!
+//! Format evolution is by re-keying, not by versioned decode: consumers
+//! bake a format tag into the content key of whatever they store, so a
+//! codec change simply stops matching old entries.
+
+use crate::ast::{
+    BinOp, Block, CaptureMode, Expr, ExprKind, Field, FnQuals, Function, Init, Item, ItemKind,
+    Param, ScalarType, SourceFile, Stmt, StmtKind, StructDef, Type, UnaryOp, VarDecl,
+};
+use crate::model::ModelUsage;
+use crate::pragma::{ArraySection, MapKind, OmpClause, OmpConstruct, OmpDirective, ReductionOp};
+use crate::span::Span;
+
+/// Upper bound a decoder pre-allocates for any length-prefixed sequence;
+/// corrupt lengths beyond it still decode (by growing), they just don't
+/// reserve memory up front.
+const PREALLOC_CAP: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Enum codes
+// ---------------------------------------------------------------------------
+
+fn scalar_code(s: ScalarType) -> u8 {
+    match s {
+        ScalarType::Void => 0,
+        ScalarType::Bool => 1,
+        ScalarType::Char => 2,
+        ScalarType::Int => 3,
+        ScalarType::Long => 4,
+        ScalarType::SizeT => 5,
+        ScalarType::Float => 6,
+        ScalarType::Double => 7,
+    }
+}
+
+fn scalar_from(code: u8) -> Option<ScalarType> {
+    Some(match code {
+        0 => ScalarType::Void,
+        1 => ScalarType::Bool,
+        2 => ScalarType::Char,
+        3 => ScalarType::Int,
+        4 => ScalarType::Long,
+        5 => ScalarType::SizeT,
+        6 => ScalarType::Float,
+        7 => ScalarType::Double,
+        _ => return None,
+    })
+}
+
+fn unary_code(op: UnaryOp) -> u8 {
+    match op {
+        UnaryOp::Neg => 0,
+        UnaryOp::Not => 1,
+        UnaryOp::BitNot => 2,
+        UnaryOp::Deref => 3,
+        UnaryOp::AddrOf => 4,
+        UnaryOp::PreInc => 5,
+        UnaryOp::PreDec => 6,
+        UnaryOp::PostInc => 7,
+        UnaryOp::PostDec => 8,
+    }
+}
+
+fn unary_from(code: u8) -> Option<UnaryOp> {
+    Some(match code {
+        0 => UnaryOp::Neg,
+        1 => UnaryOp::Not,
+        2 => UnaryOp::BitNot,
+        3 => UnaryOp::Deref,
+        4 => UnaryOp::AddrOf,
+        5 => UnaryOp::PreInc,
+        6 => UnaryOp::PreDec,
+        7 => UnaryOp::PostInc,
+        8 => UnaryOp::PostDec,
+        _ => return None,
+    })
+}
+
+fn binop_code(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::Shl => 5,
+        BinOp::Shr => 6,
+        BinOp::Lt => 7,
+        BinOp::Gt => 8,
+        BinOp::Le => 9,
+        BinOp::Ge => 10,
+        BinOp::Eq => 11,
+        BinOp::Ne => 12,
+        BinOp::BitAnd => 13,
+        BinOp::BitOr => 14,
+        BinOp::BitXor => 15,
+        BinOp::And => 16,
+        BinOp::Or => 17,
+    }
+}
+
+fn binop_from(code: u8) -> Option<BinOp> {
+    Some(match code {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Rem,
+        5 => BinOp::Shl,
+        6 => BinOp::Shr,
+        7 => BinOp::Lt,
+        8 => BinOp::Gt,
+        9 => BinOp::Le,
+        10 => BinOp::Ge,
+        11 => BinOp::Eq,
+        12 => BinOp::Ne,
+        13 => BinOp::BitAnd,
+        14 => BinOp::BitOr,
+        15 => BinOp::BitXor,
+        16 => BinOp::And,
+        17 => BinOp::Or,
+        _ => return None,
+    })
+}
+
+fn capture_code(c: CaptureMode) -> u8 {
+    match c {
+        CaptureMode::ByValue => 0,
+        CaptureMode::ByRef => 1,
+        CaptureMode::KokkosLambda => 2,
+    }
+}
+
+fn capture_from(code: u8) -> Option<CaptureMode> {
+    Some(match code {
+        0 => CaptureMode::ByValue,
+        1 => CaptureMode::ByRef,
+        2 => CaptureMode::KokkosLambda,
+        _ => return None,
+    })
+}
+
+fn construct_code(c: OmpConstruct) -> u8 {
+    match c {
+        OmpConstruct::Parallel => 0,
+        OmpConstruct::For => 1,
+        OmpConstruct::Simd => 2,
+        OmpConstruct::Target => 3,
+        OmpConstruct::Teams => 4,
+        OmpConstruct::Distribute => 5,
+        OmpConstruct::TargetData => 6,
+        OmpConstruct::TargetUpdate => 7,
+        OmpConstruct::Barrier => 8,
+        OmpConstruct::Critical => 9,
+        OmpConstruct::Atomic => 10,
+        OmpConstruct::Single => 11,
+        OmpConstruct::Master => 12,
+    }
+}
+
+fn construct_from(code: u8) -> Option<OmpConstruct> {
+    Some(match code {
+        0 => OmpConstruct::Parallel,
+        1 => OmpConstruct::For,
+        2 => OmpConstruct::Simd,
+        3 => OmpConstruct::Target,
+        4 => OmpConstruct::Teams,
+        5 => OmpConstruct::Distribute,
+        6 => OmpConstruct::TargetData,
+        7 => OmpConstruct::TargetUpdate,
+        8 => OmpConstruct::Barrier,
+        9 => OmpConstruct::Critical,
+        10 => OmpConstruct::Atomic,
+        11 => OmpConstruct::Single,
+        12 => OmpConstruct::Master,
+        _ => return None,
+    })
+}
+
+fn reduction_code(op: ReductionOp) -> u8 {
+    match op {
+        ReductionOp::Add => 0,
+        ReductionOp::Mul => 1,
+        ReductionOp::Min => 2,
+        ReductionOp::Max => 3,
+        ReductionOp::BitXor => 4,
+        ReductionOp::BitAnd => 5,
+        ReductionOp::BitOr => 6,
+    }
+}
+
+fn reduction_from(code: u8) -> Option<ReductionOp> {
+    Some(match code {
+        0 => ReductionOp::Add,
+        1 => ReductionOp::Mul,
+        2 => ReductionOp::Min,
+        3 => ReductionOp::Max,
+        4 => ReductionOp::BitXor,
+        5 => ReductionOp::BitAnd,
+        6 => ReductionOp::BitOr,
+        _ => return None,
+    })
+}
+
+fn map_code(k: MapKind) -> u8 {
+    match k {
+        MapKind::To => 0,
+        MapKind::From => 1,
+        MapKind::ToFrom => 2,
+        MapKind::Alloc => 3,
+    }
+}
+
+fn map_from(code: u8) -> Option<MapKind> {
+    Some(match code {
+        0 => MapKind::To,
+        1 => MapKind::From,
+        2 => MapKind::ToFrom,
+        3 => MapKind::Alloc,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+/// Append-only byte encoder over the AST. Primitive writers are public so
+/// downstream codecs (the build crate's compiled-unit format) can compose
+/// their own frames around AST payloads.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn boolean(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn str_list(&mut self, items: &[String]) {
+        self.u32(items.len() as u32);
+        for s in items {
+            self.str(s);
+        }
+    }
+
+    pub fn span(&mut self, s: Span) {
+        self.u32(s.start);
+        self.u32(s.end);
+    }
+
+    pub fn ty(&mut self, t: &Type) {
+        match t {
+            Type::Scalar(s) => {
+                self.u8(0);
+                self.u8(scalar_code(*s));
+            }
+            Type::Ptr(inner) => {
+                self.u8(1);
+                self.ty(inner);
+            }
+            Type::Const(inner) => {
+                self.u8(2);
+                self.ty(inner);
+            }
+            Type::Named(name) => {
+                self.u8(3);
+                self.str(name);
+            }
+            Type::Dim3 => self.u8(4),
+            Type::View { elem, rank } => {
+                self.u8(5);
+                self.u8(scalar_code(*elem));
+                self.u8(*rank);
+            }
+        }
+    }
+
+    pub fn expr(&mut self, e: &Expr) {
+        self.span(e.span);
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                self.u8(0);
+                self.i64(*v);
+            }
+            ExprKind::FloatLit(v) => {
+                self.u8(1);
+                self.f64(*v);
+            }
+            ExprKind::StrLit(s) => {
+                self.u8(2);
+                self.str(s);
+            }
+            ExprKind::CharLit(c) => {
+                self.u8(3);
+                self.u32(*c as u32);
+            }
+            ExprKind::BoolLit(b) => {
+                self.u8(4);
+                self.boolean(*b);
+            }
+            ExprKind::Ident(name) => {
+                self.u8(5);
+                self.str(name);
+            }
+            ExprKind::Path(segs) => {
+                self.u8(6);
+                self.str_list(segs);
+            }
+            ExprKind::Unary { op, expr } => {
+                self.u8(7);
+                self.u8(unary_code(*op));
+                self.expr(expr);
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                self.u8(8);
+                self.u8(binop_code(*op));
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                self.u8(9);
+                match op {
+                    Some(op) => {
+                        self.u8(1);
+                        self.u8(binop_code(*op));
+                    }
+                    None => self.u8(0),
+                }
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            ExprKind::Ternary { cond, then, els } => {
+                self.u8(10);
+                self.expr(cond);
+                self.expr(then);
+                self.expr(els);
+            }
+            ExprKind::Call { callee, args } => {
+                self.u8(11);
+                self.expr(callee);
+                self.expr_list(args);
+            }
+            ExprKind::KernelLaunch {
+                kernel,
+                grid,
+                block,
+                args,
+            } => {
+                self.u8(12);
+                self.str(kernel);
+                self.expr(grid);
+                self.expr(block);
+                self.expr_list(args);
+            }
+            ExprKind::Index { base, index } => {
+                self.u8(13);
+                self.expr(base);
+                self.expr(index);
+            }
+            ExprKind::Member {
+                base,
+                member,
+                arrow,
+            } => {
+                self.u8(14);
+                self.expr(base);
+                self.str(member);
+                self.boolean(*arrow);
+            }
+            ExprKind::Cast { ty, expr } => {
+                self.u8(15);
+                self.ty(ty);
+                self.expr(expr);
+            }
+            ExprKind::SizeOfType(ty) => {
+                self.u8(16);
+                self.ty(ty);
+            }
+            ExprKind::SizeOfExpr(expr) => {
+                self.u8(17);
+                self.expr(expr);
+            }
+            ExprKind::Lambda {
+                capture,
+                params,
+                body,
+            } => {
+                self.u8(18);
+                self.u8(capture_code(*capture));
+                self.u32(params.len() as u32);
+                for p in params {
+                    self.param(p);
+                }
+                self.block(body);
+            }
+            ExprKind::Paren(inner) => {
+                self.u8(19);
+                self.expr(inner);
+            }
+        }
+    }
+
+    pub fn expr_list(&mut self, exprs: &[Expr]) {
+        self.u32(exprs.len() as u32);
+        for e in exprs {
+            self.expr(e);
+        }
+    }
+
+    fn opt_expr(&mut self, e: &Option<Expr>) {
+        match e {
+            Some(e) => {
+                self.u8(1);
+                self.expr(e);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    pub fn param(&mut self, p: &Param) {
+        self.ty(&p.ty);
+        self.str(&p.name);
+    }
+
+    pub fn block(&mut self, b: &Block) {
+        self.span(b.span);
+        self.u32(b.stmts.len() as u32);
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    pub fn init(&mut self, init: &Init) {
+        match init {
+            Init::Expr(e) => {
+                self.u8(0);
+                self.expr(e);
+            }
+            Init::List(es) => {
+                self.u8(1);
+                self.expr_list(es);
+            }
+            Init::Ctor(es) => {
+                self.u8(2);
+                self.expr_list(es);
+            }
+        }
+    }
+
+    pub fn var_decl(&mut self, v: &VarDecl) {
+        self.str(&v.name);
+        self.ty(&v.ty);
+        self.expr_list(&v.array_dims);
+        match &v.init {
+            Some(init) => {
+                self.u8(1);
+                self.init(init);
+            }
+            None => self.u8(0),
+        }
+        self.boolean(v.is_static);
+    }
+
+    pub fn stmt(&mut self, s: &Stmt) {
+        self.span(s.span);
+        match &s.kind {
+            StmtKind::Decl(v) => {
+                self.u8(0);
+                self.var_decl(v);
+            }
+            StmtKind::Expr(e) => {
+                self.u8(1);
+                self.expr(e);
+            }
+            StmtKind::If { cond, then, els } => {
+                self.u8(2);
+                self.expr(cond);
+                self.stmt(then);
+                match els {
+                    Some(els) => {
+                        self.u8(1);
+                        self.stmt(els);
+                    }
+                    None => self.u8(0),
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.u8(3);
+                self.expr(cond);
+                self.stmt(body);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.u8(4);
+                match init {
+                    Some(init) => {
+                        self.u8(1);
+                        self.stmt(init);
+                    }
+                    None => self.u8(0),
+                }
+                self.opt_expr(cond);
+                self.opt_expr(step);
+                self.stmt(body);
+            }
+            StmtKind::Return(e) => {
+                self.u8(5);
+                self.opt_expr(e);
+            }
+            StmtKind::Break => self.u8(6),
+            StmtKind::Continue => self.u8(7),
+            StmtKind::Block(b) => {
+                self.u8(8);
+                self.block(b);
+            }
+            StmtKind::Omp { directive, body } => {
+                self.u8(9);
+                self.omp_directive(directive);
+                match body {
+                    Some(body) => {
+                        self.u8(1);
+                        self.stmt(body);
+                    }
+                    None => self.u8(0),
+                }
+            }
+            StmtKind::RawPragma(text) => {
+                self.u8(10);
+                self.str(text);
+            }
+            StmtKind::Empty => self.u8(11),
+        }
+    }
+
+    pub fn omp_directive(&mut self, d: &OmpDirective) {
+        self.span(d.span);
+        self.u32(d.constructs.len() as u32);
+        for c in &d.constructs {
+            self.u8(construct_code(*c));
+        }
+        self.u32(d.clauses.len() as u32);
+        for cl in &d.clauses {
+            self.omp_clause(cl);
+        }
+    }
+
+    fn omp_clause(&mut self, cl: &OmpClause) {
+        match cl {
+            OmpClause::NumThreads(e) => {
+                self.u8(0);
+                self.expr(e);
+            }
+            OmpClause::NumTeams(e) => {
+                self.u8(1);
+                self.expr(e);
+            }
+            OmpClause::ThreadLimit(e) => {
+                self.u8(2);
+                self.expr(e);
+            }
+            OmpClause::Collapse(n) => {
+                self.u8(3);
+                self.i64(*n);
+            }
+            OmpClause::Reduction { op, vars } => {
+                self.u8(4);
+                self.u8(reduction_code(*op));
+                self.str_list(vars);
+            }
+            OmpClause::Map { kind, sections } => {
+                self.u8(5);
+                self.u8(map_code(*kind));
+                self.u32(sections.len() as u32);
+                for s in sections {
+                    self.str(&s.var);
+                    self.u32(s.ranges.len() as u32);
+                    for (lo, len) in &s.ranges {
+                        self.expr(lo);
+                        self.expr(len);
+                    }
+                }
+            }
+            OmpClause::Private(vars) => {
+                self.u8(6);
+                self.str_list(vars);
+            }
+            OmpClause::FirstPrivate(vars) => {
+                self.u8(7);
+                self.str_list(vars);
+            }
+            OmpClause::Shared(vars) => {
+                self.u8(8);
+                self.str_list(vars);
+            }
+            OmpClause::Schedule { kind, chunk } => {
+                self.u8(9);
+                self.str(kind);
+                self.opt_expr(chunk);
+            }
+            OmpClause::Default(kind) => {
+                self.u8(10);
+                self.str(kind);
+            }
+            OmpClause::If(e) => {
+                self.u8(11);
+                self.expr(e);
+            }
+            OmpClause::Device(e) => {
+                self.u8(12);
+                self.expr(e);
+            }
+            OmpClause::Unknown { name, text } => {
+                self.u8(13);
+                self.str(name);
+                self.str(text);
+            }
+        }
+    }
+
+    pub fn fn_quals(&mut self, q: FnQuals) {
+        let FnQuals {
+            cuda_global,
+            cuda_device,
+            cuda_host,
+            is_static,
+            is_inline,
+        } = q;
+        let bits = (cuda_global as u8)
+            | (cuda_device as u8) << 1
+            | (cuda_host as u8) << 2
+            | (is_static as u8) << 3
+            | (is_inline as u8) << 4;
+        self.u8(bits);
+    }
+
+    pub fn function(&mut self, f: &Function) {
+        self.fn_quals(f.quals);
+        self.ty(&f.ret);
+        self.str(&f.name);
+        self.u32(f.params.len() as u32);
+        for p in &f.params {
+            self.param(p);
+        }
+        match &f.body {
+            Some(b) => {
+                self.u8(1);
+                self.block(b);
+            }
+            None => self.u8(0),
+        }
+        self.span(f.span);
+    }
+
+    pub fn struct_def(&mut self, s: &StructDef) {
+        self.str(&s.name);
+        self.u32(s.fields.len() as u32);
+        for field in &s.fields {
+            self.ty(&field.ty);
+            self.str(&field.name);
+            self.expr_list(&field.array_dims);
+        }
+        self.boolean(s.is_typedef);
+        self.span(s.span);
+    }
+
+    pub fn item(&mut self, item: &Item) {
+        self.span(item.span);
+        match &item.kind {
+            ItemKind::Include { path, system } => {
+                self.u8(0);
+                self.str(path);
+                self.boolean(*system);
+            }
+            ItemKind::Define { name, body_text } => {
+                self.u8(1);
+                self.str(name);
+                self.str(body_text);
+            }
+            ItemKind::OtherDirective(text) => {
+                self.u8(2);
+                self.str(text);
+            }
+            ItemKind::Struct(s) => {
+                self.u8(3);
+                self.struct_def(s);
+            }
+            ItemKind::Global(v) => {
+                self.u8(4);
+                self.var_decl(v);
+            }
+            ItemKind::Function(f) => {
+                self.u8(5);
+                self.function(f);
+            }
+        }
+    }
+
+    pub fn source_file(&mut self, sf: &SourceFile) {
+        self.u32(sf.items.len() as u32);
+        for item in &sf.items {
+            self.item(item);
+        }
+    }
+
+    pub fn model_usage(&mut self, u: &ModelUsage) {
+        let ModelUsage {
+            cuda_kernels,
+            cuda_launches,
+            cuda_api_calls,
+            omp_parallel_directives,
+            omp_target_directives,
+            kokkos_views,
+            kokkos_parallel_calls,
+        } = u;
+        self.u64(*cuda_kernels as u64);
+        self.u64(*cuda_launches as u64);
+        self.u64(*cuda_api_calls as u64);
+        self.u64(*omp_parallel_directives as u64);
+        self.u64(*omp_target_directives as u64);
+        self.u64(*kokkos_views as u64);
+        self.u64(*kokkos_parallel_calls as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked decoder over untrusted bytes. Every method is total:
+/// malformed input yields `None`, never a panic. The expression/statement
+/// decoders cap recursion depth so a hostile payload cannot blow the
+/// stack.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+/// Maximum nesting the decoders accept — far above anything the parser
+/// produces, and small enough that the recursion fits a default 2 MiB
+/// test-thread stack even with debug-build frame sizes. A legitimate AST
+/// deeper than this fails to decode, which consumers treat as a cache
+/// miss — safe, just slower.
+const MAX_DEPTH: u32 = 200;
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec {
+            buf,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    /// True when every byte has been consumed (decoders should check this
+    /// after the last field so trailing garbage is rejected).
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn enter(&mut self) -> Option<()> {
+        self.depth += 1;
+        (self.depth <= MAX_DEPTH).then_some(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    pub fn boolean(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Option<i64> {
+        self.take(8)
+            .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    pub fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    pub fn str_list(&mut self) -> Option<Vec<String>> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(PREALLOC_CAP));
+        for _ in 0..n {
+            out.push(self.str()?);
+        }
+        Some(out)
+    }
+
+    pub fn span(&mut self) -> Option<Span> {
+        let start = self.u32()?;
+        let end = self.u32()?;
+        (start <= end).then_some(Span { start, end })
+    }
+
+    pub fn ty(&mut self) -> Option<Type> {
+        self.enter()?;
+        let ty = match self.u8()? {
+            0 => Type::Scalar(scalar_from(self.u8()?)?),
+            1 => Type::Ptr(Box::new(self.ty()?)),
+            2 => Type::Const(Box::new(self.ty()?)),
+            3 => Type::Named(self.str()?),
+            4 => Type::Dim3,
+            5 => Type::View {
+                elem: scalar_from(self.u8()?)?,
+                rank: self.u8()?,
+            },
+            _ => return None,
+        };
+        self.leave();
+        Some(ty)
+    }
+
+    pub fn expr(&mut self) -> Option<Expr> {
+        self.enter()?;
+        let span = self.span()?;
+        let kind = match self.u8()? {
+            0 => ExprKind::IntLit(self.i64()?),
+            1 => ExprKind::FloatLit(self.f64()?),
+            2 => ExprKind::StrLit(self.str()?),
+            3 => ExprKind::CharLit(char::from_u32(self.u32()?)?),
+            4 => ExprKind::BoolLit(self.boolean()?),
+            5 => ExprKind::Ident(self.str()?),
+            6 => ExprKind::Path(self.str_list()?),
+            7 => ExprKind::Unary {
+                op: unary_from(self.u8()?)?,
+                expr: Box::new(self.expr()?),
+            },
+            8 => ExprKind::Binary {
+                op: binop_from(self.u8()?)?,
+                lhs: Box::new(self.expr()?),
+                rhs: Box::new(self.expr()?),
+            },
+            9 => {
+                let op = match self.u8()? {
+                    0 => None,
+                    1 => Some(binop_from(self.u8()?)?),
+                    _ => return None,
+                };
+                ExprKind::Assign {
+                    op,
+                    lhs: Box::new(self.expr()?),
+                    rhs: Box::new(self.expr()?),
+                }
+            }
+            10 => ExprKind::Ternary {
+                cond: Box::new(self.expr()?),
+                then: Box::new(self.expr()?),
+                els: Box::new(self.expr()?),
+            },
+            11 => ExprKind::Call {
+                callee: Box::new(self.expr()?),
+                args: self.expr_list()?,
+            },
+            12 => ExprKind::KernelLaunch {
+                kernel: self.str()?,
+                grid: Box::new(self.expr()?),
+                block: Box::new(self.expr()?),
+                args: self.expr_list()?,
+            },
+            13 => ExprKind::Index {
+                base: Box::new(self.expr()?),
+                index: Box::new(self.expr()?),
+            },
+            14 => ExprKind::Member {
+                base: Box::new(self.expr()?),
+                member: self.str()?,
+                arrow: self.boolean()?,
+            },
+            15 => ExprKind::Cast {
+                ty: self.ty()?,
+                expr: Box::new(self.expr()?),
+            },
+            16 => ExprKind::SizeOfType(self.ty()?),
+            17 => ExprKind::SizeOfExpr(Box::new(self.expr()?)),
+            18 => {
+                let capture = capture_from(self.u8()?)?;
+                let n = self.u32()? as usize;
+                let mut params = Vec::with_capacity(n.min(PREALLOC_CAP));
+                for _ in 0..n {
+                    params.push(self.param()?);
+                }
+                ExprKind::Lambda {
+                    capture,
+                    params,
+                    body: self.block()?,
+                }
+            }
+            19 => ExprKind::Paren(Box::new(self.expr()?)),
+            _ => return None,
+        };
+        self.leave();
+        Some(Expr { kind, span })
+    }
+
+    pub fn expr_list(&mut self) -> Option<Vec<Expr>> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(PREALLOC_CAP));
+        for _ in 0..n {
+            out.push(self.expr()?);
+        }
+        Some(out)
+    }
+
+    fn opt_expr(&mut self) -> Option<Option<Expr>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.expr()?)),
+            _ => None,
+        }
+    }
+
+    pub fn param(&mut self) -> Option<Param> {
+        Some(Param {
+            ty: self.ty()?,
+            name: self.str()?,
+        })
+    }
+
+    pub fn block(&mut self) -> Option<Block> {
+        self.enter()?;
+        let span = self.span()?;
+        let n = self.u32()? as usize;
+        let mut stmts = Vec::with_capacity(n.min(PREALLOC_CAP));
+        for _ in 0..n {
+            stmts.push(self.stmt()?);
+        }
+        self.leave();
+        Some(Block { stmts, span })
+    }
+
+    pub fn init(&mut self) -> Option<Init> {
+        Some(match self.u8()? {
+            0 => Init::Expr(self.expr()?),
+            1 => Init::List(self.expr_list()?),
+            2 => Init::Ctor(self.expr_list()?),
+            _ => return None,
+        })
+    }
+
+    pub fn var_decl(&mut self) -> Option<VarDecl> {
+        let name = self.str()?;
+        let ty = self.ty()?;
+        let array_dims = self.expr_list()?;
+        let init = match self.u8()? {
+            0 => None,
+            1 => Some(self.init()?),
+            _ => return None,
+        };
+        Some(VarDecl {
+            name,
+            ty,
+            array_dims,
+            init,
+            is_static: self.boolean()?,
+        })
+    }
+
+    pub fn stmt(&mut self) -> Option<Stmt> {
+        self.enter()?;
+        let span = self.span()?;
+        let kind = match self.u8()? {
+            0 => StmtKind::Decl(self.var_decl()?),
+            1 => StmtKind::Expr(self.expr()?),
+            2 => {
+                let cond = self.expr()?;
+                let then = Box::new(self.stmt()?);
+                let els = match self.u8()? {
+                    0 => None,
+                    1 => Some(Box::new(self.stmt()?)),
+                    _ => return None,
+                };
+                StmtKind::If { cond, then, els }
+            }
+            3 => StmtKind::While {
+                cond: self.expr()?,
+                body: Box::new(self.stmt()?),
+            },
+            4 => {
+                let init = match self.u8()? {
+                    0 => None,
+                    1 => Some(Box::new(self.stmt()?)),
+                    _ => return None,
+                };
+                StmtKind::For {
+                    init,
+                    cond: self.opt_expr()?,
+                    step: self.opt_expr()?,
+                    body: Box::new(self.stmt()?),
+                }
+            }
+            5 => StmtKind::Return(self.opt_expr()?),
+            6 => StmtKind::Break,
+            7 => StmtKind::Continue,
+            8 => StmtKind::Block(self.block()?),
+            9 => {
+                let directive = self.omp_directive()?;
+                let body = match self.u8()? {
+                    0 => None,
+                    1 => Some(Box::new(self.stmt()?)),
+                    _ => return None,
+                };
+                StmtKind::Omp { directive, body }
+            }
+            10 => StmtKind::RawPragma(self.str()?),
+            11 => StmtKind::Empty,
+            _ => return None,
+        };
+        self.leave();
+        Some(Stmt { kind, span })
+    }
+
+    pub fn omp_directive(&mut self) -> Option<OmpDirective> {
+        let span = self.span()?;
+        let nc = self.u32()? as usize;
+        let mut constructs = Vec::with_capacity(nc.min(PREALLOC_CAP));
+        for _ in 0..nc {
+            constructs.push(construct_from(self.u8()?)?);
+        }
+        let ncl = self.u32()? as usize;
+        let mut clauses = Vec::with_capacity(ncl.min(PREALLOC_CAP));
+        for _ in 0..ncl {
+            clauses.push(self.omp_clause()?);
+        }
+        Some(OmpDirective {
+            constructs,
+            clauses,
+            span,
+        })
+    }
+
+    fn omp_clause(&mut self) -> Option<OmpClause> {
+        Some(match self.u8()? {
+            0 => OmpClause::NumThreads(self.expr()?),
+            1 => OmpClause::NumTeams(self.expr()?),
+            2 => OmpClause::ThreadLimit(self.expr()?),
+            3 => OmpClause::Collapse(self.i64()?),
+            4 => OmpClause::Reduction {
+                op: reduction_from(self.u8()?)?,
+                vars: self.str_list()?,
+            },
+            5 => {
+                let kind = map_from(self.u8()?)?;
+                let n = self.u32()? as usize;
+                let mut sections = Vec::with_capacity(n.min(PREALLOC_CAP));
+                for _ in 0..n {
+                    let var = self.str()?;
+                    let nr = self.u32()? as usize;
+                    let mut ranges = Vec::with_capacity(nr.min(PREALLOC_CAP));
+                    for _ in 0..nr {
+                        let lo = self.expr()?;
+                        let len = self.expr()?;
+                        ranges.push((lo, len));
+                    }
+                    sections.push(ArraySection { var, ranges });
+                }
+                OmpClause::Map { kind, sections }
+            }
+            6 => OmpClause::Private(self.str_list()?),
+            7 => OmpClause::FirstPrivate(self.str_list()?),
+            8 => OmpClause::Shared(self.str_list()?),
+            9 => OmpClause::Schedule {
+                kind: self.str()?,
+                chunk: self.opt_expr()?,
+            },
+            10 => OmpClause::Default(self.str()?),
+            11 => OmpClause::If(self.expr()?),
+            12 => OmpClause::Device(self.expr()?),
+            13 => OmpClause::Unknown {
+                name: self.str()?,
+                text: self.str()?,
+            },
+            _ => return None,
+        })
+    }
+
+    pub fn fn_quals(&mut self) -> Option<FnQuals> {
+        let bits = self.u8()?;
+        if bits >= 1 << 5 {
+            return None;
+        }
+        Some(FnQuals {
+            cuda_global: bits & 1 != 0,
+            cuda_device: bits & (1 << 1) != 0,
+            cuda_host: bits & (1 << 2) != 0,
+            is_static: bits & (1 << 3) != 0,
+            is_inline: bits & (1 << 4) != 0,
+        })
+    }
+
+    pub fn function(&mut self) -> Option<Function> {
+        let quals = self.fn_quals()?;
+        let ret = self.ty()?;
+        let name = self.str()?;
+        let n = self.u32()? as usize;
+        let mut params = Vec::with_capacity(n.min(PREALLOC_CAP));
+        for _ in 0..n {
+            params.push(self.param()?);
+        }
+        let body = match self.u8()? {
+            0 => None,
+            1 => Some(self.block()?),
+            _ => return None,
+        };
+        Some(Function {
+            quals,
+            ret,
+            name,
+            params,
+            body,
+            span: self.span()?,
+        })
+    }
+
+    pub fn struct_def(&mut self) -> Option<StructDef> {
+        let name = self.str()?;
+        let n = self.u32()? as usize;
+        let mut fields = Vec::with_capacity(n.min(PREALLOC_CAP));
+        for _ in 0..n {
+            fields.push(Field {
+                ty: self.ty()?,
+                name: self.str()?,
+                array_dims: self.expr_list()?,
+            });
+        }
+        Some(StructDef {
+            name,
+            fields,
+            is_typedef: self.boolean()?,
+            span: self.span()?,
+        })
+    }
+
+    pub fn item(&mut self) -> Option<Item> {
+        let span = self.span()?;
+        let kind = match self.u8()? {
+            0 => ItemKind::Include {
+                path: self.str()?,
+                system: self.boolean()?,
+            },
+            1 => ItemKind::Define {
+                name: self.str()?,
+                body_text: self.str()?,
+            },
+            2 => ItemKind::OtherDirective(self.str()?),
+            3 => ItemKind::Struct(self.struct_def()?),
+            4 => ItemKind::Global(self.var_decl()?),
+            5 => ItemKind::Function(self.function()?),
+            _ => return None,
+        };
+        Some(Item { kind, span })
+    }
+
+    pub fn source_file(&mut self) -> Option<SourceFile> {
+        let n = self.u32()? as usize;
+        let mut items = Vec::with_capacity(n.min(PREALLOC_CAP));
+        for _ in 0..n {
+            items.push(self.item()?);
+        }
+        Some(SourceFile { items })
+    }
+
+    pub fn model_usage(&mut self) -> Option<ModelUsage> {
+        Some(ModelUsage {
+            cuda_kernels: self.u64()? as usize,
+            cuda_launches: self.u64()? as usize,
+            cuda_api_calls: self.u64()? as usize,
+            omp_parallel_directives: self.u64()? as usize,
+            omp_target_directives: self.u64()? as usize,
+            kokkos_views: self.u64()? as usize,
+            kokkos_parallel_calls: self.u64()? as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn round_trip(sf: &SourceFile) {
+        let mut enc = Enc::new();
+        enc.source_file(sf);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let back = dec.source_file().expect("decode failed");
+        assert!(dec.at_end(), "trailing bytes after decode");
+        assert_eq!(&back, sf);
+        // Truncation at any point must fail cleanly, never panic or
+        // produce a spurious AST of the full length.
+        for cut in [0, 1, bytes.len() / 2, bytes.len().saturating_sub(1)] {
+            let mut dec = Dec::new(&bytes[..cut]);
+            if let Some(partial) = dec.source_file() {
+                assert_ne!(&partial, sf, "truncated bytes decoded to the full AST");
+            }
+        }
+    }
+
+    #[test]
+    fn cuda_kernel_round_trips() {
+        let sf = parse_file(
+            r#"
+#include <cuda_runtime.h>
+#include "util.h"
+#define N 64
+struct Pair { int a; double b[4]; };
+static int counter = 0;
+__global__ void k(int* a, size_t n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) a[i] = (int)(i * 2) % 7;
+}
+int main(void) {
+    int* d;
+    cudaMalloc(&d, N * sizeof(int));
+    dim3 grid(2, 1);
+    k<<<grid, 32>>>(d, N);
+    cudaDeviceSynchronize();
+    cudaFree(d);
+    return 0;
+}
+"#,
+        )
+        .unwrap();
+        round_trip(&sf);
+    }
+
+    #[test]
+    fn omp_directives_round_trip() {
+        let sf = parse_file(
+            r#"
+void run(double* a, double* b, int n) {
+    double sum = 0.0;
+    #pragma omp target teams distribute parallel for collapse(2) \
+        map(tofrom: a[0:n]) map(to: b[0:n]) reduction(+: sum) num_threads(8)
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            a[i] += b[j] > 0.5 ? b[j] : -b[j];
+            sum += a[i];
+        }
+    }
+    #pragma omp barrier
+    while (n > 0) { n--; continue; }
+}
+"#,
+        )
+        .unwrap();
+        round_trip(&sf);
+    }
+
+    #[test]
+    fn kokkos_lambda_round_trips() {
+        let sf = parse_file(
+            r#"
+#include <Kokkos_Core.hpp>
+int main() {
+    Kokkos::initialize();
+    {
+        Kokkos::View<double*> d("d", 100);
+        Kokkos::parallel_for(100, KOKKOS_LAMBDA(int i) { d(i) = 2.0 * i; });
+        Kokkos::fence();
+    }
+    Kokkos::finalize();
+    return 0;
+}
+"#,
+        )
+        .unwrap();
+        round_trip(&sf);
+    }
+
+    #[test]
+    fn literals_and_operators_round_trip() {
+        let sf = parse_file(
+            r#"
+int f(char c) { return c == 'x'; }
+int main() {
+    const char* s = "hi\n";
+    double d = 1.5e-3;
+    bool ok = true && !false;
+    long v = (1 << 4) | 3;
+    v += 2; v -= 1; v *= 3; v /= 2; v %= 5; v ^= 1; v &= 7;
+    int arr[3] = { 1, 2, 3 };
+    int x = sizeof(double) + sizeof arr;
+    switch_free: ;
+    return ok ? f(s[0]) + (int)d + (int)v + x : 0;
+}
+"#,
+        );
+        // Some constructs may not parse in this mini-language; only pin the
+        // codec on what the parser accepts.
+        if let Ok(sf) = sf {
+            round_trip(&sf);
+        }
+    }
+
+    #[test]
+    fn model_usage_round_trips() {
+        let usage = ModelUsage {
+            cuda_kernels: 1,
+            cuda_launches: 2,
+            cuda_api_calls: 3,
+            omp_parallel_directives: 4,
+            omp_target_directives: 5,
+            kokkos_views: 6,
+            kokkos_parallel_calls: 7,
+        };
+        let mut enc = Enc::new();
+        enc.model_usage(&usage);
+        let bytes = enc.into_bytes();
+        assert_eq!(Dec::new(&bytes).model_usage(), Some(usage));
+    }
+
+    #[test]
+    fn malformed_tags_are_rejected() {
+        // An invalid item tag.
+        let mut enc = Enc::new();
+        enc.u32(1); // one item
+        enc.span(Span::DUMMY);
+        enc.u8(250); // bogus tag
+        assert_eq!(Dec::new(&enc.into_bytes()).source_file(), None);
+
+        // A boolean that is neither 0 nor 1.
+        let mut enc = Enc::new();
+        enc.u8(7);
+        assert_eq!(Dec::new(&enc.into_bytes()).boolean(), None);
+
+        // A span with start > end.
+        let mut enc = Enc::new();
+        enc.u32(5);
+        enc.u32(2);
+        assert_eq!(Dec::new(&enc.into_bytes()).span(), None);
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded_not_fatal() {
+        // 300 nested Paren exprs: deeper than MAX_DEPTH, so decoding must
+        // return None instead of blowing the stack.
+        let mut enc = Enc::new();
+        for _ in 0..300 {
+            enc.span(Span::DUMMY);
+            enc.u8(19); // Paren
+        }
+        enc.span(Span::DUMMY);
+        enc.u8(0); // IntLit
+        enc.i64(1);
+        assert_eq!(Dec::new(&enc.into_bytes()).expr(), None);
+    }
+}

@@ -23,6 +23,7 @@
 //! - [`repo`]: the in-memory repository that translation tasks rewrite.
 
 pub mod ast;
+pub mod codec;
 pub mod complexity;
 pub mod lexer;
 pub mod model;

@@ -5,6 +5,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Classification of a repository file, used by prompt construction, the
 //  dependency agent, and the build driver.
@@ -64,10 +65,13 @@ impl RepoFile {
 /// An in-memory source repository.
 ///
 /// Files are kept in a `BTreeMap` keyed by path so iteration order (and thus
-/// prompts, dependency resolution, and error logs) is deterministic.
+/// prompts, dependency resolution, and error logs) is deterministic. File
+/// bodies are `Arc<str>` handles: cloning a repository (or overlaying a few
+/// files on a clone, as repair rounds and Code-only scoring do) shares the
+/// unchanged bodies instead of deep-copying every source.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SourceRepo {
-    files: BTreeMap<String, String>,
+    files: BTreeMap<String, Arc<str>>,
 }
 
 impl SourceRepo {
@@ -75,21 +79,26 @@ impl SourceRepo {
         SourceRepo::default()
     }
 
-    pub fn with_file(mut self, path: impl Into<String>, contents: impl Into<String>) -> Self {
+    pub fn with_file(mut self, path: impl Into<String>, contents: impl Into<Arc<str>>) -> Self {
         self.add(path, contents);
         self
     }
 
-    pub fn add(&mut self, path: impl Into<String>, contents: impl Into<String>) {
+    pub fn add(&mut self, path: impl Into<String>, contents: impl Into<Arc<str>>) {
         self.files.insert(path.into(), contents.into());
     }
 
-    pub fn remove(&mut self, path: &str) -> Option<String> {
+    pub fn remove(&mut self, path: &str) -> Option<Arc<str>> {
         self.files.remove(path)
     }
 
     pub fn get(&self, path: &str) -> Option<&str> {
-        self.files.get(path).map(String::as_str)
+        self.files.get(path).map(|c| &**c)
+    }
+
+    /// The shared handle of a file body (cheap to clone into another repo).
+    pub fn get_shared(&self, path: &str) -> Option<Arc<str>> {
+        self.files.get(path).cloned()
     }
 
     pub fn contains(&self, path: &str) -> bool {
@@ -106,7 +115,12 @@ impl SourceRepo {
 
     /// Iterate `(path, contents)` in deterministic path order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.files.iter().map(|(p, c)| (p.as_str(), c.as_str()))
+        self.files.iter().map(|(p, c)| (p.as_str(), &**c))
+    }
+
+    /// Iterate `(path, shared contents)` in deterministic path order.
+    pub fn iter_shared(&self) -> impl Iterator<Item = (&str, &Arc<str>)> {
+        self.files.iter().map(|(p, c)| (p.as_str(), c))
     }
 
     pub fn paths(&self) -> impl Iterator<Item = &str> {
@@ -186,7 +200,7 @@ impl SourceRepo {
     /// Total size of all file contents in bytes (used for context-window
     /// accounting in the token model).
     pub fn total_bytes(&self) -> usize {
-        self.files.values().map(String::len).sum()
+        self.files.values().map(|c| c.len()).sum()
     }
 }
 
@@ -198,6 +212,14 @@ impl fmt::Display for SourceRepo {
 
 impl FromIterator<(String, String)> for SourceRepo {
     fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        SourceRepo {
+            files: iter.into_iter().map(|(p, c)| (p, Arc::from(c))).collect(),
+        }
+    }
+}
+
+impl FromIterator<(String, Arc<str>)> for SourceRepo {
+    fn from_iter<T: IntoIterator<Item = (String, Arc<str>)>>(iter: T) -> Self {
         SourceRepo {
             files: iter.into_iter().collect(),
         }
@@ -273,6 +295,24 @@ mod tests {
         let p1: Vec<_> = r1.paths().collect();
         let p2: Vec<_> = r2.paths().collect();
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn clones_share_file_bodies() {
+        let a = sample();
+        let b = a.clone();
+        let pa = a.get_shared("src/main.cpp").unwrap();
+        let pb = b.get_shared("src/main.cpp").unwrap();
+        assert!(Arc::ptr_eq(&pa, &pb), "clone must not deep-copy bodies");
+
+        // Overlaying one file leaves the other handles shared.
+        let mut c = a.clone();
+        c.add("src/main.cpp", "int main() { return 1; }\n");
+        assert!(!Arc::ptr_eq(&pa, &c.get_shared("src/main.cpp").unwrap()));
+        assert!(Arc::ptr_eq(
+            &a.get_shared("src/kernel.h").unwrap(),
+            &c.get_shared("src/kernel.h").unwrap()
+        ));
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! The incremental re-evaluation bench: a repair-heavy grid replayed with
+//! whole-repo outcome caching only vs. the file-granular unit tier on top
+//! (`EvalConfig::file_cache`), timed serially so the A/B measures CPU work
+//! saved, not scheduling luck.
+//!
+//! Repair rounds are where the file tier earns its keep: every revised
+//! repo is an outcome-cache miss, but most of its files are unchanged —
+//! whole-repo caching recompiles all of them, the unit tier recompiles
+//! only the touched ones and re-runs link + test. The bench asserts the
+//! two modes produce byte-identical results, then emits a
+//! machine-readable `BENCH_incr.json` (path override: `PAREVAL_BENCH_JSON`)
+//! that `make incr-smoke` gates on: file-granular must not regress below
+//! whole-repo wall-clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minihpc_lang::model::TranslationPair;
+use pareval_core::{
+    CacheStats, EvalConfig, EvalPipeline, ExperimentPlan, NullSink, Runner, SerialRunner,
+};
+use pareval_translate::Technique;
+use std::time::Instant;
+
+const REPAIR_BUDGET: u32 = 3;
+
+/// The repair-heavy grid: both techniques over the suite's multi-file
+/// apps with a budget of 3, so failed builds go through up to three
+/// revise-and-re-evaluate rounds — each one a whole-repo cache miss with
+/// mostly unchanged files, exactly the shape file granularity pays on.
+fn grid(samples: u32, file_cache: bool) -> ExperimentPlan {
+    ExperimentPlan::builder()
+        .samples(samples)
+        .pairs([TranslationPair::CUDA_TO_OMP_OFFLOAD])
+        .techniques([Technique::NonAgentic, Technique::TopDownAgentic])
+        .apps(["SimpleMOC-kernel", "XSBench", "llm.c"])
+        .eval(EvalConfig {
+            max_cases: 1,
+            repair_budget: REPAIR_BUDGET,
+            file_cache,
+            ..EvalConfig::default()
+        })
+        .build()
+}
+
+/// One timed serial replay of the grid through a fresh pipeline; returns
+/// the wall time, the results, and the cache counters.
+fn timed_run(samples: u32, file_cache: bool) -> (f64, pareval_core::ExperimentResults, CacheStats) {
+    let plan = grid(samples, file_cache);
+    let pipeline = EvalPipeline::new(plan.eval().clone());
+    let start = Instant::now();
+    let results = SerialRunner.run_with(&plan, &pipeline, &NullSink);
+    (
+        start.elapsed().as_secs_f64(),
+        results,
+        pipeline.cache_stats(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let samples = std::env::var("PAREVAL_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if test_mode { 2 } else { 5 });
+    let reps = if test_mode { 1 } else { 3 };
+
+    // Best-of-N serial wall clock for each mode, interleaved so thermal /
+    // scheduling drift hits both sides equally.
+    let mut whole_wall = f64::INFINITY;
+    let mut file_wall = f64::INFINITY;
+    let mut file_stats = CacheStats::default();
+    let mut baseline = None;
+    for _ in 0..reps {
+        let (w, whole_results, _) = timed_run(samples, false);
+        whole_wall = whole_wall.min(w);
+        let (f, file_results, stats) = timed_run(samples, true);
+        file_wall = file_wall.min(f);
+        file_stats = stats;
+        assert_eq!(
+            whole_results, file_results,
+            "file-granular caching changed the results"
+        );
+        baseline.get_or_insert(whole_results);
+    }
+    let speedup = whole_wall / file_wall;
+    println!(
+        "incremental: budget-{REPAIR_BUDGET} grid, {samples} samples/cell: \
+         whole-repo {:.1} ms, file-granular {:.1} ms ({speedup:.2}x, \
+         {} unit hits / {} misses)",
+        whole_wall * 1e3,
+        file_wall * 1e3,
+        file_stats.file_hits,
+        file_stats.file_misses,
+    );
+
+    if !test_mode {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"incremental\",\n",
+                "  \"measurement\": \"best-of-{reps} serial wall clock of the same repair-heavy ",
+                "grid, outcome cache on in both modes; only the file-granular unit tier differs\",\n",
+                "  \"grid\": \"CUDA->OMP-offload x (non-agentic, top-down) x ",
+                "(SimpleMOC-kernel, XSBench, llm.c) x 4 models\",\n",
+                "  \"samples_per_cell\": {samples},\n",
+                "  \"repair_budget\": {budget},\n",
+                "  \"whole_repo_wall_s\": {w:.4},\n",
+                "  \"file_granular_wall_s\": {f:.4},\n",
+                "  \"speedup\": {s:.4},\n",
+                "  \"file_hits\": {hits},\n",
+                "  \"file_misses\": {misses}\n",
+                "}}\n",
+            ),
+            reps = reps,
+            samples = samples,
+            budget = REPAIR_BUDGET,
+            w = whole_wall,
+            f = file_wall,
+            s = speedup,
+            hits = file_stats.file_hits,
+            misses = file_stats.file_misses,
+        );
+        let path =
+            std::env::var("PAREVAL_BENCH_JSON").unwrap_or_else(|_| "BENCH_incr.json".to_string());
+        std::fs::write(&path, json).expect("write BENCH_incr.json");
+        println!("wrote {path}");
+    }
+
+    for (label, file_cache) in [("whole_repo", false), ("file_granular", true)] {
+        let plan = grid(samples, file_cache);
+        c.bench_function(
+            &format!("incremental/{label}_budget_{REPAIR_BUDGET}"),
+            |b| {
+                b.iter(|| {
+                    let pipeline = EvalPipeline::new(plan.eval().clone());
+                    std::hint::black_box(SerialRunner.run_with(&plan, &pipeline, &NullSink))
+                })
+            },
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(5);
+    targets = bench
+}
+criterion_main!(benches);

@@ -35,14 +35,16 @@ use crate::plan::{ExperimentPlan, SampleSpec};
 use crate::runner::SampleRecord;
 use crate::task::{EvalConfig, EvalOutcome, RepairRound, SampleResult, Task};
 use minihpc_analyze::{AnalysisFinding, Confidence};
-use minihpc_build::{build_repo, BuildRequest, ErrorCategory};
+use minihpc_build::preprocess::ParsedFile;
+use minihpc_build::unit::{decode_unit, encode_unit};
+use minihpc_build::{build_repo_with, BuildRequest, CompiledUnit, ErrorCategory, UnitCache};
 use minihpc_lang::repo::{FileKind, SourceRepo};
 use minihpc_runtime::{run, RunConfig};
 use pareval_llm::{AttemptSpec, ModelProfile, RepairContext, RepairOutcome, TranslationBackend};
 use pareval_translate::techniques::{translate_with, TranslationJob};
 use pareval_translate::Technique;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -80,15 +82,22 @@ impl ContentHash {
 /// Hit/miss/evict counters of a [`BuildCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from the in-memory tier.
+    /// Outcome lookups served from the in-memory tier.
     pub hits: u64,
-    /// Lookups served from neither tier (a cold evaluation ran).
+    /// Outcome lookups served from neither tier (a cold evaluation ran).
     pub misses: u64,
-    /// Lookups that missed in memory but were served by the disk tier
-    /// (the entry is promoted to memory on the way out).
+    /// Outcome lookups that missed in memory but were served by the disk
+    /// tier (the entry is promoted to memory on the way out).
     pub disk_hits: u64,
-    /// Disk entries evicted to keep the tier under its byte budget.
+    /// Disk entries (outcomes and units) evicted to keep the tier under
+    /// its byte budget.
     pub evictions: u64,
+    /// Per-file compile units replayed from the cache (memory or disk)
+    /// instead of re-running sema. Counted only on outcome misses — an
+    /// outcome hit never reaches the unit tier.
+    pub file_hits: u64,
+    /// Per-file compile units that had to be compiled cold.
+    pub file_misses: u64,
 }
 
 impl CacheStats {
@@ -104,23 +113,53 @@ impl CacheStats {
     }
 }
 
-/// The persistent tier of a [`BuildCache`]: one file per outcome in a
-/// shared directory, named by the hex content key, each payload
-/// checksummed. Because the file *name* is the full 128-bit key — which
-/// hashes every [`EvalConfig`] knob that can change an outcome — a harness
-/// whose key computation changes (a new knob, a new hash input) simply
-/// stops matching old entries; it can never be served a stale outcome
-/// computed under different semantics.
+/// What a disk-tier file stores: a whole-repo [`EvalOutcome`] or a
+/// per-file [`CompiledUnit`]. The kinds live in one directory under one
+/// byte budget, distinguished by file suffix and magic, and are keyed from
+/// disjoint hash constructions (the outcome key hashes repo + knobs, the
+/// unit key hashes a version salt + closure), so the kind is part of the
+/// index key purely as a belt-and-braces measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum EntryKind {
+    Outcome,
+    Unit,
+}
+
+impl EntryKind {
+    const ALL: [EntryKind; 2] = [EntryKind::Outcome, EntryKind::Unit];
+
+    fn suffix(self) -> &'static str {
+        match self {
+            EntryKind::Outcome => "entry",
+            EntryKind::Unit => "unit",
+        }
+    }
+
+    fn magic(self) -> &'static [u8; 8] {
+        match self {
+            EntryKind::Outcome => b"PEBC0001",
+            EntryKind::Unit => b"PEBU0001",
+        }
+    }
+}
+
+/// The persistent tier of a [`BuildCache`]: one file per entry in a shared
+/// directory, named by the hex content key (`.entry` outcomes, `.unit`
+/// compile units), each payload checksummed. Because the file *name* is
+/// the full 128-bit key — which hashes every input that can change the
+/// stored value — a harness whose key computation changes (a new knob, a
+/// new hash input, a codec bump) simply stops matching old entries; it can
+/// never be served a stale value computed under different semantics.
 ///
 /// Durability is best-effort by design: a read that fails its checksum (a
 /// torn write, bit rot) deletes the entry and reports a miss — a corrupted
 /// entry can cost a rebuild, never a wrong result. Store errors (disk
 /// full, permissions) are swallowed; the run continues on the memory tier.
 ///
-/// Eviction is least-recently-used by byte budget: the in-process index
-/// orders entries by last touch (seeded from file mtimes at open, so LRU
-/// order survives across processes), and inserts evict from the cold end
-/// until the tier fits the budget again.
+/// Eviction is least-recently-used by byte budget shared across both entry
+/// kinds: the in-process index orders entries by last touch (seeded from
+/// file mtimes at open, so LRU order survives across processes), and
+/// inserts evict from the cold end until the tier fits the budget again.
 #[derive(Debug)]
 struct DiskCache {
     dir: PathBuf,
@@ -128,59 +167,108 @@ struct DiskCache {
     index: Mutex<DiskIndex>,
 }
 
-/// LRU bookkeeping of a [`DiskCache`]: entries in touch order (front =
-/// coldest), plus the running byte total.
+/// One indexed disk entry: its position in the LRU order and its on-disk
+/// size.
+#[derive(Debug, Clone, Copy)]
+struct IndexSlot {
+    touch: u64,
+    size: u64,
+}
+
+/// LRU bookkeeping of a [`DiskCache`].
+///
+/// Invariant (held under the [`DiskCache::index`] lock, which every file
+/// delete also holds): `total_bytes` equals the sum of the on-disk sizes
+/// of exactly the indexed entries. `slots` maps each key to its slot;
+/// `order` mirrors the slots keyed by touch counter, so the coldest entry
+/// is `order`'s first value and both touch and eviction are O(log n) —
+/// the previous `Vec` + `position()` index was O(n) per operation,
+/// quadratic over the thousands of entries the unit tier creates.
+///
+/// `visited` is the work counter the regression test pins: **contract —
+/// every index operation (`touch`/`remove`/`coldest`) increments it by
+/// exactly 1**, i.e. examines one slot, never a scan. A reintroduced
+/// linear scan has nowhere to hide: it would have to bump `visited` per
+/// element examined (as the dbscan fix's counter does) and the test's
+/// equality assertion fails.
 #[derive(Debug, Default)]
 struct DiskIndex {
-    entries: Vec<(u128, u64)>,
+    slots: HashMap<(u128, EntryKind), IndexSlot>,
+    order: BTreeMap<u64, (u128, EntryKind)>,
+    next_touch: u64,
     total_bytes: u64,
+    visited: u64,
 }
 
 impl DiskIndex {
-    /// Move `key` to the hot end (or append it), updating the byte total.
-    fn touch(&mut self, key: u128, size: u64) {
-        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
-            let (_, old) = self.entries.remove(i);
-            self.total_bytes -= old;
+    /// Move `key` to the hot end (or insert it), updating the byte total.
+    fn touch(&mut self, key: u128, kind: EntryKind, size: u64) {
+        self.visited += 1;
+        let t = self.next_touch;
+        self.next_touch += 1;
+        match self.slots.get_mut(&(key, kind)) {
+            Some(slot) => {
+                self.order.remove(&slot.touch);
+                self.total_bytes -= slot.size;
+                slot.touch = t;
+                slot.size = size;
+            }
+            None => {
+                self.slots.insert((key, kind), IndexSlot { touch: t, size });
+            }
         }
-        self.entries.push((key, size));
+        self.order.insert(t, (key, kind));
         self.total_bytes += size;
     }
 
-    fn remove(&mut self, key: u128) {
-        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
-            let (_, size) = self.entries.remove(i);
-            self.total_bytes -= size;
+    fn remove(&mut self, key: u128, kind: EntryKind) {
+        self.visited += 1;
+        if let Some(slot) = self.slots.remove(&(key, kind)) {
+            self.order.remove(&slot.touch);
+            self.total_bytes -= slot.size;
         }
     }
-}
 
-const DISK_ENTRY_MAGIC: &[u8; 8] = b"PEBC0001";
+    fn contains(&self, key: u128, kind: EntryKind) -> bool {
+        self.slots.contains_key(&(key, kind))
+    }
+
+    /// The least-recently-used entry, if any.
+    fn coldest(&mut self) -> Option<(u128, EntryKind)> {
+        self.visited += 1;
+        self.order.values().next().copied()
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
 
 impl DiskCache {
     /// Open (creating if needed) the cache directory and rebuild the LRU
     /// index from the entries already on disk, coldest mtime first.
     fn open(dir: &Path, budget: u64) -> std::io::Result<DiskCache> {
         std::fs::create_dir_all(dir)?;
-        let mut found: Vec<(u128, u64, std::time::SystemTime)> = Vec::new();
+        let mut found: Vec<(u128, EntryKind, u64, std::time::SystemTime)> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
             let entry = entry?;
             let name = entry.file_name();
-            let Some(key) = name
-                .to_str()
-                .and_then(|n| n.strip_suffix(".entry"))
-                .and_then(|hex| u128::from_str_radix(hex, 16).ok())
-            else {
+            let Some((key, kind)) = name.to_str().and_then(|n| {
+                EntryKind::ALL.iter().find_map(|&kind| {
+                    let hex = n.strip_suffix(kind.suffix())?.strip_suffix('.')?;
+                    Some((u128::from_str_radix(hex, 16).ok()?, kind))
+                })
+            }) else {
                 continue;
             };
             let Ok(meta) = entry.metadata() else { continue };
             let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
-            found.push((key, meta.len(), mtime));
+            found.push((key, kind, meta.len(), mtime));
         }
-        found.sort_by_key(|&(key, _, mtime)| (mtime, key));
+        found.sort_by_key(|&(key, kind, _, mtime)| (mtime, key, kind));
         let mut index = DiskIndex::default();
-        for (key, size, _) in found {
-            index.touch(key, size);
+        for (key, kind, size, _) in found {
+            index.touch(key, kind, size);
         }
         Ok(DiskCache {
             dir: dir.to_path_buf(),
@@ -189,63 +277,93 @@ impl DiskCache {
         })
     }
 
-    fn path_of(&self, key: u128) -> PathBuf {
-        self.dir.join(format!("{key:032x}.entry"))
+    fn path_of(&self, key: u128, kind: EntryKind) -> PathBuf {
+        self.dir.join(format!("{key:032x}.{}", kind.suffix()))
     }
 
-    /// Read-through lookup. Any failure — missing file, bad magic, bad
-    /// checksum, undecodable payload — deletes the entry and reports a
-    /// miss; a corrupted entry can never surface as a wrong outcome.
-    fn load(&self, key: u128) -> Option<EvalOutcome> {
-        let path = self.path_of(key);
-        let outcome = std::fs::read(&path).ok().and_then(|bytes| {
-            let payload = bytes.strip_prefix(DISK_ENTRY_MAGIC)?;
+    /// Read-through lookup of a verified payload. Any failure — missing
+    /// file, bad magic, bad checksum, undecodable payload — deletes the
+    /// entry and reports a miss; a corrupted entry can never surface as a
+    /// wrong value.
+    fn load_entry<T>(
+        &self,
+        key: u128,
+        kind: EntryKind,
+        decode: impl FnOnce(&[u8]) -> Option<T>,
+    ) -> Option<T> {
+        let path = self.path_of(key, kind);
+        let bytes = std::fs::read(&path).ok();
+        // Account the entry at the length actually read: re-statting the
+        // file here would race a concurrent eviction's delete and record
+        // the entry at size 0, permanently desyncing `total_bytes` from
+        // real disk usage.
+        let file_len = bytes.as_ref().map(|b| b.len() as u64).unwrap_or(0);
+        let value = bytes.and_then(|bytes| {
+            let payload = bytes.strip_prefix(kind.magic())?;
             let (sum, payload) = payload.split_first_chunk::<8>()?;
             if u64::from_le_bytes(*sum) != codec::fnv64(payload) {
                 return None;
             }
-            codec::decode_outcome(payload)
+            decode(payload)
         });
-        match outcome {
-            Some(outcome) => {
-                let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-                self.index.lock().touch(key, len);
-                Some(outcome)
+        match value {
+            Some(value) => {
+                // Touch under the same lock eviction deletes files under,
+                // and only while the entry still exists — an entry evicted
+                // between our read and this lock must not be resurrected
+                // into the index as a ghost.
+                let mut index = self.index.lock();
+                if index.contains(key, kind) || path.exists() {
+                    index.touch(key, kind, file_len);
+                }
+                Some(value)
             }
             None => {
+                let mut index = self.index.lock();
                 let _ = std::fs::remove_file(&path);
-                self.index.lock().remove(key);
+                index.remove(key, kind);
                 None
             }
         }
     }
 
-    /// Write-through insert: serialize, write to a temp file, rename into
-    /// place (atomic on POSIX), then evict cold entries until the tier is
-    /// back under budget. Returns how many entries were evicted.
-    fn store(&self, key: u128, outcome: &EvalOutcome) -> u64 {
-        let payload = codec::encode_outcome(outcome);
-        let mut bytes = Vec::with_capacity(DISK_ENTRY_MAGIC.len() + 8 + payload.len());
-        bytes.extend_from_slice(DISK_ENTRY_MAGIC);
-        bytes.extend_from_slice(&codec::fnv64(&payload).to_le_bytes());
-        bytes.extend_from_slice(&payload);
-        let path = self.path_of(key);
-        let tmp = self.dir.join(format!("{key:032x}.tmp"));
+    fn load(&self, key: u128) -> Option<EvalOutcome> {
+        self.load_entry(key, EntryKind::Outcome, codec::decode_outcome)
+    }
+
+    fn load_unit(&self, key: u128) -> Option<CompiledUnit> {
+        self.load_entry(key, EntryKind::Unit, decode_unit)
+    }
+
+    /// Write-through insert: frame the payload (magic + checksum), write to
+    /// a temp file, rename into place (atomic on POSIX), then evict cold
+    /// entries until the tier is back under budget. Returns how many
+    /// entries were evicted.
+    fn store(&self, key: u128, kind: EntryKind, payload: &[u8]) -> u64 {
+        let magic = kind.magic();
+        let mut bytes = Vec::with_capacity(magic.len() + 8 + payload.len());
+        bytes.extend_from_slice(magic);
+        bytes.extend_from_slice(&codec::fnv64(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        let path = self.path_of(key, kind);
+        let tmp = self.dir.join(format!("{key:032x}.{}.tmp", kind.suffix()));
         if std::fs::write(&tmp, &bytes).is_err() || std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
             return 0;
         }
         let mut index = self.index.lock();
-        index.touch(key, bytes.len() as u64);
+        index.touch(key, kind, bytes.len() as u64);
         // Evict coldest-first until under budget. The entry just written is
         // at the hot end and is never evicted on its own insert (a single
         // over-budget entry is still worth keeping until something newer
         // displaces it).
         let mut evicted = 0;
-        while index.total_bytes > self.budget && index.entries.len() > 1 {
-            let (cold, _) = index.entries[0];
-            let _ = std::fs::remove_file(self.path_of(cold));
-            index.remove(cold);
+        while index.total_bytes > self.budget && index.len() > 1 {
+            let Some((cold, cold_kind)) = index.coldest() else {
+                break;
+            };
+            let _ = std::fs::remove_file(self.path_of(cold, cold_kind));
+            index.remove(cold, cold_kind);
             evicted += 1;
         }
         evicted
@@ -265,6 +383,18 @@ impl DiskCache {
 #[derive(Debug, Default)]
 pub struct BuildCache {
     map: RwLock<HashMap<u128, EvalOutcome>>,
+    /// The file-granular tier: per-file compile units (parse + sema +
+    /// object) keyed by include-closure content (see
+    /// [`minihpc_build::unit::unit_key`]). Outcome hits never reach this
+    /// tier; it pays off on outcome *misses* whose repos share files with
+    /// earlier builds — a repair round that touched one file re-compiles
+    /// one unit and re-runs only link + test.
+    units: RwLock<HashMap<u128, CompiledUnit>>,
+    /// Parse memo backing the unit tier: `SourceFile` ASTs keyed by file
+    /// content. Unit lookup needs the include closure, which needs every
+    /// file parsed — this memo makes that discovery pass reparse only
+    /// changed files.
+    parses: RwLock<HashMap<u128, ParsedFile>>,
     /// Analyzer findings memoized by the same content key as build
     /// outcomes: the analysis is pure over repo content, so a repeated
     /// evaluation (Code-only reuse, repair rounds that re-emit unchanged
@@ -274,6 +404,8 @@ pub struct BuildCache {
     hits: AtomicU64,
     misses: AtomicU64,
     disk_hits: AtomicU64,
+    file_hits: AtomicU64,
+    file_misses: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -303,6 +435,11 @@ impl BuildCache {
             max_steps,
             // Gates whether a cache exists at all; it cannot alias entries.
             build_cache: _,
+            // Pure wall-clock knob: the build substrate is deterministic,
+            // so outcomes are byte-identical with the file tier on or off
+            // (tests/determinism.rs proves it) — hashing it would only
+            // split otherwise-shareable entries.
+            file_cache: _,
             repair_budget,
             repair_diag_lines,
             // Where the persistent tier lives and how big it may grow
@@ -359,19 +496,34 @@ impl BuildCache {
 
     fn insert(&self, key: u128, outcome: EvalOutcome) {
         if let Some(disk) = &self.disk {
-            let evicted = disk.store(key, &outcome);
+            let evicted = disk.store(key, EntryKind::Outcome, &codec::encode_outcome(&outcome));
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
         self.map.write().insert(key, outcome);
     }
 
-    /// Distinct outcomes currently stored.
-    pub fn len(&self) -> usize {
-        self.map.read().len()
+    /// Entries in the in-memory tiers: whole-repo outcomes plus per-file
+    /// compile units. (`len()` used to report only the outcome map, which
+    /// under-reported occupancy once the disk tier existed — size
+    /// accounting now reports each tier explicitly; see [`len_disk`].)
+    ///
+    /// [`len_disk`]: BuildCache::len_disk
+    pub fn len_memory(&self) -> usize {
+        self.map.read().len() + self.units.read().len()
     }
 
+    /// Entries currently indexed in the persistent disk tier (0 when no
+    /// disk tier is configured). Counts both outcome and unit entries.
+    pub fn len_disk(&self) -> usize {
+        self.disk
+            .as_ref()
+            .map(|d| d.index.lock().len())
+            .unwrap_or(0)
+    }
+
+    /// No entries in any tier, memory or disk.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len_memory() == 0 && self.len_disk() == 0
     }
 
     pub fn stats(&self) -> CacheStats {
@@ -379,8 +531,51 @@ impl BuildCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            file_hits: self.file_hits.load(Ordering::Relaxed),
+            file_misses: self.file_misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// The file-granular cache seam the build driver compiles through (see
+/// [`minihpc_build::driver::build_repo_with`]): parses memoized by file
+/// content, compile units by include-closure key, both read through to the
+/// disk tier when one is configured.
+impl UnitCache for BuildCache {
+    fn parse_file(&self, text: &str) -> ParsedFile {
+        let mut h = ContentHash::new();
+        h.write(b"parse-v1");
+        h.write(text.as_bytes());
+        let key = h.0;
+        if let Some(hit) = self.parses.read().get(&key) {
+            return hit.clone();
+        }
+        let parsed = minihpc_lang::parser::parse_file(text);
+        self.parses.write().insert(key, parsed.clone());
+        parsed
+    }
+
+    fn lookup_unit(&self, key: u128) -> Option<CompiledUnit> {
+        if let Some(hit) = self.units.read().get(&key).cloned() {
+            self.file_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hit);
+        }
+        if let Some(hit) = self.disk.as_ref().and_then(|d| d.load_unit(key)) {
+            self.file_hits.fetch_add(1, Ordering::Relaxed);
+            self.units.write().insert(key, hit.clone());
+            return Some(hit);
+        }
+        self.file_misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn store_unit(&self, key: u128, unit: &CompiledUnit) {
+        if let Some(disk) = &self.disk {
+            let evicted = disk.store(key, EntryKind::Unit, &encode_unit(unit));
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        self.units.write().insert(key, unit.clone());
     }
 }
 
@@ -638,6 +833,12 @@ impl EvalPipeline {
     /// file. When the translated build file already matches it, the rebuilt
     /// repo hashes to the same key and the Overall evaluation is reused
     /// wholesale.
+    ///
+    /// The overlay repo is a clone of `translated` — which shares file
+    /// bodies by handle ([`SourceRepo`] stores `Arc<str>`), so swapping the
+    /// build file costs two map edits, not a deep copy of every source.
+    /// The unchanged sources also keep their content, so the file tier
+    /// serves their compile units straight from the Overall build.
     fn code_only_outcome(
         &self,
         task: &Task,
@@ -646,11 +847,14 @@ impl EvalPipeline {
     ) -> EvalOutcome {
         match task.app.ground_truth_build.get(&task.pair.to) {
             Some((gt_path, gt_text)) => {
-                let mut repo = SourceRepo::new();
-                for (p, c) in translated.iter() {
-                    if !FileKind::of(p).is_build_file() {
-                        repo.add(p, c);
-                    }
+                let mut repo = translated.clone();
+                let build_files: Vec<String> = repo
+                    .iter()
+                    .filter(|(p, _)| FileKind::of(p).is_build_file())
+                    .map(|(p, _)| p.to_string())
+                    .collect();
+                for p in build_files {
+                    repo.remove(&p);
                 }
                 repo.add(gt_path.clone(), gt_text.clone());
                 self.evaluate(task, &repo)
@@ -660,16 +864,20 @@ impl EvalPipeline {
     }
 
     /// Build + run the app's tests + enforce the paper's correctness
-    /// criteria, through the cache when one is enabled.
+    /// criteria, through the cache when one is enabled. On an outcome miss
+    /// the cold build compiles through the cache's file-granular unit tier
+    /// (unless [`EvalConfig::file_cache`] is off), so repos sharing files
+    /// with earlier builds recompile only what changed.
     pub fn evaluate(&self, task: &Task, repo: &SourceRepo) -> EvalOutcome {
         let Some(cache) = &self.cache else {
-            return evaluate_uncached(task, repo, &self.eval);
+            return evaluate_uncached(task, repo, &self.eval, None);
         };
         let key = BuildCache::key(task, repo, &self.eval);
         if let Some(hit) = cache.lookup(key) {
             return hit;
         }
-        let outcome = evaluate_uncached(task, repo, &self.eval);
+        let units = self.eval.file_cache.then_some(cache as &dyn UnitCache);
+        let outcome = evaluate_uncached(task, repo, &self.eval, units);
         cache.insert(key, outcome.clone());
         outcome
     }
@@ -758,9 +966,16 @@ fn repair_context(outcome: &EvalOutcome, round: u32, max_lines: usize) -> Repair
 }
 
 /// The cold path: build, enforce the target-model rule, run the developer
-/// tests (right answers, on the specified hardware).
-fn evaluate_uncached(task: &Task, repo: &SourceRepo, eval: &EvalConfig) -> EvalOutcome {
-    let outcome = build_repo(repo, &BuildRequest::new(&*task.app.binary));
+/// tests (right answers, on the specified hardware). `units` is the
+/// optional file-granular compile cache the build reads and writes
+/// per-file results through.
+fn evaluate_uncached(
+    task: &Task,
+    repo: &SourceRepo,
+    eval: &EvalConfig,
+    units: Option<&dyn UnitCache>,
+) -> EvalOutcome {
+    let outcome = build_repo_with(repo, &BuildRequest::new(&*task.app.binary), units);
     let build_log = outcome.log.text();
     let Some(exe) = outcome.executable else {
         return EvalOutcome {
@@ -923,15 +1138,175 @@ mod tests {
         assert_eq!(a.code_only, b.code_only);
         assert_eq!(a.overall, b.overall);
         let stats = pipeline.cache_stats();
+        // Sample 0's two scorings are the only outcome misses; sample 1 is
+        // pure hits. Within sample 0's misses, the file tier engages: the
+        // Overall build compiles its unit cold, and the Code-only build —
+        // same sources, different build file — replays it.
         assert_eq!(
             stats,
             CacheStats {
                 hits: 2,
                 misses: 2,
+                file_hits: 1,
+                file_misses: 1,
                 ..CacheStats::default()
             },
-            "sample 1 must be pure hits"
+            "sample 1 must be pure hits; code-only must replay the unit"
         );
+    }
+
+    /// A unique scratch dir under the system temp dir (no `tempfile`
+    /// crate in the workspace), removed by the test that made it.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "pareval-eval-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn concurrent_load_and_evict_keep_byte_accounting_in_sync() {
+        // Regression pin for the load-path accounting bug: `load` used to
+        // re-stat the entry file *after* reading it, so an eviction racing
+        // between the read and the stat recorded the entry at size 0 and
+        // resurrected evicted keys as ghost index entries. The fix accounts
+        // the bytes actually read and re-touches under the eviction lock
+        // only while the entry still exists.
+        let dir = scratch_dir("load-evict");
+        let outcome = EvalOutcome {
+            built: true,
+            passed: true,
+            error_category: None,
+            build_log: "x".repeat(64),
+            error_diagnostics: Vec::new(),
+        };
+        let payload = codec::encode_outcome(&outcome);
+        // Budget fits only a handful of entries, so the storer thread
+        // evicts on nearly every insert while loaders hammer a hot key.
+        let entry_len = (payload.len() + 16) as u64;
+        let cache = DiskCache::open(&dir, entry_len * 4).unwrap();
+        cache.store(0, EntryKind::Outcome, &payload);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..300 {
+                        let _ = cache.load(0);
+                    }
+                });
+            }
+            s.spawn(|| {
+                for k in 1..300u128 {
+                    cache.store(k, EntryKind::Outcome, &payload);
+                }
+            });
+        });
+        // Quiesced invariant: the index tracks exactly the on-disk entry
+        // files, and `total_bytes` is the sum of their real sizes.
+        let index = cache.index.lock();
+        let mut on_disk = std::collections::BTreeMap::new();
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let entry = entry.unwrap();
+            let name = entry.file_name().into_string().unwrap();
+            let hex = name.strip_suffix(".entry").expect("only .entry files");
+            let key = u128::from_str_radix(hex, 16).unwrap();
+            on_disk.insert(key, entry.metadata().unwrap().len());
+        }
+        let indexed: std::collections::BTreeMap<u128, u64> = index
+            .slots
+            .iter()
+            .map(|(&(key, _), slot)| (key, slot.size))
+            .collect();
+        assert_eq!(indexed, on_disk, "index and directory disagree");
+        assert_eq!(
+            index.total_bytes,
+            on_disk.values().sum::<u64>(),
+            "total_bytes desynced from real disk usage"
+        );
+        drop(index);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_index_operations_examine_one_slot_each() {
+        // Work-counter pin for the O(n)-scan fix: every index operation
+        // examines exactly one slot, so a workload of K operations over N
+        // entries costs K visits — the old `Vec::position` index cost
+        // O(N) per touch/remove (~N·K/2 visits on this workload).
+        const N: u128 = 512;
+        let mut index = DiskIndex::default();
+        let mut ops = 0u64;
+        for k in 0..N {
+            index.touch(k, EntryKind::Unit, 10);
+            ops += 1;
+        }
+        assert_eq!(index.total_bytes, 10 * N as u64);
+        // Re-touch every entry in insertion order (the worst case for the
+        // old index: each re-touch scanned to the cold end).
+        for k in 0..N {
+            index.touch(k, EntryKind::Unit, 12);
+            ops += 1;
+        }
+        assert_eq!(index.total_bytes, 12 * N as u64);
+        // The same key under the other entry kind is a distinct slot.
+        index.touch(7, EntryKind::Outcome, 100);
+        ops += 1;
+        assert_eq!(index.len(), N as usize + 1);
+        for k in 0..N / 2 {
+            index.remove(k, EntryKind::Unit);
+            ops += 1;
+        }
+        // Drain the rest the way eviction does: coldest probe + remove.
+        while let Some((k, kind)) = index.coldest() {
+            ops += 1;
+            index.remove(k, kind);
+            ops += 1;
+        }
+        ops += 1; // the final coldest() that found the index empty
+        assert_eq!(index.total_bytes, 0);
+        assert_eq!(index.len(), 0);
+        assert_eq!(
+            index.visited, ops,
+            "an index operation examined more than one slot"
+        );
+    }
+
+    #[test]
+    fn per_tier_lengths_count_every_tier() {
+        // `len()` used to report only the in-memory outcome map; the
+        // per-tier counts must see unit entries and disk entries too.
+        let task = task_named("nanoXOR", TranslationPair::CUDA_TO_OMP_OFFLOAD);
+        let model = model_by_name("o4-mini").unwrap();
+        let dir = scratch_dir("tier-len");
+        let cache = BuildCache::with_disk(&dir, 64 << 20).unwrap();
+        assert!(cache.is_empty());
+        let pipeline = EvalPipeline {
+            eval: eval_config(),
+            cache: Some(cache),
+        };
+        pipeline.run_sample(&task, Technique::NonAgentic, &model, &OracleBackend, 7, 0);
+        let cache = pipeline.cache.as_ref().unwrap();
+        assert!(
+            cache.len_memory() > cache.map.read().len(),
+            "unit entries must count toward the memory tier"
+        );
+        assert_eq!(
+            cache.len_disk(),
+            cache.len_memory(),
+            "every memory entry was written through to disk"
+        );
+        assert!(!cache.is_empty());
+        // A fresh cache over the same dir is not empty: the disk tier
+        // counts even though the memory tier starts cold.
+        let reopened = BuildCache::with_disk(&dir, 64 << 20).unwrap();
+        assert_eq!(reopened.len_memory(), 0);
+        assert!(!reopened.is_empty());
+        assert_eq!(reopened.len_disk(), cache.len_disk());
+        drop(pipeline);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

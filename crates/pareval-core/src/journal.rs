@@ -116,41 +116,15 @@ pub(crate) mod codec {
         h
     }
 
-    /// Stable on-disk code of an [`ErrorCategory`]. Exhaustive match:
-    /// adding a category refuses to compile until it gets a code.
+    /// Stable on-disk code of an [`ErrorCategory`] — the canonical numbering
+    /// lives on the type itself ([`ErrorCategory::code`]) so the journal and
+    /// the disk build cache can never drift apart.
     fn category_code(c: ErrorCategory) -> u8 {
-        match c {
-            ErrorCategory::BuildFileSyntax => 0,
-            ErrorCategory::MakefileMissingTarget => 1,
-            ErrorCategory::CMakeConfig => 2,
-            ErrorCategory::InvalidCompilerFlag => 3,
-            ErrorCategory::MissingHeader => 4,
-            ErrorCategory::CodeSyntax => 5,
-            ErrorCategory::UndeclaredIdentifier => 6,
-            ErrorCategory::ArgTypeMismatch => 7,
-            ErrorCategory::OmpInvalidDirective => 8,
-            ErrorCategory::LinkerError => 9,
-            ErrorCategory::MissingFile => 10,
-            ErrorCategory::Other => 11,
-        }
+        c.code()
     }
 
     fn category_from_code(code: u8) -> Option<ErrorCategory> {
-        Some(match code {
-            0 => ErrorCategory::BuildFileSyntax,
-            1 => ErrorCategory::MakefileMissingTarget,
-            2 => ErrorCategory::CMakeConfig,
-            3 => ErrorCategory::InvalidCompilerFlag,
-            4 => ErrorCategory::MissingHeader,
-            5 => ErrorCategory::CodeSyntax,
-            6 => ErrorCategory::UndeclaredIdentifier,
-            7 => ErrorCategory::ArgTypeMismatch,
-            8 => ErrorCategory::OmpInvalidDirective,
-            9 => ErrorCategory::LinkerError,
-            10 => ErrorCategory::MissingFile,
-            11 => ErrorCategory::Other,
-            _ => return None,
-        })
+        ErrorCategory::from_code(code)
     }
 
     /// Append-only byte encoder.

@@ -127,6 +127,14 @@ pub struct EvalConfig {
     /// [`crate::eval::BuildCache`]). On by default; results are
     /// byte-identical either way, this is purely a wall-clock knob.
     pub build_cache: bool,
+    /// File-granular caching inside the build: memoize per-file compile
+    /// units (parse + sema + object) by include-closure content, so a
+    /// re-evaluation after a repair round recompiles only changed files
+    /// and re-runs only the link + test stage. Requires
+    /// [`EvalConfig::build_cache`]; on by default. Like `build_cache`
+    /// this is purely a wall-clock knob — the build substrate is
+    /// deterministic, so results are byte-identical either way.
+    pub file_cache: bool,
     /// Maximum repair rounds after a failed build: the pipeline summarizes
     /// the build log into a [`pareval_llm::RepairContext`], re-invokes the
     /// attempt, and re-evaluates, until the build succeeds, the attempt
@@ -169,6 +177,7 @@ impl Default for EvalConfig {
             max_cases: usize::MAX,
             max_steps: 200_000_000,
             build_cache: true,
+            file_cache: true,
             repair_budget: 0,
             repair_diag_lines: 8,
             disk_cache_dir: None,

@@ -7,7 +7,9 @@ mod common;
 use common::TestDir;
 use minihpc_lang::model::TranslationPair;
 use pareval_core::{EvalConfig, EvalPipeline, ExperimentPlan, Runner, SerialRunner};
+use pareval_llm::all_models;
 use pareval_repo as _;
+use pareval_translate::Technique;
 use std::path::Path;
 
 fn disk_eval(dir: &Path, budget: u64, repair_budget: u32) -> EvalConfig {
@@ -29,14 +31,23 @@ fn plan_on(eval: EvalConfig) -> ExperimentPlan {
         .build()
 }
 
-fn entry_files(dir: &Path) -> Vec<std::path::PathBuf> {
+fn files_with_extension(dir: &Path, ext: &str) -> Vec<std::path::PathBuf> {
     let mut out: Vec<_> = std::fs::read_dir(dir)
         .unwrap()
         .map(|e| e.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|e| e == "entry"))
+        .filter(|p| p.extension().is_some_and(|e| e == ext))
         .collect();
     out.sort();
     out
+}
+
+fn entry_files(dir: &Path) -> Vec<std::path::PathBuf> {
+    files_with_extension(dir, "entry")
+}
+
+/// Per-file compile-unit entries of the disk tier (`.unit`, magic PEBU).
+fn unit_files(dir: &Path) -> Vec<std::path::PathBuf> {
+    files_with_extension(dir, "unit")
 }
 
 fn dir_bytes(dir: &Path) -> u64 {
@@ -192,6 +203,135 @@ fn config_changes_never_alias_disk_entries() {
     let same = EvalPipeline::new(plan_b2.eval().clone());
     SerialRunner.run_with(&plan_b2, &same, &pareval_core::NullSink);
     assert!(same.cache_stats().disk_hits > 0);
+}
+
+#[test]
+fn unit_entries_cross_processes_even_when_outcome_keys_differ() {
+    // Per-file reuse across processes: a budget-3 run over a tier
+    // populated by a budget-0 run can never hit the *outcome* entries
+    // (the repair budget is hashed into the outcome key), but the
+    // file-granular unit entries key on include-closure content only —
+    // the second process replays compiled units from disk while every
+    // outcome lookup cold-misses.
+    let dir = TestDir::new("disk-unit-reuse");
+    let first = EvalPipeline::new(disk_eval(dir.path(), 64 << 20, 0));
+    SerialRunner.run_with(
+        &plan_on(disk_eval(dir.path(), 64 << 20, 0)),
+        &first,
+        &pareval_core::NullSink,
+    );
+    assert!(
+        !unit_files(dir.path()).is_empty(),
+        "no unit entries persisted"
+    );
+
+    let plan_b3 = plan_on(disk_eval(dir.path(), 64 << 20, 3));
+    let second = EvalPipeline::new(plan_b3.eval().clone());
+    let results = SerialRunner.run_with(&plan_b3, &second, &pareval_core::NullSink);
+    let stats = second.cache_stats();
+    assert_eq!(stats.disk_hits, 0, "outcome keys must not alias: {stats:?}");
+    assert!(
+        stats.file_hits > 0,
+        "unit entries did not serve the second process: {stats:?}"
+    );
+
+    // And the replayed units changed nothing: identical to uncached.
+    let mut uncached_eval = plan_b3.eval().clone();
+    uncached_eval.build_cache = false;
+    uncached_eval.disk_cache_dir = None;
+    let uncached = SerialRunner.run_with(
+        &plan_on(uncached_eval.clone()),
+        &EvalPipeline::new(uncached_eval),
+        &pareval_core::NullSink,
+    );
+    assert_eq!(results, uncached);
+}
+
+#[test]
+fn corrupted_unit_entry_is_a_miss_then_healed() {
+    // Same corruption-equals-miss discipline as outcome entries, applied
+    // to the per-file tier: garbled `.unit` files are dropped, recompiled
+    // cold, and rewritten — never replayed into a wrong object.
+    let dir = TestDir::new("disk-unit-corrupt");
+    let plan = plan_on(disk_eval(dir.path(), 64 << 20, 0));
+    let baseline = SerialRunner.run(&plan);
+    let units = unit_files(dir.path());
+    assert!(!units.is_empty(), "no unit entries persisted");
+    // Drop the outcome entries so the re-run cold-builds (an outcome hit
+    // would never consult the unit tier and the corruption would go
+    // unexercised).
+    for entry in entry_files(dir.path()) {
+        std::fs::remove_file(entry).unwrap();
+    }
+    for (i, file) in units.iter().enumerate() {
+        let mut bytes = std::fs::read(file).unwrap();
+        match i % 3 {
+            0 => {
+                let at = bytes.len() - 1;
+                bytes[at] ^= 0x08;
+            }
+            1 => bytes.truncate(bytes.len() / 2),
+            _ => bytes[..8].copy_from_slice(b"XXXXXXXX"),
+        }
+        std::fs::write(file, &bytes).unwrap();
+    }
+
+    let pipeline = EvalPipeline::new(plan.eval().clone());
+    let rerun = SerialRunner.run_with(&plan, &pipeline, &pareval_core::NullSink);
+    assert_eq!(baseline, rerun, "a corrupt unit leaked into the results");
+    for file in &units {
+        let healed = std::fs::read(file).unwrap();
+        assert!(
+            healed.starts_with(b"PEBU"),
+            "unit entry was not rewritten: {}",
+            file.display()
+        );
+    }
+}
+
+#[test]
+fn analysis_is_recomputed_on_restart_not_served_stale() {
+    // Analyzer findings are memoized in memory only — deliberately not
+    // persisted in the disk tier. This pins that choice: a fresh process
+    // over a warm tier serves outcomes from disk yet reproduces the same
+    // findings by recomputing them, byte-identical to a cold analyzer run.
+    // The injected-race cell (XSBench, OpenMP threads → offload, race_rate
+    // 1.0) guarantees real findings so the pin is not vacuous.
+    let dir = TestDir::new("disk-analysis");
+    let plan = ExperimentPlan::builder()
+        .samples(2)
+        .pairs([TranslationPair::OMP_THREADS_TO_OFFLOAD])
+        .techniques([Technique::NonAgentic])
+        .models(
+            all_models()
+                .into_iter()
+                .filter(|m| m.name == "o4-mini")
+                .map(|m| m.with_race_rate(1.0)),
+        )
+        .apps(["XSBench"])
+        .eval(EvalConfig {
+            analyze: true,
+            ..disk_eval(dir.path(), 64 << 20, 0)
+        })
+        .build();
+    let baseline = SerialRunner.run(&plan);
+
+    let restarted = EvalPipeline::new(plan.eval().clone());
+    let rerun = SerialRunner.run_with(&plan, &restarted, &pareval_core::NullSink);
+    let stats = restarted.cache_stats();
+    assert!(
+        stats.disk_hits > 0,
+        "restart did not reuse the warm tier: {stats:?}"
+    );
+    assert_eq!(baseline, rerun, "recomputed analysis diverged");
+    assert!(
+        rerun
+            .cells
+            .values()
+            .flat_map(|c| c.records())
+            .any(|r| !r.result.analysis.is_empty()),
+        "analyzer produced no findings; the recompute pin is vacuous"
+    );
 }
 
 #[test]
